@@ -1,0 +1,31 @@
+//! End-to-end experiment throughput: how much simulated benchmark time
+//! the harness chews through per wall-clock second. One iteration runs a
+//! whole short density experiment (bootstrap + N simulated hours of
+//! metric reports, PLB passes and population churn).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_spec::ScenarioSpec;
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("bootstrap_plus_1h_at_110pct", |b| {
+        b.iter(|| {
+            let mut scenario = ScenarioSpec::gen5_stage_cluster(110);
+            scenario.duration_hours = 1;
+            black_box(DensityExperiment::new(scenario, ExperimentOverrides::default()).run())
+        })
+    });
+    group.bench_function("bootstrap_plus_12h_at_140pct", |b| {
+        b.iter(|| {
+            let mut scenario = ScenarioSpec::gen5_stage_cluster(140);
+            scenario.duration_hours = 12;
+            black_box(DensityExperiment::new(scenario, ExperimentOverrides::default()).run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment);
+criterion_main!(benches);

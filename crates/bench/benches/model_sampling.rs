@@ -1,0 +1,100 @@
+//! Micro-benchmarks for the Toto model execution hot path.
+//!
+//! §3.3.1: "The logic to sample from the models is directly coded into
+//! RgManager, so sampling is fast and efficient." These benches verify
+//! that claim holds for this implementation: per-report sampling, the
+//! 15-minute XML refresh (parse + compile), and Naming Service traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toto::defaults::gen5_model_set;
+use toto_fabric::naming::NamingService;
+use toto_models::compiled::{CompiledModelSet, ReplicaRoleKind, SampleContext};
+use toto_rgmanager::{ReportRequest, RgManager, MODEL_KEY};
+use toto_simcore::time::SimTime;
+use toto_spec::model::ModelSetSpec;
+use toto_spec::{EditionKind, ResourceKind};
+
+fn bench_model_sampling(c: &mut Criterion) {
+    let spec = gen5_model_set(42, 1200);
+    let set = CompiledModelSet::compile(&spec);
+    let model = set
+        .model_for(ResourceKind::Disk, EditionKind::PremiumBc)
+        .expect("BC disk model");
+    let ctx = SampleContext {
+        service: 17,
+        node: 3,
+        role: ReplicaRoleKind::Primary,
+        created_at: SimTime::ZERO,
+        now: SimTime::from_secs(86_400 + 1200),
+        prev: Some(512.0),
+    };
+    c.bench_function("disk_model_next_value", |b| {
+        b.iter(|| black_box(model.next_value(black_box(&ctx))))
+    });
+
+    let mem = set
+        .model_for(ResourceKind::Memory, EditionKind::StandardGp)
+        .expect("memory model");
+    c.bench_function("memory_model_next_value", |b| {
+        b.iter(|| black_box(mem.next_value(black_box(&ctx))))
+    });
+}
+
+fn bench_model_refresh(c: &mut Criterion) {
+    let xml = gen5_model_set(42, 1200).to_xml_string();
+    c.bench_function("model_xml_parse", |b| {
+        b.iter(|| black_box(ModelSetSpec::from_xml_str(black_box(&xml)).unwrap()))
+    });
+    let spec = gen5_model_set(42, 1200);
+    c.bench_function("model_compile", |b| {
+        b.iter(|| black_box(CompiledModelSet::compile(black_box(&spec))))
+    });
+    c.bench_function("rgmanager_refresh_cycle", |b| {
+        let mut naming = NamingService::new();
+        naming.write(MODEL_KEY, &xml);
+        let mut rg = RgManager::new(0);
+        let mut version = 1u64;
+        b.iter(|| {
+            // Force a recompile every iteration by bumping the version.
+            version += 1;
+            let mut spec = gen5_model_set(42, 1200);
+            spec.version = version;
+            naming.write(MODEL_KEY, spec.to_xml_string());
+            black_box(rg.refresh_models(&mut naming))
+        })
+    });
+}
+
+fn bench_report_rpc(c: &mut Criterion) {
+    let xml = gen5_model_set(42, 1200).to_xml_string();
+    let mut naming = NamingService::new();
+    naming.write(MODEL_KEY, &xml);
+    let mut rg = RgManager::new(0);
+    rg.refresh_models(&mut naming);
+    let req = ReportRequest {
+        replica: 5,
+        service: 5,
+        role: ReplicaRoleKind::Primary,
+        edition: EditionKind::PremiumBc,
+        resource: ResourceKind::Disk,
+        created_at: SimTime::ZERO,
+        now: SimTime::from_secs(86_400),
+        actual_load: 100.0,
+    };
+    c.bench_function("rgmanager_persisted_disk_report", |b| {
+        b.iter(|| black_box(rg.compute_report(&mut naming, black_box(&req))))
+    });
+    let mut gp = req;
+    gp.edition = EditionKind::StandardGp;
+    c.bench_function("rgmanager_nonpersisted_disk_report", |b| {
+        b.iter(|| black_box(rg.compute_report(&mut naming, black_box(&gp))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_model_sampling,
+    bench_model_refresh,
+    bench_report_rpc
+);
+criterion_main!(benches);

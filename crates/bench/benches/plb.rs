@@ -1,0 +1,95 @@
+//! PLB benchmarks: placement decisions and violation-fixing passes on a
+//! realistically loaded 14-node ring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toto_fabric::cluster::{Cluster, ClusterConfig, ServiceSpec};
+use toto_fabric::ids::MetricId;
+use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_fabric::plb::{Plb, PlbConfig};
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::SimTime;
+
+fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
+    let mut metrics = MetricRegistry::new();
+    let cpu = metrics.register(MetricDef {
+        name: "Cpu".into(),
+        node_capacity: 96.0,
+        balancing_weight: 1.0,
+    });
+    let disk = metrics.register(MetricDef {
+        name: "Disk".into(),
+        node_capacity: 7000.0,
+        balancing_weight: 1.0,
+    });
+    let mut cluster = Cluster::new(ClusterConfig {
+        node_count: 14,
+        metrics,
+        fault_domains: 1,
+    });
+    let mut plb = Plb::new(PlbConfig::default(), 9);
+    let mut rng = DetRng::seed_from_u64(5);
+    for i in 0..220 {
+        let mut load = cluster.metrics().zero_load();
+        let bc = i % 7 == 0;
+        load[cpu] = if bc { 8.0 } else { 4.0 };
+        load[disk] = if bc { 400.0 } else { 5.0 + rng.next_f64() * 10.0 };
+        let spec = ServiceSpec {
+            name: format!("db-{i}"),
+            tag: 0,
+            replica_count: if bc { 4 } else { 1 },
+            default_load: load,
+        };
+        let _ = plb.create_service(&mut cluster, &spec, SimTime::ZERO);
+    }
+    (cluster, cpu, disk)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let (cluster, cpu, disk) = loaded_cluster();
+    let mut spec_load = cluster.metrics().zero_load();
+    spec_load[cpu] = 8.0;
+    spec_load[disk] = 300.0;
+    let spec = ServiceSpec {
+        name: "new-bc".into(),
+        tag: 0,
+        replica_count: 4,
+        default_load: spec_load,
+    };
+    c.bench_function("plb_place_bc_x4_on_loaded_ring", |b| {
+        let mut plb = Plb::new(PlbConfig::default(), 77);
+        b.iter(|| black_box(plb.place_new_service(&cluster, &spec).unwrap()))
+    });
+    let single = ServiceSpec {
+        replica_count: 1,
+        ..spec.clone()
+    };
+    c.bench_function("plb_place_gp_x1_on_loaded_ring", |b| {
+        let mut plb = Plb::new(PlbConfig::default(), 78);
+        b.iter(|| black_box(plb.place_new_service(&cluster, &single).unwrap()))
+    });
+}
+
+fn bench_violation_fixing(c: &mut Criterion) {
+    c.bench_function("plb_fix_single_disk_violation", |b| {
+        b.iter_batched(
+            || {
+                let (mut cluster, _, disk) = loaded_cluster();
+                // Blow one node's disk over capacity.
+                let victim = cluster.node(toto_fabric::ids::NodeId(0)).replicas[0];
+                cluster.report_load(victim, disk, 7_500.0);
+                (cluster, Plb::new(PlbConfig::default(), 3))
+            },
+            |(mut cluster, mut plb)| {
+                black_box(plb.fix_violations(&mut cluster, SimTime::from_secs(60)))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("plb_violation_scan_clean_ring", |b| {
+        let (cluster, _, _) = loaded_cluster();
+        b.iter(|| black_box(cluster.violations()))
+    });
+}
+
+criterion_group!(benches, bench_placement, bench_violation_fixing);
+criterion_main!(benches);

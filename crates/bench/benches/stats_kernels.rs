@@ -1,0 +1,68 @@
+//! Statistics kernel benchmarks: the fitting and testing primitives the
+//! training pipeline (§4) runs at scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toto_simcore::rng::DetRng;
+use toto_stats::binning::EqualProbabilityBins;
+use toto_stats::dist::{Distribution, Fit, Normal};
+use toto_stats::dtw::dtw_distance_banded;
+use toto_stats::kde::GaussianKde;
+use toto_stats::ks::ks_test_normal;
+use toto_stats::wilcoxon::wilcoxon_signed_rank;
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let d = Normal::new(10.0, 3.0);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let xs = sample(336, 1); // 8 weeks of one hourly cell
+    c.bench_function("normal_fit_336", |b| {
+        b.iter(|| black_box(Normal::fit(black_box(&xs)).unwrap()))
+    });
+    c.bench_function("equal_probability_bins_fit_336_k5", |b| {
+        b.iter(|| black_box(EqualProbabilityBins::fit(black_box(&xs), 5).unwrap()))
+    });
+    c.bench_function("kde_fit_336", |b| {
+        b.iter(|| black_box(GaussianKde::fit(black_box(&xs)).unwrap()))
+    });
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let xs = sample(336, 2);
+    c.bench_function("ks_test_normal_336", |b| {
+        b.iter(|| black_box(ks_test_normal(black_box(&xs)).unwrap()))
+    });
+    let ys = sample(336, 3);
+    c.bench_function("wilcoxon_336_pairs", |b| {
+        b.iter(|| black_box(wilcoxon_signed_rank(black_box(&xs), black_box(&ys)).unwrap()))
+    });
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a = sample(1008, 4); // two weeks of 20-minute samples
+    let bb = sample(1008, 5);
+    c.bench_function("dtw_1008_unbanded", |b| {
+        b.iter(|| black_box(dtw_distance_banded(black_box(&a), black_box(&bb), usize::MAX)))
+    });
+    c.bench_function("dtw_1008_band72", |b| {
+        b.iter(|| black_box(dtw_distance_banded(black_box(&a), black_box(&bb), 72)))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let xs = sample(336, 6);
+    let kde = GaussianKde::fit(&xs).unwrap();
+    let bins = EqualProbabilityBins::fit(&xs, 5).unwrap();
+    let normal = Normal::fit(&xs).unwrap();
+    let mut rng = DetRng::seed_from_u64(7);
+    c.bench_function("normal_sample", |b| {
+        b.iter(|| black_box(normal.sample(&mut rng)))
+    });
+    c.bench_function("kde_sample", |b| b.iter(|| black_box(kde.sample(&mut rng))));
+    c.bench_function("bins_sample", |b| b.iter(|| black_box(bins.sample(&mut rng))));
+}
+
+criterion_group!(benches, bench_fitting, bench_tests, bench_dtw, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: PLB annealing vs pure greedy placement (§5.2 cites SF's use
+//! of simulated annealing "to prevent getting stuck in locally optimal
+//! solutions"), plus the model-refresh-period sensitivity (§3.3.1's
+//! 15-minute re-read).
+
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_fabric::plb::PlbConfig;
+use toto_spec::ScenarioSpec;
+
+fn run(label: &str, plb: PlbConfig, refresh_secs: Option<u64>, hours: u64) {
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(120);
+    scenario.duration_hours = hours;
+    if let Some(secs) = refresh_secs {
+        scenario.model_refresh_secs = secs;
+    }
+    let overrides = ExperimentOverrides {
+        plb: Some(plb),
+        ..ExperimentOverrides::default()
+    };
+    let r = DensityExperiment::new(scenario, overrides).run();
+    println!(
+        "{label:<30} reserved {:>5.0} | {:>3} redirects | {:>3} failovers | adjusted ${:>8.0}",
+        r.final_reserved_cores,
+        r.redirect_count,
+        r.telemetry.failover_count(None),
+        r.revenue.adjusted(),
+    );
+}
+
+fn main() {
+    let hours = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(144);
+    println!("ablation: PLB search strategy at 120% density, {hours}h\n");
+    run("annealing (default)", PlbConfig::default(), None, hours);
+    run(
+        "greedy (0 anneal iterations)",
+        PlbConfig {
+            anneal_iterations: 0,
+            ..PlbConfig::default()
+        },
+        None,
+        hours,
+    );
+    run(
+        "hot annealing (T x20)",
+        PlbConfig {
+            initial_temperature: 1.0,
+            ..PlbConfig::default()
+        },
+        None,
+        hours,
+    );
+    println!("\nmodel refresh period sensitivity (same PLB):\n");
+    for secs in [300u64, 900, 3600] {
+        run(
+            &format!("refresh every {}m", secs / 60),
+            PlbConfig::default(),
+            Some(secs),
+            hours,
+        );
+    }
+}

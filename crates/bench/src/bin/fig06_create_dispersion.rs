@@ -1,0 +1,41 @@
+//! Figure 6: dispersion box plots of creates per hour-of-day, for
+//! Standard/GP weekday/weekend (a, b) and Premium/BC weekday/weekend
+//! (c, d), from the synthetic production trace.
+
+use toto_bench::render_table;
+use toto_simcore::time::DayKind;
+use toto_spec::EditionKind;
+use toto_stats::describe::five_number_summary;
+use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
+
+fn main() {
+    let gen = TraceGenerator::new(SynthConfig {
+        seed: 7,
+        region: RegionProfile::region1(),
+    });
+    for (panel, edition, day) in [
+        ("a", EditionKind::StandardGp, DayKind::Weekday),
+        ("b", EditionKind::StandardGp, DayKind::Weekend),
+        ("c", EditionKind::PremiumBc, DayKind::Weekday),
+        ("d", EditionKind::PremiumBc, DayKind::Weekend),
+    ] {
+        println!("Figure 6({panel}) — {edition} {day:?} creates per hour of day\n");
+        let trace = gen.hourly_creates(edition, 8);
+        let mut rows = Vec::new();
+        for hour in 0..24 {
+            let values: Vec<f64> = trace
+                .iter()
+                .filter(|o| {
+                    o.time.day_kind() == day && o.time.hour_of_day() == hour
+                })
+                .map(|o| o.value)
+                .collect();
+            if values.is_empty() {
+                continue;
+            }
+            let s = five_number_summary(&values);
+            rows.push(vec![format!("{hour:02}"), s.render()]);
+        }
+        println!("{}", render_table(&["hour", "box plot (creates/hour)"], &rows));
+    }
+}

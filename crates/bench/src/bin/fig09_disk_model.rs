@@ -1,0 +1,117 @@
+//! Figure 9: steady-state disk usage — the hourly-normal model's
+//! cumulative disk usage vs the production trace over two weeks, plus the
+//! §4.2.2 model-selection comparison (hourly normal vs KDE vs customized
+//! binning) under DTW and RMSE.
+
+use toto_bench::render_table;
+use toto_models::training::{train_steady_state, HourlyObservation};
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::SimTime;
+use toto_stats::binning::EqualProbabilityBins;
+use toto_stats::dist::{Distribution, Normal};
+use toto_stats::dtw::dtw_distance;
+use toto_stats::error::rmse;
+use toto_stats::kde::GaussianKde;
+use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
+
+fn main() {
+    let gen = TraceGenerator::new(SynthConfig {
+        seed: 11,
+        region: RegionProfile::region1(),
+    });
+    // Two weeks of 20-minute deltas from a steady-state database.
+    let periods = 14 * 24 * 3;
+    let trace = gen.disk_delta_trace(12, periods); // db 12 is steady-state
+    let production = TraceGenerator::accumulate(100.0, &trace);
+
+    // Train the hourly-normal model on the deltas.
+    let observations: Vec<HourlyObservation> = trace
+        .deltas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| HourlyObservation {
+            time: SimTime::from_secs(i as u64 * trace.period_secs),
+            value: *d,
+        })
+        .collect();
+    let (table, _) = train_steady_state(&observations);
+
+    // Generate each candidate model's cumulative usage (seed 99 for the
+    // displayed curves; the selection metrics below average many seeds).
+    let mut rng = DetRng::seed_from_u64(99);
+    let kde = GaussianKde::fit(&trace.deltas).expect("non-empty trace");
+    let bins = EqualProbabilityBins::fit(&trace.deltas, 10).expect("non-empty trace");
+    let hourly_normal = accumulate_with(&mut rng, periods, trace.period_secs, |t, rng| {
+        let (mu, sigma) = table.cell(t.day_kind().index(), t.hour_of_day() as usize);
+        Normal::new(mu, sigma).sample(rng)
+    });
+    let kde_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| kde.sample(rng));
+    let bin_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| bins.sample(rng));
+
+    println!("Figure 9 — cumulative disk usage, production vs models (GB)\n");
+    let mut rows = Vec::new();
+    for day in (0..14).step_by(2) {
+        let idx = day * 72;
+        rows.push(vec![
+            format!("{day}"),
+            format!("{:.1}", production[idx]),
+            format!("{:.1}", hourly_normal[idx]),
+            format!("{:.1}", kde_usage[idx]),
+            format!("{:.1}", bin_usage[idx]),
+        ]);
+    }
+    rows.push(vec![
+        "14".into(),
+        format!("{:.1}", production[periods - 1]),
+        format!("{:.1}", hourly_normal[periods - 1]),
+        format!("{:.1}", kde_usage[periods - 1]),
+        format!("{:.1}", bin_usage[periods - 1]),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["day", "production", "hourly normal", "KDE", "binning"],
+            &rows
+        )
+    );
+
+    println!("model selection (§4.2.2), averaged over 25 simulation seeds — lower is better:\n");
+    let mut scores = [(0.0f64, 0.0f64); 3];
+    let seeds = 25;
+    for seed in 0..seeds {
+        let mut rng = DetRng::seed_from_u64(500 + seed);
+        let hn = accumulate_with(&mut rng, periods, trace.period_secs, |t, rng| {
+            let (mu, sigma) = table.cell(t.day_kind().index(), t.hour_of_day() as usize);
+            Normal::new(mu, sigma).sample(rng)
+        });
+        let kd = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| kde.sample(rng));
+        let bi = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| bins.sample(rng));
+        for (slot, series) in [&hn, &kd, &bi].into_iter().enumerate() {
+            scores[slot].0 += dtw_distance(&production, series) / seeds as f64;
+            scores[slot].1 += rmse(&production, series) / seeds as f64;
+        }
+    }
+    let rows: Vec<Vec<String>> = ["hourly normal", "KDE", "customized binning"]
+        .iter()
+        .zip(scores)
+        .map(|(name, (dtw, rm))| vec![name.to_string(), format!("{dtw:.1}"), format!("{rm:.2}")])
+        .collect();
+    println!("{}", render_table(&["model", "avg DTW", "avg RMSE"], &rows));
+}
+
+fn accumulate_with(
+    rng: &mut DetRng,
+    periods: usize,
+    period_secs: u64,
+    mut delta: impl FnMut(SimTime, &mut DetRng) -> f64,
+) -> Vec<f64> {
+    let mut v = 100.0f64;
+    (0..periods)
+        .map(|i| {
+            let t = SimTime::from_secs(i as u64 * period_secs);
+            v = (v + delta(t, rng)).max(0.0);
+            v
+        })
+        .collect()
+}
+

@@ -1,0 +1,94 @@
+//! Extension study: the density levels' hidden performance tax.
+//!
+//! The paper scores density with failovers and adjusted revenue; §5.5
+//! adds that RgManager's mitigation effectiveness should be measured
+//! too. With the CPU-usage model feeding each node's governor, we report
+//! how much customer CPU *demand* went unserved at each density —
+//! invisible to the PLB (reservations are unchanged) but very visible to
+//! customers.
+//!
+//! Two tenant populations are studied: the production-representative
+//! low-utilization mix of Figure 3(b), and a bursty what-if mix. The
+//! first shows *why* CPU over-subscription is safe at the paper's
+//! densities (disk binds long before CPU); the second shows where the
+//! cliff would be if utilizations rose.
+
+use toto::defaults::gen5_model_set;
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_bench::{hours_arg, render_table, DENSITIES};
+use toto_spec::model::HourlyTable;
+use toto_spec::{ResourceKind, ScenarioSpec};
+
+fn run_mix(label: &str, utilization_peak: f64, sigma: f64, hours: Option<u64>) {
+    println!("{label}\n");
+    let mut rows = Vec::new();
+    for &density in &DENSITIES {
+        let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
+        if let Some(h) = hours {
+            scenario.duration_hours = h;
+        }
+        let mut models = gen5_model_set(scenario.model_seed, scenario.report_period_secs);
+        for m in &mut models.models {
+            if m.resource == ResourceKind::Cpu {
+                let mut t = HourlyTable::constant(0.0, 0.0);
+                for h in 0..24 {
+                    let diurnal = 0.25
+                        + 0.75
+                            * (0.5
+                                + 0.5
+                                    * ((h as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos());
+                    let mu = utilization_peak * diurnal;
+                    t.cells[0][h] = (mu, sigma);
+                    t.cells[1][h] = (mu * 0.6, sigma * 0.7);
+                }
+                m.steady.hourly = t;
+            }
+        }
+        let overrides = ExperimentOverrides {
+            models: Some(models),
+            ..ExperimentOverrides::default()
+        };
+        let r = DensityExperiment::new(scenario, overrides).run();
+        let throttled = r.telemetry.cpu_throttling.last_value().unwrap_or(0.0);
+        rows.push(vec![
+            format!("{density}%"),
+            format!("{:.0}", r.final_reserved_cores),
+            format!("{throttled:.0}"),
+            format!("{}", r.telemetry.contended_governance_passes),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "density",
+                "reserved cores",
+                "throttled core-intervals",
+                "contended node-passes"
+            ],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn main() {
+    let hours = hours_arg();
+    println!("density study — throttled CPU demand (node governance)\n");
+    run_mix(
+        "production-representative utilization (Figure 3b: mostly idle):",
+        0.22,
+        0.18,
+        hours,
+    );
+    run_mix(
+        "bursty what-if mix (peak demand beyond the reservation):",
+        1.2,
+        0.6,
+        hours,
+    );
+    println!("take-away: at observed cloud utilizations, CPU density up to 140% is");
+    println!("performance-free — disk is the binding resource, which is exactly the");
+    println!("paper's density story. Were tenants to run hot, governance contention");
+    println!("would appear first on the densest configuration.");
+}

@@ -1,0 +1,121 @@
+//! §5.5's elastic-pool extension, quantified: how much ring capacity do
+//! pools unlock over singletons for bursty fleets?
+//!
+//! An elastic pool is one orchestrated service whose reservation is
+//! shared by many member databases; member churn never touches the PLB.
+//! We pack a 14-node ring with bursty 2-vcore BC databases, singleton vs
+//! pooled, and report how many databases fit and what the pool members'
+//! aggregate disk does to the node picture.
+
+use toto::defaults::gen5_model_set;
+use toto::pools::{reservation_comparison, ElasticPool};
+use toto_bench::render_table;
+use toto_fabric::cluster::{Cluster, ClusterConfig, ServiceSpec};
+use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_fabric::plb::{Plb, PlbConfig};
+use toto_models::compiled::CompiledModelSet;
+use toto_simcore::time::SimTime;
+use toto_spec::EditionKind;
+
+fn ring() -> Cluster {
+    let mut metrics = MetricRegistry::new();
+    metrics.register(MetricDef {
+        name: "Cpu".into(),
+        node_capacity: 96.0,
+        balancing_weight: 1.0,
+    });
+    metrics.register(MetricDef {
+        name: "Disk".into(),
+        node_capacity: 7537.0,
+        balancing_weight: 1.0,
+    });
+    Cluster::new(ClusterConfig {
+        node_count: 14,
+        metrics,
+        fault_domains: 7,
+    })
+}
+
+fn main() {
+    println!("elastic pool study — 14-node ring, bursty 2-vcore BC databases\n");
+
+    // Reservation arithmetic at fleet scale.
+    let mut rows = Vec::new();
+    for (pool_size, pool_vcores) in [(10u32, 6u32), (20, 8), (50, 12)] {
+        let (singleton, pooled) =
+            reservation_comparison(1000, 2, pool_size, pool_vcores, EditionKind::PremiumBc);
+        rows.push(vec![
+            format!("{pool_size} members / {pool_vcores} vcores"),
+            format!("{singleton:.0}"),
+            format!("{pooled:.0}"),
+            format!("{:.1}x", singleton / pooled),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["pool shape", "singleton cores", "pooled cores", "densification"],
+            &rows
+        )
+    );
+
+    // How many databases actually fit on the ring?
+    let cpu_total = 14.0 * 96.0;
+    let singleton_fit = (cpu_total / (2.0 * 4.0)) as u32;
+    let pool_fit = ((cpu_total / (8.0 * 4.0)) as u32) * 20;
+    println!(
+        "ring capacity: {singleton_fit} singleton databases vs {pool_fit} pooled databases\n"
+    );
+
+    // Place a fleet of pools and drive their aggregate disk for a day.
+    let mut cluster = ring();
+    let mut plb = Plb::new(PlbConfig::default(), 3);
+    let models = CompiledModelSet::compile(&gen5_model_set(11, 1200));
+    let disk_id = cluster.metrics().by_name("Disk").unwrap();
+    let mut pools = Vec::new();
+    for p in 0..12 {
+        let mut load = cluster.metrics().zero_load();
+        load[cluster.metrics().by_name("Cpu").unwrap()] = 8.0;
+        load[disk_id] = 0.0;
+        let spec = ServiceSpec {
+            name: format!("pool-{p}"),
+            tag: 0,
+            replica_count: 4,
+            default_load: load,
+        };
+        let id = plb
+            .create_service(&mut cluster, &spec, SimTime::ZERO)
+            .expect("pool placement");
+        let mut pool = ElasticPool::new(id, EditionKind::PremiumBc, 8);
+        for m in 0..20 {
+            pool.add_member(p * 1000 + m, SimTime::ZERO, 5.0 + m as f64);
+        }
+        pools.push(pool);
+    }
+    let mut last_total = 0.0;
+    for step in 1..=72 {
+        let now = SimTime::from_secs(7 * 86_400 + step * 1200);
+        last_total = 0.0;
+        for pool in &mut pools {
+            let node = cluster
+                .primary_of(pool.service)
+                .map(|r| r.node.raw())
+                .unwrap_or(0);
+            let aggregate = pool.step_disk(&models, node, now);
+            pool.report_to_cluster(&mut cluster, disk_id, aggregate);
+            last_total += aggregate;
+        }
+    }
+    cluster.check_invariants();
+    println!(
+        "12 pools x 20 members after one simulated day: {:.0} GB aggregate member disk,",
+        last_total
+    );
+    println!(
+        "cluster disk load {:.0} GB across {} services ({} member databases, all churn",
+        cluster.total_load(disk_id),
+        cluster.service_count(),
+        pools.iter().map(|p| p.len()).sum::<usize>()
+    );
+    println!("invisible to the PLB).");
+}

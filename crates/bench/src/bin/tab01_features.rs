@@ -1,0 +1,26 @@
+//! Table 1: features used by the create and drop models (§4.1.3), printed
+//! together with the resulting model-count arithmetic (2 x 24 x 2 = 96
+//! Create DB models and 96 Drop DB models).
+
+use toto_bench::render_table;
+
+fn main() {
+    println!("Table 1 — features used for create and drop models\n");
+    let rows = vec![
+        vec!["Temporal".to_string(), "Weekend vs. Weekday".to_string()],
+        vec!["Temporal".to_string(), "Hours".to_string()],
+        vec![
+            "Database Edition".to_string(),
+            "Standard/GP vs. Premium/BC".to_string(),
+        ],
+    ];
+    println!("{}", render_table(&["Features", "Values"], &rows));
+    let day_kinds = 2;
+    let hours = 24;
+    let editions = 2;
+    println!(
+        "model count: {day_kinds} day kinds x {hours} hours x {editions} editions = {} Create DB models and {} Drop DB models",
+        day_kinds * hours * editions,
+        day_kinds * hours * editions
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 2: the bootstrap population — 33 Premium/BC databases, 187
+//! Standard/GP databases, 220 total — plus the SLO breakdown our
+//! representative mix produced.
+
+use std::collections::BTreeMap;
+use toto_bench::render_table;
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_controlplane::slo::SloCatalog;
+use toto_spec::{EditionKind, ScenarioSpec};
+
+fn main() {
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(100);
+    scenario.duration_hours = 1;
+    let result = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+    let catalog = SloCatalog::gen5();
+
+    let bc = result
+        .bootstrap
+        .services
+        .iter()
+        .filter(|(_, e, _, _)| *e == EditionKind::PremiumBc)
+        .count();
+    let gp = result.bootstrap.services.len() - bc;
+    println!("Table 2 — initial population\n");
+    println!(
+        "{}",
+        render_table(
+            &["Premium/BC Databases", "Standard/GP Databases", "Total"],
+            &[vec![bc.to_string(), gp.to_string(), (bc + gp).to_string()]]
+        )
+    );
+
+    let mut by_slo: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, _, slo_index, _) in &result.bootstrap.services {
+        let name = catalog.get(*slo_index).expect("slo").name.clone();
+        *by_slo.entry(name).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = by_slo
+        .iter()
+        .map(|(name, count)| vec![name.clone(), count.to_string()])
+        .collect();
+    println!("SLO breakdown of the bootstrap population:\n");
+    println!("{}", render_table(&["SLO", "databases"], &rows));
+    println!(
+        "reserved cores {:.0}, free cores {:.0}, disk fill {:.1}%",
+        result.bootstrap.reserved_cores,
+        result.bootstrap.free_cores,
+        result.bootstrap.disk_utilization * 100.0
+    );
+}

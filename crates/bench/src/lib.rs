@@ -1,0 +1,88 @@
+//! Experiment drivers for the Toto reproduction.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; criterion
+//! micro-benches live in `benches/`. This library holds what they share:
+//! running the four-density study and rendering aligned text tables.
+
+use toto::experiment::{DensityExperiment, ExperimentOverrides, ExperimentResult};
+use toto_spec::ScenarioSpec;
+
+/// The paper's four density levels (§5.2).
+pub const DENSITIES: [u32; 4] = [100, 110, 120, 140];
+
+/// Run the full §5 density study: four back-to-back 6-day experiments.
+///
+/// `duration_hours` overrides the 144-hour default (the figure binaries
+/// accept `--hours N` for quick runs).
+pub fn run_density_study(duration_hours: Option<u64>) -> Vec<ExperimentResult> {
+    DENSITIES
+        .iter()
+        .map(|&density| {
+            let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
+            if let Some(h) = duration_hours {
+                scenario.duration_hours = h;
+            }
+            DensityExperiment::new(scenario, ExperimentOverrides::default()).run()
+        })
+        .collect()
+}
+
+/// Parse `--hours N` from argv; `None` means the paper's 144 hours.
+pub fn hours_arg() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--hours")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Render rows as a fixed-width text table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(&"-".repeat(widths[i]));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("1  "));
+    }
+
+    #[test]
+    fn densities_match_paper() {
+        assert_eq!(DENSITIES, [100, 110, 120, 140]);
+    }
+}

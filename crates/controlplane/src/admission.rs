@@ -1,0 +1,277 @@
+//! Admission control and creation redirects.
+//!
+//! §5.3.1: "A creation redirect will occur when the cluster does not have
+//! enough cores to satisfy the creation request. Instead of being placed
+//! in this tenant ring, the database will be redirected to another tenant
+//! ring that has enough capacity." The admission controller therefore
+//! checks the ring's remaining *logical* cores (which scale with the
+//! density parameter) before asking the PLB for a placement, and treats a
+//! placement failure the same way.
+
+use crate::slo::{encode_tag, Slo};
+use toto_fabric::cluster::{Cluster, ServiceSpec};
+use toto_fabric::ids::{MetricId, ServiceId};
+use toto_fabric::plb::Plb;
+use toto_simcore::time::SimTime;
+use toto_spec::EditionKind;
+
+/// A creation request forwarded by the Population Manager.
+#[derive(Clone, Debug)]
+pub struct CreateRequest {
+    /// Database name (for the service record).
+    pub name: String,
+    /// Catalog index of the requested SLO.
+    pub slo_index: usize,
+    /// Initial local-disk load per replica, GB. For local-store databases
+    /// this is the data size; for remote-store databases only tempDB.
+    pub initial_disk_gb: f64,
+    /// Initial memory load per replica, GB (a cold buffer pool).
+    pub initial_memory_gb: f64,
+}
+
+/// A creation that had to leave the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RedirectEvent {
+    /// When the redirect happened.
+    pub time: SimTime,
+    /// Edition of the redirected database.
+    pub edition: EditionKind,
+    /// SLO name of the redirected database.
+    pub slo_name: String,
+    /// Cores the request would have reserved (all replicas).
+    pub requested_cores: f64,
+    /// Remaining logical cores at the time of the request.
+    pub remaining_cores: f64,
+}
+
+/// Result of an admission attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionOutcome {
+    /// The database was created in this ring.
+    Admitted(ServiceId),
+    /// The database was redirected to another ring.
+    Redirected(RedirectEvent),
+}
+
+/// The ring's admission controller.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    cpu: MetricId,
+    memory: MetricId,
+    disk: MetricId,
+    redirects: Vec<RedirectEvent>,
+}
+
+impl AdmissionController {
+    /// Build over the cluster's metric ids.
+    pub fn new(cpu: MetricId, memory: MetricId, disk: MetricId) -> Self {
+        AdmissionController {
+            cpu,
+            memory,
+            disk,
+            redirects: Vec::new(),
+        }
+    }
+
+    /// Remaining logical cores in the ring: density-scaled capacity minus
+    /// the cores already reserved.
+    pub fn remaining_cores(&self, cluster: &Cluster) -> f64 {
+        cluster.total_capacity(self.cpu) - cluster.total_load(self.cpu)
+    }
+
+    /// Build the fabric service spec for a request.
+    fn service_spec(&self, cluster: &Cluster, slo: &Slo, slo_index: usize, req: &CreateRequest) -> ServiceSpec {
+        let mut load = cluster.metrics().zero_load();
+        load[self.cpu] = slo.vcores as f64;
+        load[self.memory] = req.initial_memory_gb;
+        load[self.disk] = req.initial_disk_gb;
+        ServiceSpec {
+            name: req.name.clone(),
+            tag: encode_tag(slo.edition, slo_index),
+            replica_count: slo.replica_count(),
+            default_load: load,
+        }
+    }
+
+    /// Try to admit a creation. On insufficient cores or placement
+    /// failure the request is redirected (recorded and returned).
+    pub fn try_admit(
+        &mut self,
+        cluster: &mut Cluster,
+        plb: &mut Plb,
+        slo: &Slo,
+        req: &CreateRequest,
+        now: SimTime,
+    ) -> AdmissionOutcome {
+        let requested = slo.total_reserved_cores();
+        let remaining = self.remaining_cores(cluster);
+        let redirect = |remaining: f64| RedirectEvent {
+            time: now,
+            edition: slo.edition,
+            slo_name: slo.name.clone(),
+            requested_cores: requested,
+            remaining_cores: remaining,
+        };
+        if requested > remaining {
+            let ev = redirect(remaining);
+            self.redirects.push(ev.clone());
+            return AdmissionOutcome::Redirected(ev);
+        }
+        let spec = self.service_spec(cluster, slo, req.slo_index, req);
+        match plb.create_service(cluster, &spec, now) {
+            Ok(id) => AdmissionOutcome::Admitted(id),
+            Err(_) => {
+                let ev = redirect(remaining);
+                self.redirects.push(ev.clone());
+                AdmissionOutcome::Redirected(ev)
+            }
+        }
+    }
+
+    /// All redirects so far, in time order.
+    pub fn redirects(&self) -> &[RedirectEvent] {
+        &self.redirects
+    }
+
+    /// Number of redirects up to and including `t`.
+    pub fn redirects_until(&self, t: SimTime) -> usize {
+        self.redirects.iter().filter(|r| r.time <= t).count()
+    }
+
+    /// The CPU metric id the controller accounts reservations in.
+    pub fn cpu_metric(&self) -> MetricId {
+        self.cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloCatalog;
+    use toto_fabric::cluster::ClusterConfig;
+    use toto_fabric::metrics::{MetricDef, MetricRegistry};
+    use toto_fabric::plb::PlbConfig;
+
+    fn setup(nodes: u32, cpu_cap: f64) -> (Cluster, Plb, AdmissionController, SloCatalog) {
+        let mut metrics = MetricRegistry::new();
+        let cpu = metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: cpu_cap,
+            balancing_weight: 1.0,
+        });
+        let memory = metrics.register(MetricDef {
+            name: "Memory".into(),
+            node_capacity: 512.0,
+            balancing_weight: 0.5,
+        });
+        let disk = metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: 7000.0,
+            balancing_weight: 1.0,
+        });
+        let cluster = Cluster::new(ClusterConfig {
+            node_count: nodes,
+            metrics,
+            fault_domains: 1,
+        });
+        let plb = Plb::new(PlbConfig::default(), 7);
+        let ac = AdmissionController::new(cpu, memory, disk);
+        (cluster, plb, ac, SloCatalog::gen5())
+    }
+
+    fn request(catalog: &SloCatalog, slo_name: &str, disk: f64) -> (usize, CreateRequest) {
+        let (idx, _) = catalog.by_name(slo_name).unwrap();
+        (
+            idx,
+            CreateRequest {
+                name: format!("db-{slo_name}"),
+                slo_index: idx,
+                initial_disk_gb: disk,
+                initial_memory_gb: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn admission_reserves_cores() {
+        let (mut cluster, mut plb, mut ac, catalog) = setup(4, 96.0);
+        let before = ac.remaining_cores(&cluster);
+        let (idx, req) = request(&catalog, "GP_4", 10.0);
+        let slo = catalog.get(idx).unwrap();
+        let out = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
+        assert!(matches!(out, AdmissionOutcome::Admitted(_)));
+        assert_eq!(ac.remaining_cores(&cluster), before - 4.0);
+        cluster.check_invariants();
+    }
+
+    #[test]
+    fn bc_reserves_cores_for_all_replicas() {
+        let (mut cluster, mut plb, mut ac, catalog) = setup(6, 96.0);
+        let before = ac.remaining_cores(&cluster);
+        let (idx, req) = request(&catalog, "BC_8", 100.0);
+        let slo = catalog.get(idx).unwrap();
+        let out = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
+        assert!(matches!(out, AdmissionOutcome::Admitted(_)));
+        assert_eq!(ac.remaining_cores(&cluster), before - 32.0);
+    }
+
+    #[test]
+    fn exhausted_ring_redirects() {
+        let (mut cluster, mut plb, mut ac, catalog) = setup(2, 8.0);
+        // Ring has 16 logical cores. Admit two GP_4 (8 cores)…
+        for _ in 0..2 {
+            let (idx, req) = request(&catalog, "GP_4", 1.0);
+            let slo = catalog.get(idx).unwrap();
+            assert!(matches!(
+                ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO),
+                AdmissionOutcome::Admitted(_)
+            ));
+        }
+        // …then a GP_16 cannot fit (16 > 8 remaining): redirect.
+        let (idx, req) = request(&catalog, "GP_16", 1.0);
+        let slo = catalog.get(idx).unwrap();
+        let out = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::from_secs(60));
+        match out {
+            AdmissionOutcome::Redirected(ev) => {
+                assert_eq!(ev.requested_cores, 16.0);
+                assert_eq!(ev.remaining_cores, 8.0);
+                assert_eq!(ev.slo_name, "GP_16");
+            }
+            other => panic!("expected redirect, got {other:?}"),
+        }
+        assert_eq!(ac.redirects().len(), 1);
+        assert_eq!(ac.redirects_until(SimTime::from_secs(59)), 0);
+        assert_eq!(ac.redirects_until(SimTime::from_secs(60)), 1);
+    }
+
+    #[test]
+    fn placement_failure_redirects_even_with_cores_free() {
+        // Plenty of aggregate cores but BC_2 needs four *distinct* nodes;
+        // a two-node ring cannot place it.
+        let (mut cluster, mut plb, mut ac, catalog) = setup(2, 96.0);
+        let (idx, req) = request(&catalog, "BC_2", 10.0);
+        let slo = catalog.get(idx).unwrap();
+        let out = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
+        assert!(matches!(out, AdmissionOutcome::Redirected(_)));
+        assert_eq!(cluster.service_count(), 0);
+    }
+
+    #[test]
+    fn big_bc_database_is_the_paper_example() {
+        // §5.3.1: a 24-core Premium/BC database, replicated x4, needs 96
+        // cores; a ring with fewer remaining cores redirects it while a
+        // denser ring admits it.
+        let (mut tight, mut plb_a, mut ac_a, catalog) = setup(14, 6.0); // 84 cores
+        let (idx, req) = request(&catalog, "BC_24", 500.0);
+        let slo = catalog.get(idx).unwrap();
+        assert!(matches!(
+            ac_a.try_admit(&mut tight, &mut plb_a, slo, &req, SimTime::ZERO),
+            AdmissionOutcome::Redirected(_)
+        ));
+        let (mut dense, mut plb_b, mut ac_b, _) = setup(14, 25.0); // 350 cores
+        assert!(matches!(
+            ac_b.try_admit(&mut dense, &mut plb_b, slo, &req, SimTime::ZERO),
+            AdmissionOutcome::Admitted(_)
+        ));
+    }
+}

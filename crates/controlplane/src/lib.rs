@@ -1,0 +1,18 @@
+//! The control plane: SLO catalog, pricing, admission and redirects.
+//!
+//! §3.3.3's Population Manager "calls public CRUD APIs"; those APIs land
+//! here. The control plane owns the catalog of purchasable SLOs (edition,
+//! cores, memory, disk caps and prices — §2's editions and §5.1's
+//! SLO-determined pricing), admits creations into the tenant ring while
+//! reserved cores remain ("The number of reserved cores in the cluster is
+//! determined by the modeled SLO sizes", §5.2), and issues **creation
+//! redirects** when the ring cannot satisfy a request ("Instead of being
+//! placed in this tenant ring, the database will be redirected to another
+//! tenant ring that has enough capacity", §5.3.1) — the signal Figure 10
+//! plots.
+
+pub mod admission;
+pub mod slo;
+
+pub use admission::{AdmissionController, AdmissionOutcome, CreateRequest, RedirectEvent};
+pub use slo::{decode_tag, encode_tag, Slo, SloCatalog};

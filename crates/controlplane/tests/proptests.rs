@@ -1,0 +1,101 @@
+//! Property-based tests for admission control.
+
+use proptest::prelude::*;
+use toto_controlplane::admission::{AdmissionController, AdmissionOutcome, CreateRequest};
+use toto_controlplane::slo::{decode_tag, encode_tag, SloCatalog};
+use toto_fabric::cluster::{Cluster, ClusterConfig};
+use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_fabric::plb::{Plb, PlbConfig};
+use toto_simcore::time::SimTime;
+use toto_spec::EditionKind;
+
+fn ring(nodes: u32, cpu: f64) -> (Cluster, Plb, AdmissionController) {
+    let mut metrics = MetricRegistry::new();
+    let c = metrics.register(MetricDef {
+        name: "Cpu".into(),
+        node_capacity: cpu,
+        balancing_weight: 1.0,
+    });
+    let m = metrics.register(MetricDef {
+        name: "Memory".into(),
+        node_capacity: 460.0,
+        balancing_weight: 0.3,
+    });
+    let d = metrics.register(MetricDef {
+        name: "Disk".into(),
+        node_capacity: 7000.0,
+        balancing_weight: 1.0,
+    });
+    (
+        Cluster::new(ClusterConfig::uniform(nodes, metrics)),
+        Plb::new(PlbConfig::default(), 5),
+        AdmissionController::new(c, m, d),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reserved_cores_never_exceed_capacity(
+        slo_picks in prop::collection::vec(0usize..10, 1..80),
+        nodes in 2u32..10,
+    ) {
+        let catalog = SloCatalog::gen5();
+        let (mut cluster, mut plb, mut ac) = ring(nodes, 48.0);
+        let capacity = nodes as f64 * 48.0;
+        for (i, pick) in slo_picks.iter().enumerate() {
+            let slo = catalog.get(*pick).expect("ten SLOs");
+            let req = CreateRequest {
+                name: format!("db{i}"),
+                slo_index: *pick,
+                initial_disk_gb: 2.0,
+                initial_memory_gb: 0.5,
+            };
+            let outcome = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
+            // Redirect events always carry consistent accounting.
+            if let AdmissionOutcome::Redirected(ev) = &outcome {
+                prop_assert_eq!(ev.edition, slo.edition);
+                prop_assert_eq!(ev.requested_cores, slo.total_reserved_cores());
+            }
+            cluster.check_invariants();
+        }
+        let reserved: f64 = cluster.total_load(ac.cpu_metric());
+        prop_assert!(reserved <= capacity + 1e-9, "{reserved} > {capacity}");
+        prop_assert!((ac.remaining_cores(&cluster) - (capacity - reserved)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tags_round_trip_for_every_slo(pick in 0usize..10) {
+        let catalog = SloCatalog::gen5();
+        let slo = catalog.get(pick).expect("ten SLOs");
+        let tag = encode_tag(slo.edition, pick);
+        prop_assert_eq!(decode_tag(tag), (slo.edition, pick));
+    }
+
+    #[test]
+    fn admitted_services_carry_their_edition(pick in 0usize..10) {
+        let catalog = SloCatalog::gen5();
+        let (mut cluster, mut plb, mut ac) = ring(8, 96.0);
+        let slo = catalog.get(pick).expect("ten SLOs");
+        let req = CreateRequest {
+            name: "probe".into(),
+            slo_index: pick,
+            initial_disk_gb: 1.0,
+            initial_memory_gb: 0.5,
+        };
+        if let AdmissionOutcome::Admitted(id) =
+            ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO)
+        {
+            let svc = cluster.service(id).expect("admitted");
+            let (edition, idx) = decode_tag(svc.tag);
+            prop_assert_eq!(edition, slo.edition);
+            prop_assert_eq!(idx, pick);
+            let expected_replicas = match edition {
+                EditionKind::StandardGp => 1,
+                EditionKind::PremiumBc => 4,
+            };
+            prop_assert_eq!(svc.replicas.len(), expected_replicas);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # Toto — benchmarking the efficiency of an orchestrated cloud service
+//!
+//! A from-scratch reproduction of *Toto — Benchmarking the Efficiency of a
+//! Cloud Service* (Moeller, Ye, Lin, Lang — SIGMOD 2021). Toto measures
+//! how efficiently a cloud database service co-locates customers by
+//! **hijacking the resource-metric reporting path**: instead of running
+//! SQL workloads, per-node resource governors ([`toto_rgmanager`]) answer
+//! metric RPCs by sampling statistical models of production behaviour, and
+//! a [`population::PopulationManager`] drives database create/drop churn.
+//! The cluster orchestrator ([`toto_fabric`]) reacts exactly as it would
+//! in production — placing, balancing and failing over replicas — so the
+//! efficiency/QoS trade-off of any configuration can be measured reliably
+//! and repeatably.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use toto::experiment::{DensityExperiment, ExperimentOverrides};
+//! use toto_spec::ScenarioSpec;
+//!
+//! // A shortened run of the paper's gen5 stage-cluster scenario.
+//! let mut scenario = ScenarioSpec::gen5_stage_cluster(110);
+//! scenario.duration_hours = 6;
+//! let result = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+//! assert!(result.final_reserved_cores > 0.0);
+//! println!(
+//!     "reserved {:.0} cores, {} failovers, ${:.0} adjusted revenue",
+//!     result.final_reserved_cores,
+//!     result.telemetry.failover_count(None),
+//!     result.revenue.adjusted(),
+//! );
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`defaults`] — the gen5 model parameters ("trained" on the synthetic
+//!   production traces of [`toto_telemetry::synth`]).
+//! * [`bootstrap`] — the Table-2 initial population builder.
+//! * [`population`] — the Population Manager (§3.3.3).
+//! * [`experiment`] — the density-study experiment runner (§5).
+
+pub mod bootstrap;
+pub mod defaults;
+pub mod experiment;
+pub mod pools;
+pub mod population;
+
+pub use experiment::{DensityExperiment, ExperimentOverrides, ExperimentResult};
+pub use population::PopulationManager;

@@ -1,0 +1,296 @@
+//! The Population Manager.
+//!
+//! §3.3.3: "The Population Manager runs as a stateless daemon — it wakes
+//! up at the top of each hour to execute, samples from the provided
+//! models, then schedules create or drop requests for the next hour. Each
+//! create and drop request will then call the corresponding control plane
+//! API with the provided metadata (e.g., Create a 4-core local store
+//! database at 5:37pm)."
+
+use toto_controlplane::admission::CreateRequest;
+use toto_controlplane::slo::SloCatalog;
+use toto_fabric::cluster::Cluster;
+use toto_fabric::ids::ServiceId;
+use toto_models::createdrop::CreateDropModel;
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::SimTime;
+use toto_spec::population::PopulationModelSpec;
+use toto_spec::EditionKind;
+use toto_stats::binning::EqualProbabilityBins;
+
+/// One action scheduled for the coming hour.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlannedAction {
+    /// Create a database of this edition.
+    Create(EditionKind),
+    /// Drop one database of this edition.
+    Drop(EditionKind),
+}
+
+/// A planned action with its offset into the hour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedEvent {
+    /// Seconds after the top of the hour.
+    pub offset_secs: u64,
+    /// What to do.
+    pub action: PlannedAction,
+}
+
+/// The Population Manager.
+#[derive(Clone, Debug)]
+pub struct PopulationManager {
+    model: CreateDropModel,
+    slo_mix: [Vec<(usize, f64)>; 2],
+    initial_disk: [EqualProbabilityBins; 2],
+    rng: DetRng,
+    created: u64,
+}
+
+impl PopulationManager {
+    /// Build from a population spec, resolving SLO names against the
+    /// catalog. Panics on unknown SLO names or empty mixes — a
+    /// misconfigured benchmark should fail loudly at startup.
+    pub fn new(spec: &PopulationModelSpec, catalog: &SloCatalog) -> Self {
+        let resolve = |entries: &[toto_spec::population::SloMixEntry]| -> Vec<(usize, f64)> {
+            assert!(!entries.is_empty(), "SLO mix must not be empty");
+            entries
+                .iter()
+                .map(|e| {
+                    let (idx, _) = catalog
+                        .by_name(&e.slo_name)
+                        .unwrap_or_else(|| panic!("unknown SLO '{}'", e.slo_name));
+                    assert!(e.weight > 0.0, "SLO weight must be positive");
+                    (idx, e.weight)
+                })
+                .collect()
+        };
+        let bins = |edges: &[f64]| {
+            EqualProbabilityBins::from_edges(edges.to_vec())
+        };
+        PopulationManager {
+            model: CreateDropModel::new(spec.create.clone(), spec.drop.clone()),
+            slo_mix: [resolve(&spec.slo_mix[0]), resolve(&spec.slo_mix[1])],
+            initial_disk: [
+                bins(&spec.initial_disk_bins[0]),
+                bins(&spec.initial_disk_bins[1]),
+            ],
+            rng: DetRng::seed_from_u64(spec.seed),
+            created: 0,
+        }
+    }
+
+    /// The underlying create/drop model.
+    pub fn model(&self) -> &CreateDropModel {
+        &self.model
+    }
+
+    /// Wake up at the top of the hour containing `at` and plan the next
+    /// hour's creates and drops, each at a sampled minute offset.
+    pub fn plan_hour(&mut self, at: SimTime) -> Vec<PlannedEvent> {
+        let hour_start = at.truncate_to_hour();
+        let mut events = Vec::new();
+        for edition in EditionKind::ALL {
+            let creates = self.model.sample_creates(edition, hour_start, &mut self.rng);
+            for _ in 0..creates {
+                events.push(PlannedEvent {
+                    offset_secs: self.rng.next_below(3600),
+                    action: PlannedAction::Create(edition),
+                });
+            }
+            let drops = self.model.sample_drops(edition, hour_start, &mut self.rng);
+            for _ in 0..drops {
+                events.push(PlannedEvent {
+                    offset_secs: self.rng.next_below(3600),
+                    action: PlannedAction::Drop(edition),
+                });
+            }
+        }
+        // Execute in time order; ties keep planning order (deterministic).
+        events.sort_by_key(|e| e.offset_secs);
+        events
+    }
+
+    /// Materialise a create request: sample the SLO from the mix and the
+    /// initial disk from the bins.
+    pub fn make_create_request(
+        &mut self,
+        edition: EditionKind,
+        catalog: &SloCatalog,
+    ) -> (usize, CreateRequest) {
+        let mix = &self.slo_mix[edition.index()];
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.next_f64() * total;
+        let mut slo_index = mix[mix.len() - 1].0;
+        for (idx, w) in mix {
+            if pick < *w {
+                slo_index = *idx;
+                break;
+            }
+            pick -= w;
+        }
+        let slo = catalog.get(slo_index).expect("resolved at construction");
+        // Bigger SLOs carry proportionally more data (and never more than
+        // the SLO allows, nor more than a node can realistically absorb).
+        let size_scale = (slo.vcores as f64 / 4.0).max(0.7);
+        let initial_disk = (self.initial_disk[edition.index()].sample(&mut self.rng) * size_scale)
+            .clamp(0.0, slo.max_data_gb.min(1200.0));
+        self.created += 1;
+        let req = CreateRequest {
+            name: format!("{}-{}", slo.name.to_lowercase(), self.created),
+            slo_index,
+            initial_disk_gb: initial_disk,
+            initial_memory_gb: 0.5,
+            };
+        (slo_index, req)
+    }
+
+    /// Pick a live database of `edition` to drop; `None` when the ring
+    /// has none. Drops skew heavily toward *young* databases: most
+    /// dropped cloud databases are short-lived dev/test instances (the
+    /// paper defers per-database lifetime modeling to future work, §5.5 —
+    /// this is that refinement; without it, random drops of the large
+    /// bootstrap databases swamp the density signal with churn noise).
+    pub fn pick_drop_victim(
+        &mut self,
+        cluster: &Cluster,
+        edition: EditionKind,
+        disk: toto_fabric::ids::MetricId,
+    ) -> Option<ServiceId> {
+        let (young, old): (Vec<ServiceId>, Vec<ServiceId>) = cluster
+            .services()
+            .filter(|s| toto_controlplane::slo::decode_tag(s.tag).0 == edition)
+            .map(|s| (s.id, s.created_at))
+            .fold((Vec::new(), Vec::new()), |(mut y, mut o), (id, created)| {
+                if created > toto_simcore::time::SimTime::ZERO {
+                    y.push(id);
+                } else {
+                    o.push(id);
+                }
+                (y, o)
+            });
+        if young.is_empty() && old.is_empty() {
+            return None;
+        }
+        let pick_young = !young.is_empty() && (old.is_empty() || self.rng.bernoulli(0.85));
+        let pool = if pick_young { &young } else { &old };
+        // Weight victims inversely by their disk footprint: the databases
+        // customers delete are overwhelmingly small, short-lived ones,
+        // while terabyte-scale production databases persist.
+        let weights: Vec<f64> = pool
+            .iter()
+            .map(|id| {
+                let held: f64 = cluster
+                    .service(*id)
+                    .map(|s| {
+                        s.replicas
+                            .iter()
+                            .filter_map(|r| cluster.replica(*r))
+                            .map(|r| r.load[disk])
+                            .sum()
+                    })
+                    .unwrap_or(0.0);
+                1.0 / (20.0 + held)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = self.rng.next_f64() * total;
+        for (id, w) in pool.iter().zip(&weights) {
+            if pick < *w {
+                return Some(*id);
+            }
+            pick -= w;
+        }
+        pool.last().copied()
+    }
+
+    /// Databases created so far (naming counter).
+    pub fn created_count(&self) -> u64 {
+        self.created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::gen5_population_model;
+    use toto_fabric::cluster::{ClusterConfig, ServiceSpec};
+    use toto_fabric::metrics::{MetricDef, MetricRegistry};
+
+    fn manager(seed: u64) -> (PopulationManager, SloCatalog) {
+        let catalog = SloCatalog::gen5();
+        let spec = gen5_population_model(seed);
+        (PopulationManager::new(&spec, &catalog), catalog)
+    }
+
+    #[test]
+    fn plan_hour_is_sorted_and_within_hour() {
+        let (mut pm, _) = manager(1);
+        let t = SimTime::from_secs(14 * 3600 + 123);
+        let plan = pm.plan_hour(t);
+        assert!(!plan.is_empty(), "weekday peak hour should plan something");
+        assert!(plan.windows(2).all(|w| w[0].offset_secs <= w[1].offset_secs));
+        assert!(plan.iter().all(|e| e.offset_secs < 3600));
+    }
+
+    #[test]
+    fn planning_is_seed_deterministic() {
+        let (mut a, _) = manager(5);
+        let (mut b, _) = manager(5);
+        let t = SimTime::from_secs(10 * 3600);
+        assert_eq!(a.plan_hour(t), b.plan_hour(t));
+        let (mut c, _) = manager(6);
+        // A different seed should (essentially always) differ.
+        assert_ne!(a.plan_hour(t), c.plan_hour(t));
+    }
+
+    #[test]
+    fn create_requests_respect_edition_mix() {
+        let (mut pm, catalog) = manager(2);
+        for _ in 0..50 {
+            let (idx, req) = pm.make_create_request(EditionKind::PremiumBc, &catalog);
+            let slo = catalog.get(idx).unwrap();
+            assert_eq!(slo.edition, EditionKind::PremiumBc);
+            assert!(req.initial_disk_gb >= 5.0, "BC initial disk from BC bins");
+            assert_eq!(req.slo_index, idx);
+        }
+        let (_, req) = pm.make_create_request(EditionKind::StandardGp, &catalog);
+        assert!(req.initial_disk_gb <= 8.0, "GP tempDB stays small");
+    }
+
+    #[test]
+    fn request_names_are_unique() {
+        let (mut pm, catalog) = manager(3);
+        let (_, a) = pm.make_create_request(EditionKind::StandardGp, &catalog);
+        let (_, b) = pm.make_create_request(EditionKind::StandardGp, &catalog);
+        assert_ne!(a.name, b.name);
+        assert_eq!(pm.created_count(), 2);
+    }
+
+    #[test]
+    fn drop_victims_match_edition() {
+        let (mut pm, _catalog) = manager(4);
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef { name: "Cpu".into(), node_capacity: 96.0, balancing_weight: 1.0 });
+        let mut cluster = Cluster::new(ClusterConfig::uniform(3, metrics));
+        // One GP service (tag encodes edition), no BC.
+        let spec = ServiceSpec {
+            name: "gp".into(),
+            tag: toto_controlplane::slo::encode_tag(EditionKind::StandardGp, 0),
+            replica_count: 1,
+            default_load: cluster.metrics().zero_load(),
+        };
+        let id = cluster.add_service(&spec, &[toto_fabric::ids::NodeId(0)], SimTime::ZERO);
+        let disk = toto_fabric::ids::MetricId(0);
+        assert_eq!(pm.pick_drop_victim(&cluster, EditionKind::StandardGp, disk), Some(id));
+        assert_eq!(pm.pick_drop_victim(&cluster, EditionKind::PremiumBc, disk), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SLO")]
+    fn unknown_slo_name_panics_at_startup() {
+        let catalog = SloCatalog::gen5();
+        let mut spec = gen5_population_model(1);
+        spec.slo_mix[0][0].slo_name = "HS_2".into();
+        let _ = PopulationManager::new(&spec, &catalog);
+    }
+}

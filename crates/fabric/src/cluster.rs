@@ -1,0 +1,557 @@
+//! Cluster state: nodes, services, replicas and load accounting.
+//!
+//! The cluster is pure state plus invariant-preserving mutations; *policy*
+//! (where to place, what to move) lives in [`crate::plb`]. All collections
+//! iterate in deterministic order so that experiment runs are reproducible
+//! given fixed seeds.
+
+use crate::ids::{MetricId, NodeId, ReplicaId, ServiceId};
+use crate::metrics::{LoadVec, MetricRegistry};
+use std::collections::BTreeMap;
+use toto_simcore::time::SimTime;
+
+/// Role of a replica. Single-replica services have a primary only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Serves writes; its unavailability is customer-visible.
+    Primary,
+    /// Standby copy (local-store editions run three of these).
+    Secondary,
+}
+
+/// One replica of a service, pinned to a node.
+#[derive(Clone, Debug)]
+pub struct Replica {
+    /// Unique id.
+    pub id: ReplicaId,
+    /// Owning service.
+    pub service: ServiceId,
+    /// Node currently hosting the replica.
+    pub node: NodeId,
+    /// Current role.
+    pub role: ReplicaRole,
+    /// Last reported load per metric ("it is the responsibility of each
+    /// individual database to report their own load to the PLB", §3.2).
+    pub load: LoadVec,
+}
+
+/// A deployed service (a database, from the upper layers' view).
+#[derive(Clone, Debug)]
+pub struct Service {
+    /// Unique id.
+    pub id: ServiceId,
+    /// Human-readable name.
+    pub name: String,
+    /// Opaque tag interpreted by upper layers (edition/SLO encoding).
+    pub tag: u64,
+    /// Replica ids, primary first by construction (order maintained on
+    /// promotion).
+    pub replicas: Vec<ReplicaId>,
+    /// Creation time.
+    pub created_at: SimTime,
+}
+
+/// Everything needed to create a service (placement is decided by the PLB
+/// and passed separately).
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Opaque tag for upper layers.
+    pub tag: u64,
+    /// Number of replicas to place on distinct nodes.
+    pub replica_count: u32,
+    /// Initial load each replica reports upon placement.
+    pub default_load: LoadVec,
+}
+
+/// A cluster node with its aggregate load view.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Node id.
+    pub id: NodeId,
+    /// Fault domain this node belongs to.
+    pub fault_domain: u32,
+    /// Aggregate reported load per metric (the PLB's "centralized view of
+    /// the load on each node", §3.1).
+    pub load: LoadVec,
+    /// Replicas hosted here, in deterministic order.
+    pub replicas: Vec<ReplicaId>,
+    /// False while the node is drained for maintenance.
+    pub up: bool,
+}
+
+/// Static cluster configuration: homogeneous nodes (SQL DB rings "can also
+/// be considered homogeneous in their hardware SKU", §2) and the governed
+/// metrics with their logical capacities.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of data-plane nodes.
+    pub node_count: u32,
+    /// Metric definitions including per-node logical capacities.
+    pub metrics: MetricRegistry,
+    /// Number of fault domains. Node `i` lives in domain `i % fault_domains`
+    /// (Service Fabric spreads replicas across fault domains so a rack or
+    /// power failure cannot take out a whole replica set). `1` disables
+    /// the constraint.
+    pub fault_domains: u32,
+}
+
+impl ClusterConfig {
+    /// A configuration with a single fault domain (no spread constraint).
+    pub fn uniform(node_count: u32, metrics: MetricRegistry) -> Self {
+        ClusterConfig {
+            node_count,
+            metrics,
+            fault_domains: 1,
+        }
+    }
+}
+
+/// The simulated Service Fabric cluster.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    metrics: MetricRegistry,
+    nodes: Vec<Node>,
+    services: BTreeMap<ServiceId, Service>,
+    replicas: BTreeMap<ReplicaId, Replica>,
+    next_service: u64,
+    next_replica: u64,
+}
+
+impl Cluster {
+    /// Build an empty cluster from its configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.node_count > 0, "cluster needs at least one node");
+        assert!(!config.metrics.is_empty(), "cluster needs at least one metric");
+        assert!(config.fault_domains > 0, "cluster needs at least one fault domain");
+        let nodes = (0..config.node_count)
+            .map(|i| Node {
+                id: NodeId(i),
+                fault_domain: i % config.fault_domains,
+                load: config.metrics.zero_load(),
+                replicas: Vec::new(),
+                up: true,
+            })
+            .collect();
+        Cluster {
+            metrics: config.metrics,
+            nodes,
+            services: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+            next_service: 0,
+            next_replica: 0,
+        }
+    }
+
+    /// The metric registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All services in id order.
+    pub fn services(&self) -> impl Iterator<Item = &Service> {
+        self.services.values()
+    }
+
+    /// Number of live services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// One service.
+    pub fn service(&self, id: ServiceId) -> Option<&Service> {
+        self.services.get(&id)
+    }
+
+    /// One replica.
+    pub fn replica(&self, id: ReplicaId) -> Option<&Replica> {
+        self.replicas.get(&id)
+    }
+
+    /// All replicas in id order.
+    pub fn replicas(&self) -> impl Iterator<Item = &Replica> {
+        self.replicas.values()
+    }
+
+    /// The primary replica of a service.
+    pub fn primary_of(&self, service: ServiceId) -> Option<&Replica> {
+        let svc = self.services.get(&service)?;
+        svc.replicas
+            .iter()
+            .filter_map(|r| self.replicas.get(r))
+            .find(|r| r.role == ReplicaRole::Primary)
+    }
+
+    /// Cluster-wide aggregate load for a metric.
+    pub fn total_load(&self, metric: MetricId) -> f64 {
+        self.nodes.iter().map(|n| n.load[metric]).sum()
+    }
+
+    /// Cluster-wide logical capacity for a metric (capacity × up nodes).
+    pub fn total_capacity(&self, metric: MetricId) -> f64 {
+        let per_node = self.metrics.def(metric).node_capacity;
+        per_node * self.nodes.iter().filter(|n| n.up).count() as f64
+    }
+
+    /// Create a service with replicas on the given nodes (first node hosts
+    /// the primary). Panics on duplicate or out-of-range nodes — the PLB
+    /// is responsible for passing a legal placement.
+    pub fn add_service(
+        &mut self,
+        spec: &ServiceSpec,
+        placement: &[NodeId],
+        now: SimTime,
+    ) -> ServiceId {
+        assert_eq!(
+            placement.len(),
+            spec.replica_count as usize,
+            "placement arity mismatch"
+        );
+        assert_eq!(
+            spec.default_load.len(),
+            self.metrics.len(),
+            "default load arity mismatch"
+        );
+        for (i, n) in placement.iter().enumerate() {
+            assert!((n.0 as usize) < self.nodes.len(), "unknown node {n}");
+            assert!(
+                !placement[..i].contains(n),
+                "replicas of one service must land on distinct nodes"
+            );
+        }
+        let service_id = ServiceId(self.next_service);
+        self.next_service += 1;
+        let mut replica_ids = Vec::with_capacity(placement.len());
+        for (i, &node) in placement.iter().enumerate() {
+            let replica_id = ReplicaId(self.next_replica);
+            self.next_replica += 1;
+            let role = if i == 0 {
+                ReplicaRole::Primary
+            } else {
+                ReplicaRole::Secondary
+            };
+            let replica = Replica {
+                id: replica_id,
+                service: service_id,
+                node,
+                role,
+                load: spec.default_load.clone(),
+            };
+            self.nodes[node.0 as usize].load.add(&replica.load);
+            self.nodes[node.0 as usize].replicas.push(replica_id);
+            self.replicas.insert(replica_id, replica);
+            replica_ids.push(replica_id);
+        }
+        self.services.insert(
+            service_id,
+            Service {
+                id: service_id,
+                name: spec.name.clone(),
+                tag: spec.tag,
+                replicas: replica_ids,
+                created_at: now,
+            },
+        );
+        service_id
+    }
+
+    /// Delete a service, releasing all replica load. Returns the service
+    /// record, or `None` if the id is unknown.
+    pub fn remove_service(&mut self, id: ServiceId) -> Option<Service> {
+        let svc = self.services.remove(&id)?;
+        for rid in &svc.replicas {
+            if let Some(rep) = self.replicas.remove(rid) {
+                let node = &mut self.nodes[rep.node.0 as usize];
+                node.load.sub_clamped(&rep.load);
+                node.replicas.retain(|r| r != rid);
+            }
+        }
+        Some(svc)
+    }
+
+    /// Update one metric of one replica's reported load; node aggregates
+    /// follow. Returns the previous value. Panics on unknown replica.
+    pub fn report_load(&mut self, replica: ReplicaId, metric: MetricId, value: f64) -> f64 {
+        let rep = self
+            .replicas
+            .get_mut(&replica)
+            .unwrap_or_else(|| panic!("report_load: unknown replica {replica}"));
+        let prev = rep.load[metric];
+        rep.load[metric] = value;
+        let node = &mut self.nodes[rep.node.0 as usize];
+        node.load[metric] = (node.load[metric] - prev + value).max(0.0);
+        prev
+    }
+
+    /// Move a replica to another node, carrying its reported load.
+    /// Panics if the destination already hosts a replica of the service.
+    pub fn move_replica(&mut self, replica: ReplicaId, to: NodeId) {
+        let rep = self
+            .replicas
+            .get(&replica)
+            .unwrap_or_else(|| panic!("move_replica: unknown replica {replica}"));
+        let service = rep.service;
+        let from = rep.node;
+        assert_ne!(from, to, "move_replica to the same node");
+        let sibling_on_target = self.nodes[to.0 as usize]
+            .replicas
+            .iter()
+            .any(|r| self.replicas[r].service == service);
+        assert!(
+            !sibling_on_target,
+            "destination {to} already hosts a replica of {service}"
+        );
+        let rep = self.replicas.get_mut(&replica).expect("checked above");
+        rep.node = to;
+        let load = rep.load.clone();
+        let from_node = &mut self.nodes[from.0 as usize];
+        from_node.load.sub_clamped(&load);
+        from_node.replicas.retain(|r| *r != replica);
+        let to_node = &mut self.nodes[to.0 as usize];
+        to_node.load.add(&load);
+        to_node.replicas.push(replica);
+    }
+
+    /// Promote a secondary to primary, demoting the current primary.
+    /// Panics if the replica is unknown; a no-op if it is already primary.
+    pub fn promote(&mut self, replica: ReplicaId) {
+        let service = self
+            .replicas
+            .get(&replica)
+            .unwrap_or_else(|| panic!("promote: unknown replica {replica}"))
+            .service;
+        let svc = self.services.get(&service).expect("replica's service exists");
+        let replica_ids = svc.replicas.clone();
+        for rid in replica_ids {
+            let rep = self.replicas.get_mut(&rid).expect("service replica exists");
+            rep.role = if rid == replica {
+                ReplicaRole::Primary
+            } else {
+                ReplicaRole::Secondary
+            };
+        }
+    }
+
+    /// Nodes whose aggregate load exceeds logical capacity, with the
+    /// violated metric. A node can appear once per violated metric.
+    /// Deterministic order: by node id, then metric id.
+    pub fn violations(&self) -> Vec<(NodeId, MetricId)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for (mid, def) in self.metrics.iter() {
+                if node.load[mid] > def.node_capacity {
+                    out.push((node.id, mid));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mark a node as draining (excluded as a placement/failover target).
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.nodes[node.0 as usize].up = up;
+    }
+
+    /// Verify internal consistency; used by tests and property checks.
+    /// Panics with a description on the first violated invariant.
+    pub fn check_invariants(&self) {
+        for node in &self.nodes {
+            let mut expect = self.metrics.zero_load();
+            for rid in &node.replicas {
+                let rep = &self.replicas[rid];
+                assert_eq!(rep.node, node.id, "{rid} host mismatch");
+                expect.add(&rep.load);
+            }
+            for (mid, _) in self.metrics.iter() {
+                let diff = (expect[mid] - node.load[mid]).abs();
+                assert!(
+                    diff < 1e-6,
+                    "{}: aggregate {} != sum {} for {mid}",
+                    node.id,
+                    node.load[mid],
+                    expect[mid]
+                );
+            }
+        }
+        for svc in self.services.values() {
+            let primaries = svc
+                .replicas
+                .iter()
+                .filter(|r| self.replicas[*r].role == ReplicaRole::Primary)
+                .count();
+            assert_eq!(primaries, 1, "{} must have exactly one primary", svc.id);
+            let mut nodes: Vec<NodeId> =
+                svc.replicas.iter().map(|r| self.replicas[r].node).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(
+                nodes.len(),
+                svc.replicas.len(),
+                "{} has co-located replicas",
+                svc.id
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricDef;
+
+    fn two_metric_cluster(nodes: u32) -> (Cluster, MetricId, MetricId) {
+        let mut metrics = MetricRegistry::new();
+        let cpu = metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let disk = metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: 1000.0,
+            balancing_weight: 1.0,
+        });
+        let cluster = Cluster::new(ClusterConfig {
+            node_count: nodes,
+            metrics,
+            fault_domains: 1,
+        });
+        (cluster, cpu, disk)
+    }
+
+    fn spec(cluster: &Cluster, cpu_load: f64, disk_load: f64, replicas: u32) -> ServiceSpec {
+        let mut load = cluster.metrics().zero_load();
+        load[MetricId(0)] = cpu_load;
+        load[MetricId(1)] = disk_load;
+        ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: replicas,
+            default_load: load,
+        }
+    }
+
+    #[test]
+    fn add_service_places_primary_first() {
+        let (mut c, cpu, _) = two_metric_cluster(4);
+        let s = spec(&c, 4.0, 50.0, 3);
+        let id = c.add_service(&s, &[NodeId(2), NodeId(0), NodeId(1)], SimTime::ZERO);
+        let svc = c.service(id).unwrap();
+        assert_eq!(svc.replicas.len(), 3);
+        let primary = c.primary_of(id).unwrap();
+        assert_eq!(primary.node, NodeId(2));
+        assert_eq!(c.node(NodeId(2)).load[cpu], 4.0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn remove_service_releases_load() {
+        let (mut c, cpu, disk) = two_metric_cluster(3);
+        let s = spec(&c, 8.0, 100.0, 2);
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1)], SimTime::ZERO);
+        assert_eq!(c.total_load(cpu), 16.0);
+        let svc = c.remove_service(id).unwrap();
+        assert_eq!(svc.id, id);
+        assert_eq!(c.total_load(cpu), 0.0);
+        assert_eq!(c.total_load(disk), 0.0);
+        assert_eq!(c.service_count(), 0);
+        assert!(c.remove_service(id).is_none());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn report_load_updates_node_aggregate() {
+        let (mut c, _, disk) = two_metric_cluster(2);
+        let s = spec(&c, 2.0, 10.0, 1);
+        let id = c.add_service(&s, &[NodeId(1)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        let prev = c.report_load(rid, disk, 25.0);
+        assert_eq!(prev, 10.0);
+        assert_eq!(c.node(NodeId(1)).load[disk], 25.0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn move_replica_transfers_load() {
+        let (mut c, cpu, _) = two_metric_cluster(3);
+        let s = spec(&c, 6.0, 30.0, 1);
+        let id = c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        c.move_replica(rid, NodeId(2));
+        assert_eq!(c.node(NodeId(0)).load[cpu], 0.0);
+        assert_eq!(c.node(NodeId(2)).load[cpu], 6.0);
+        assert_eq!(c.replica(rid).unwrap().node, NodeId(2));
+        c.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosts a replica")]
+    fn move_onto_sibling_panics() {
+        let (mut c, _, _) = two_metric_cluster(3);
+        let s = spec(&c, 1.0, 1.0, 2);
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        c.move_replica(rid, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn duplicate_placement_panics() {
+        let (mut c, _, _) = two_metric_cluster(3);
+        let s = spec(&c, 1.0, 1.0, 2);
+        c.add_service(&s, &[NodeId(0), NodeId(0)], SimTime::ZERO);
+    }
+
+    #[test]
+    fn promote_swaps_roles() {
+        let (mut c, _, _) = two_metric_cluster(4);
+        let s = spec(&c, 1.0, 1.0, 3);
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1), NodeId(2)], SimTime::ZERO);
+        let secondary = c.service(id).unwrap().replicas[1];
+        c.promote(secondary);
+        assert_eq!(c.primary_of(id).unwrap().id, secondary);
+        c.check_invariants();
+        // Promoting the current primary is a no-op that keeps one primary.
+        c.promote(secondary);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn violations_detected_per_metric() {
+        let (mut c, cpu, disk) = two_metric_cluster(2);
+        let s = spec(&c, 50.0, 600.0, 1);
+        c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        // Node 0: cpu 100 > 96, disk 1200 > 1000 -> two violations.
+        let v = c.violations();
+        assert_eq!(v, vec![(NodeId(0), cpu), (NodeId(0), disk)]);
+    }
+
+    #[test]
+    fn totals_and_capacity() {
+        let (mut c, cpu, _) = two_metric_cluster(3);
+        let s = spec(&c, 10.0, 5.0, 1);
+        c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&s, &[NodeId(1)], SimTime::ZERO);
+        assert_eq!(c.total_load(cpu), 20.0);
+        assert_eq!(c.total_capacity(cpu), 3.0 * 96.0);
+        c.set_node_up(NodeId(2), false);
+        assert_eq!(c.total_capacity(cpu), 2.0 * 96.0);
+    }
+}

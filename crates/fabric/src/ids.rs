@@ -1,0 +1,80 @@
+//! Strongly typed identifiers for cluster entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A cluster node.
+    NodeId,
+    u32,
+    "node-"
+);
+id_type!(
+    /// A service (one database, from the upper layers' perspective).
+    ServiceId,
+    u64,
+    "svc-"
+);
+id_type!(
+    /// One replica of a service.
+    ReplicaId,
+    u64,
+    "rep-"
+);
+id_type!(
+    /// A registered dynamic load metric.
+    MetricId,
+    u32,
+    "metric-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(ServiceId(12).to_string(), "svc-12");
+        assert_eq!(ReplicaId(7).to_string(), "rep-7");
+        assert_eq!(MetricId(0).to_string(), "metric-0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        assert_eq!(s.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

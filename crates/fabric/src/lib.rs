@@ -1,0 +1,40 @@
+//! A Service Fabric style cluster orchestrator, simulated.
+//!
+//! §3.1 describes everything Toto needs from Service Fabric: clusters of
+//! nodes hosting service replicas; *dynamic load metrics* reported by every
+//! replica and aggregated per node; per-node *logical capacities* per
+//! metric; and a Placement and Load Balancer (PLB) that places replicas,
+//! balances load, and — when a node's aggregate load exceeds its logical
+//! capacity — *fails over* a replica to another node. The PLB "uses the
+//! Simulated Annealing algorithm to decide where to place replicas" (§5.2),
+//! which is why repeat runs are not bit-identical even with identical
+//! inputs.
+//!
+//! This crate implements those contracts:
+//!
+//! * [`metrics`] — arbitrary named metrics with per-node logical capacities
+//!   ("a metric can be arbitrary and model anything", §3.1).
+//! * [`cluster`] — nodes, services, replicas, load aggregation, capacity
+//!   violation detection and the replica life-cycle.
+//! * [`plb`] — simulated-annealing placement, violation-driven failovers
+//!   (move a replica off the hot node, promoting a secondary when the
+//!   primary moves) and proactive balancing.
+//! * [`naming`] — the Naming Service, Service Fabric's "highly available
+//!   metastore database" (§3.3.1) that Toto uses both for the model XML
+//!   and for persisted metric state.
+//!
+//! The crate is deliberately independent of Toto's domain vocabulary: it
+//! knows nothing about database editions or SLOs. Services carry an opaque
+//! `tag` that upper layers (control plane, telemetry) interpret.
+
+pub mod cluster;
+pub mod ids;
+pub mod metrics;
+pub mod naming;
+pub mod plb;
+
+pub use cluster::{Cluster, ClusterConfig, Replica, ReplicaRole, Service, ServiceSpec};
+pub use ids::{MetricId, NodeId, ReplicaId, ServiceId};
+pub use metrics::{LoadVec, MetricDef, MetricRegistry};
+pub use naming::NamingService;
+pub use plb::{FailoverEvent, FailoverReason, PlacementError, Plb, PlbConfig};

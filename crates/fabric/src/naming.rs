@@ -1,0 +1,163 @@
+//! The Naming Service — Service Fabric's highly available metastore.
+//!
+//! §3.3.1: "Naming Service is a highly available metastore database in
+//! Service Fabric. In production today, Azure SQL DB uses it to store
+//! metadata about the services that are running in the cluster." Toto uses
+//! it twice over: the orchestrator writes the serialized model XML here
+//! (re-read by every RgManager every 15 minutes), and §3.3.2 stores the
+//! previously reported value of *persisted* metrics here so a newly
+//! promoted primary reports the same disk usage as the old one.
+//!
+//! The simulation keeps it as a versioned key-value store with operation
+//! counters (so benches can report naming-service traffic).
+
+use std::collections::BTreeMap;
+
+/// A value plus the version at which it was last written.
+#[derive(Clone, Debug, PartialEq)]
+struct Entry {
+    value: String,
+    version: u64,
+}
+
+/// Operation counters for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NamingStats {
+    /// Total writes (including overwrites).
+    pub writes: u64,
+    /// Total reads (hits and misses).
+    pub reads: u64,
+    /// Total deletes of existing keys.
+    pub deletes: u64,
+}
+
+/// The simulated Naming Service.
+#[derive(Clone, Debug, Default)]
+pub struct NamingService {
+    entries: BTreeMap<String, Entry>,
+    counter: u64,
+    stats: NamingStats,
+}
+
+impl NamingService {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write (or overwrite) a key. Returns the new version.
+    pub fn write(&mut self, key: &str, value: impl Into<String>) -> u64 {
+        self.counter += 1;
+        self.stats.writes += 1;
+        let version = self.counter;
+        self.entries.insert(
+            key.to_string(),
+            Entry {
+                value: value.into(),
+                version,
+            },
+        );
+        version
+    }
+
+    /// Read a key's value.
+    pub fn read(&mut self, key: &str) -> Option<String> {
+        self.stats.reads += 1;
+        self.entries.get(key).map(|e| e.value.clone())
+    }
+
+    /// Read a key's value together with its version; useful for callers
+    /// that only want to re-parse when the blob changed (RgManager's
+    /// 15-minute refresh does exactly this).
+    pub fn read_versioned(&mut self, key: &str) -> Option<(String, u64)> {
+        self.stats.reads += 1;
+        self.entries.get(key).map(|e| (e.value.clone(), e.version))
+    }
+
+    /// Delete a key. Returns true if it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        let existed = self.entries.remove(key).is_some();
+        if existed {
+            self.stats.deletes += 1;
+        }
+        existed
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys with a given prefix, in lexicographic order.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NamingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut ns = NamingService::new();
+        ns.write("toto/models", "<xml/>");
+        assert_eq!(ns.read("toto/models"), Some("<xml/>".into()));
+        assert_eq!(ns.read("missing"), None);
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn versions_increase_on_overwrite() {
+        let mut ns = NamingService::new();
+        let v1 = ns.write("k", "a");
+        let v2 = ns.write("k", "b");
+        assert!(v2 > v1);
+        let (val, ver) = ns.read_versioned("k").unwrap();
+        assert_eq!(val, "b");
+        assert_eq!(ver, v2);
+    }
+
+    #[test]
+    fn delete_and_stats() {
+        let mut ns = NamingService::new();
+        ns.write("a", "1");
+        ns.read("a");
+        ns.read("nope");
+        assert!(ns.delete("a"));
+        assert!(!ns.delete("a"));
+        let st = ns.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.deletes, 1);
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn prefix_scan_is_sorted() {
+        let mut ns = NamingService::new();
+        ns.write("toto/state/rep-2", "x");
+        ns.write("toto/state/rep-1", "y");
+        ns.write("toto/models", "z");
+        ns.write("other", "w");
+        assert_eq!(
+            ns.keys_with_prefix("toto/state/"),
+            vec!["toto/state/rep-1".to_string(), "toto/state/rep-2".to_string()]
+        );
+        assert_eq!(ns.keys_with_prefix("zzz"), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,951 @@
+//! The Placement and Load Balancer.
+//!
+//! §3.1: the PLB "decides the placement and movement of databases",
+//! aggregates the dynamic load metrics into a per-node view, and, when a
+//! node's aggregate load exceeds its logical capacity, "will select a
+//! replica on the heavily loaded node and move it to another node in the
+//! cluster" — a *failover*. §5.2 notes the PLB "uses the Simulated
+//! Annealing algorithm to decide where to place replicas … to prevent
+//! getting stuck in locally optimal solutions", and that its seed cannot
+//! be fixed across runs, the source of the non-determinism quantified in
+//! §5.3.4.
+//!
+//! The implementation mirrors that structure:
+//!
+//! * **Placement** starts from a greedy least-cost assignment and runs a
+//!   short simulated-annealing refinement over alternative node choices.
+//! * **Violation fixing** walks violating `(node, metric)` pairs in
+//!   deterministic order, picks the cheapest replica whose departure
+//!   clears the violation (preferring secondaries — moving a primary is
+//!   customer-visible), and anneal-selects a feasible target node. When a
+//!   primary must move, a secondary is promoted first, exactly like SF's
+//!   swap-primary behaviour.
+//! * **Balancing** proactively moves replicas from the hottest node when
+//!   utilization spread exceeds a threshold.
+
+use crate::cluster::{Cluster, ReplicaRole, ServiceSpec};
+use crate::ids::{MetricId, NodeId, ReplicaId, ServiceId};
+use crate::metrics::LoadVec;
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::SimTime;
+
+/// PLB tuning knobs.
+#[derive(Clone, Debug)]
+pub struct PlbConfig {
+    /// Simulated-annealing iterations per placement decision.
+    pub anneal_iterations: u32,
+    /// Initial annealing temperature, in cost units.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// Upper bound on failovers performed per violation-fixing pass; the
+    /// next pass (at the next PLB tick) picks up whatever remains.
+    pub max_moves_per_pass: u32,
+    /// Fraction of logical capacity usable when *placing* new replicas.
+    /// 1.0 allows filling nodes to exactly their capacity.
+    pub placement_headroom: f64,
+    /// Utilization spread (max − min, per metric) beyond which proactive
+    /// balancing kicks in.
+    pub balancing_threshold: f64,
+}
+
+impl Default for PlbConfig {
+    fn default() -> Self {
+        PlbConfig {
+            anneal_iterations: 200,
+            initial_temperature: 0.05,
+            cooling: 0.96,
+            max_moves_per_pass: 16,
+            placement_headroom: 1.0,
+            balancing_threshold: 0.30,
+        }
+    }
+}
+
+/// Why placement failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Fewer feasible nodes than requested replicas. The control plane
+    /// reacts to this with a *creation redirect* (§5.3.1).
+    NotEnoughNodes {
+        /// Replicas requested.
+        needed: u32,
+        /// Feasible nodes found.
+        feasible: u32,
+    },
+}
+
+/// Why a replica was moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailoverReason {
+    /// A node exceeded its logical capacity in this metric.
+    CapacityViolation(MetricId),
+    /// Proactive load balancing.
+    Balancing,
+    /// The source node was drained for maintenance.
+    NodeDrain,
+}
+
+/// A replica movement, the paper's primary QoS event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailoverEvent {
+    /// When the move happened.
+    pub time: SimTime,
+    /// The service whose replica moved.
+    pub service: ServiceId,
+    /// The moved replica.
+    pub replica: ReplicaId,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Role of the moved replica *at the time the move was decided* — a
+    /// primary move is customer-visible (§3.1: "the application may
+    /// experience a brief moment of unavailability").
+    pub role: ReplicaRole,
+    /// The trigger.
+    pub reason: FailoverReason,
+    /// The secondary promoted to primary, when a primary had to move.
+    pub promoted: Option<ReplicaId>,
+}
+
+/// The Placement and Load Balancer.
+#[derive(Clone, Debug)]
+pub struct Plb {
+    config: PlbConfig,
+    rng: DetRng,
+}
+
+impl Plb {
+    /// Create a PLB with the given configuration and annealing seed.
+    pub fn new(config: PlbConfig, seed: u64) -> Self {
+        assert!(config.cooling > 0.0 && config.cooling < 1.0);
+        assert!(config.placement_headroom > 0.0);
+        Plb {
+            config,
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlbConfig {
+        &self.config
+    }
+
+    /// Weighted squared-utilization cost of a hypothetical node load.
+    fn node_cost(cluster: &Cluster, load: &LoadVec) -> f64 {
+        let mut cost = 0.0;
+        for (mid, def) in cluster.metrics().iter() {
+            let util = load[mid] / def.node_capacity;
+            cost += def.balancing_weight * util * util;
+        }
+        cost
+    }
+
+    /// Cost delta of adding `extra` to node `n`'s current load.
+    fn add_cost(cluster: &Cluster, n: NodeId, extra: &LoadVec) -> f64 {
+        let node = cluster.node(n);
+        let mut with = node.load.clone();
+        with.add(extra);
+        Self::node_cost(cluster, &with) - Self::node_cost(cluster, &node.load)
+    }
+
+    /// Cost penalty per fault-domain collision within one service's
+    /// placement. Large relative to utilization costs (which are O(1)),
+    /// so the annealer only ever accepts a collision when the domain
+    /// count forces one.
+    const DOMAIN_COLLISION_PENALTY: f64 = 10.0;
+
+    /// Number of same-domain pairs collapsed to `n - distinct_domains`.
+    fn domain_collisions(cluster: &Cluster, nodes: &[NodeId]) -> f64 {
+        let mut domains: Vec<u32> = nodes
+            .iter()
+            .map(|n| cluster.node(*n).fault_domain)
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
+        (nodes.len() - domains.len()) as f64
+    }
+
+    /// True iff `extra` fits on node `n` within `headroom × capacity`.
+    fn fits(cluster: &Cluster, n: NodeId, extra: &LoadVec, headroom: f64) -> bool {
+        let node = cluster.node(n);
+        if !node.up {
+            return false;
+        }
+        cluster
+            .metrics()
+            .iter()
+            .all(|(mid, def)| node.load[mid] + extra[mid] <= def.node_capacity * headroom)
+    }
+
+    /// Decide a placement for a new service: `replica_count` distinct
+    /// nodes, primary first. Does not mutate the cluster.
+    pub fn place_new_service(
+        &mut self,
+        cluster: &Cluster,
+        spec: &ServiceSpec,
+    ) -> Result<Vec<NodeId>, PlacementError> {
+        let k = spec.replica_count as usize;
+        assert!(k >= 1, "services need at least one replica");
+        let headroom = self.config.placement_headroom;
+        let mut feasible: Vec<NodeId> = cluster
+            .nodes()
+            .iter()
+            .filter(|n| Self::fits(cluster, n.id, &spec.default_load, headroom))
+            .map(|n| n.id)
+            .collect();
+        if feasible.len() < k {
+            return Err(PlacementError::NotEnoughNodes {
+                needed: spec.replica_count,
+                feasible: feasible.len() as u32,
+            });
+        }
+        // Greedy start: cheapest nodes by marginal cost, preferring nodes
+        // in fault domains not already used by this placement.
+        feasible.sort_by(|&a, &b| {
+            Self::add_cost(cluster, a, &spec.default_load)
+                .partial_cmp(&Self::add_cost(cluster, b, &spec.default_load))
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        });
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+        let mut used_domains: Vec<u32> = Vec::with_capacity(k);
+        for &n in &feasible {
+            if chosen.len() == k {
+                break;
+            }
+            let d = cluster.node(n).fault_domain;
+            if !used_domains.contains(&d) {
+                chosen.push(n);
+                used_domains.push(d);
+            }
+        }
+        // Fewer domains than replicas: fill with the cheapest remaining.
+        for &n in &feasible {
+            if chosen.len() == k {
+                break;
+            }
+            if !chosen.contains(&n) {
+                chosen.push(n);
+            }
+        }
+        if feasible.len() > k {
+            // Simulated-annealing refinement: try swapping a chosen node
+            // for an unchosen feasible one.
+            let mut temperature = self.config.initial_temperature;
+            let mut cost: f64 = chosen
+                .iter()
+                .map(|&n| Self::add_cost(cluster, n, &spec.default_load))
+                .sum();
+            for _ in 0..self.config.anneal_iterations {
+                let slot = self.rng.next_below(k as u64) as usize;
+                let alt = *self.rng.choose(&feasible);
+                if chosen.contains(&alt) {
+                    temperature *= self.config.cooling;
+                    continue;
+                }
+                let mut with_alt = chosen.clone();
+                with_alt[slot] = alt;
+                let delta = Self::add_cost(cluster, alt, &spec.default_load)
+                    - Self::add_cost(cluster, chosen[slot], &spec.default_load)
+                    + Self::DOMAIN_COLLISION_PENALTY
+                        * (Self::domain_collisions(cluster, &with_alt)
+                            - Self::domain_collisions(cluster, &chosen));
+                if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
+                    chosen[slot] = alt;
+                    cost += delta;
+                }
+                temperature *= self.config.cooling;
+            }
+            debug_assert!(cost.is_finite());
+        }
+        // Primary on the cheapest of the chosen nodes.
+        chosen.sort_by(|&a, &b| {
+            Self::add_cost(cluster, a, &spec.default_load)
+                .partial_cmp(&Self::add_cost(cluster, b, &spec.default_load))
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        });
+        Ok(chosen)
+    }
+
+    /// Place and create a service in one step.
+    pub fn create_service(
+        &mut self,
+        cluster: &mut Cluster,
+        spec: &ServiceSpec,
+        now: SimTime,
+    ) -> Result<ServiceId, PlacementError> {
+        let placement = self.place_new_service(cluster, spec)?;
+        Ok(cluster.add_service(spec, &placement, now))
+    }
+
+    /// Pick the replica to evict from a violating node: the cheapest
+    /// replica whose departure clears the violation, preferring
+    /// secondaries; if no single replica suffices, the largest one.
+    fn pick_eviction(
+        cluster: &Cluster,
+        node: NodeId,
+        metric: MetricId,
+    ) -> Option<ReplicaId> {
+        let n = cluster.node(node);
+        let overshoot = n.load[metric] - cluster.metrics().def(metric).node_capacity;
+        if overshoot <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(f64, bool, ReplicaId)> = None; // (move_size, is_primary, id)
+        let mut largest: Option<(f64, ReplicaId)> = None;
+        for &rid in &n.replicas {
+            let rep = cluster.replica(rid).expect("node replica exists");
+            let contribution = rep.load[metric];
+            if largest.as_ref().is_none_or(|(l, _)| contribution > *l) {
+                largest = Some((contribution, rid));
+            }
+            if contribution >= overshoot {
+                // Prefer the smallest clearing move (SF minimises the data
+                // moved, and the paper stresses avoiding Premium/BC moves —
+                // big local-store replicas only move when nothing smaller
+                // clears the violation), tie-breaking toward secondaries
+                // and then stable id order.
+                let key = (contribution, rep.role == ReplicaRole::Primary, rid);
+                let better = match &best {
+                    None => true,
+                    Some((c, p, id)) => (key.0, key.1, key.2) < (*c, *p, *id),
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, _, id)| id).or(largest.map(|(_, id)| id))
+    }
+
+    /// Anneal-select a feasible target node for moving `replica` off its
+    /// current node. Returns `None` when no node can absorb it.
+    fn pick_target(&mut self, cluster: &Cluster, replica: ReplicaId) -> Option<NodeId> {
+        let rep = cluster.replica(replica)?;
+        let service = rep.service;
+        let load = rep.load.clone();
+        let from = rep.node;
+        let candidates: Vec<NodeId> = cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.id != from)
+            .filter(|n| {
+                !n.replicas
+                    .iter()
+                    .any(|r| cluster.replica(*r).expect("exists").service == service)
+            })
+            .filter(|n| Self::fits(cluster, n.id, &load, 1.0))
+            .map(|n| n.id)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Domains already hosting a sibling replica are penalised so the
+        // spread survives failovers where possible.
+        let sibling_domains: Vec<u32> = cluster
+            .service(service)
+            .map(|svc| {
+                svc.replicas
+                    .iter()
+                    .filter(|r| **r != replica)
+                    .filter_map(|r| cluster.replica(*r))
+                    .map(|r| cluster.node(r.node).fault_domain)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let target_cost = |c: NodeId| {
+            let mut cost = Self::add_cost(cluster, c, &load);
+            if sibling_domains.contains(&cluster.node(c).fault_domain) {
+                cost += Self::DOMAIN_COLLISION_PENALTY;
+            }
+            cost
+        };
+        // Greedy best with annealing-style random exploration among the
+        // near-best alternatives.
+        let mut best = candidates[0];
+        let mut best_cost = target_cost(best);
+        for &c in &candidates[1..] {
+            let cost = target_cost(c);
+            if cost < best_cost {
+                best = c;
+                best_cost = cost;
+            }
+        }
+        let mut temperature = self.config.initial_temperature;
+        for _ in 0..(self.config.anneal_iterations / 4).max(1) {
+            let alt = *self.rng.choose(&candidates);
+            let delta = target_cost(alt) - best_cost;
+            if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
+                best = alt;
+                best_cost += delta;
+            }
+            temperature *= self.config.cooling;
+        }
+        Some(best)
+    }
+
+    /// Execute one move, handling primary promotion, and build the event.
+    fn execute_move(
+        &mut self,
+        cluster: &mut Cluster,
+        replica: ReplicaId,
+        to: NodeId,
+        reason: FailoverReason,
+        now: SimTime,
+    ) -> FailoverEvent {
+        let rep = cluster.replica(replica).expect("replica exists").clone();
+        let mut promoted = None;
+        if rep.role == ReplicaRole::Primary {
+            let svc = cluster.service(rep.service).expect("service exists");
+            // Promote the first secondary in service order (deterministic).
+            if let Some(&sec) = svc
+                .replicas
+                .iter()
+                .find(|r| **r != replica && cluster.replica(**r).expect("exists").role == ReplicaRole::Secondary)
+            {
+                cluster.promote(sec);
+                promoted = Some(sec);
+            }
+        }
+        cluster.move_replica(replica, to);
+        FailoverEvent {
+            time: now,
+            service: rep.service,
+            replica,
+            from: rep.node,
+            to,
+            role: rep.role,
+            reason,
+            promoted,
+        }
+    }
+
+    /// Fix capacity violations by failing over replicas, up to
+    /// `max_moves_per_pass` moves. Violations that cannot be fixed (no
+    /// feasible target anywhere) are left standing for the next pass.
+    pub fn fix_violations(&mut self, cluster: &mut Cluster, now: SimTime) -> Vec<FailoverEvent> {
+        let mut events = Vec::new();
+        let mut moves = 0u32;
+        loop {
+            if moves >= self.config.max_moves_per_pass {
+                break;
+            }
+            let violations = cluster.violations();
+            if violations.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for (node, metric) in violations {
+                if moves >= self.config.max_moves_per_pass {
+                    break;
+                }
+                // Re-check: an earlier move this pass may have resolved it.
+                let def = cluster.metrics().def(metric).node_capacity;
+                if cluster.node(node).load[metric] <= def {
+                    continue;
+                }
+                let Some(victim) = Self::pick_eviction(cluster, node, metric) else {
+                    continue;
+                };
+                let Some(target) = self.pick_target(cluster, victim) else {
+                    continue;
+                };
+                events.push(self.execute_move(
+                    cluster,
+                    victim,
+                    target,
+                    FailoverReason::CapacityViolation(metric),
+                    now,
+                ));
+                moves += 1;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        events
+    }
+
+    /// Proactive balancing: while some metric's node-utilization spread
+    /// exceeds the threshold, move a replica from the hottest node to a
+    /// cooler one. Bounded by half the per-pass move budget.
+    pub fn balance(&mut self, cluster: &mut Cluster, now: SimTime) -> Vec<FailoverEvent> {
+        let mut events = Vec::new();
+        let budget = (self.config.max_moves_per_pass / 2).max(1);
+        for _ in 0..budget {
+            let Some((metric, hot)) = self.most_imbalanced(cluster) else {
+                break;
+            };
+            // Try replicas on the hot node from largest contribution down.
+            let mut replicas: Vec<(f64, ReplicaId)> = cluster
+                .node(hot)
+                .replicas
+                .iter()
+                .map(|&r| (cluster.replica(r).expect("exists").load[metric], r))
+                .collect();
+            replicas.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+            let before = Self::node_cost(cluster, &cluster.node(hot).load);
+            let mut moved = false;
+            for (_, rid) in replicas {
+                if let Some(target) = self.pick_target(cluster, rid) {
+                    let load = cluster.replica(rid).expect("exists").load.clone();
+                    // Only move if it strictly improves the imbalance.
+                    let gain = {
+                        let mut without = cluster.node(hot).load.clone();
+                        without.sub_clamped(&load);
+                        before - Self::node_cost(cluster, &without)
+                    };
+                    let pay = Self::add_cost(cluster, target, &load);
+                    if gain > pay {
+                        events.push(self.execute_move(
+                            cluster,
+                            rid,
+                            target,
+                            FailoverReason::Balancing,
+                            now,
+                        ));
+                        moved = true;
+                        break;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        events
+    }
+
+    /// The metric with the largest utilization spread beyond the
+    /// threshold, plus its hottest node.
+    fn most_imbalanced(&self, cluster: &Cluster) -> Option<(MetricId, NodeId)> {
+        let mut worst: Option<(f64, MetricId, NodeId)> = None;
+        for (mid, def) in cluster.metrics().iter() {
+            let mut max_u = f64::NEG_INFINITY;
+            let mut min_u = f64::INFINITY;
+            let mut hot = NodeId(0);
+            for n in cluster.nodes().iter().filter(|n| n.up) {
+                let u = n.load[mid] / def.node_capacity;
+                if u > max_u {
+                    max_u = u;
+                    hot = n.id;
+                }
+                min_u = min_u.min(u);
+            }
+            let spread = max_u - min_u;
+            if spread > self.config.balancing_threshold
+                && worst.as_ref().is_none_or(|(s, _, _)| spread > *s)
+            {
+                worst = Some((spread, mid, hot));
+            }
+        }
+        worst.map(|(_, m, n)| (m, n))
+    }
+
+    /// Drain a node: mark it down and move every replica elsewhere.
+    /// Replicas with no feasible target stay (and the node stays down);
+    /// production would block the upgrade domain in the same situation.
+    pub fn drain_node(
+        &mut self,
+        cluster: &mut Cluster,
+        node: NodeId,
+        now: SimTime,
+    ) -> Vec<FailoverEvent> {
+        cluster.set_node_up(node, false);
+        let mut events = Vec::new();
+        let replicas: Vec<ReplicaId> = cluster.node(node).replicas.clone();
+        for rid in replicas {
+            if let Some(target) = self.pick_target(cluster, rid) {
+                events.push(self.execute_move(cluster, rid, target, FailoverReason::NodeDrain, now));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::metrics::{MetricDef, MetricRegistry};
+
+    fn cluster(nodes: u32, cpu_cap: f64, disk_cap: f64) -> (Cluster, MetricId, MetricId) {
+        let mut metrics = MetricRegistry::new();
+        let cpu = metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: cpu_cap,
+            balancing_weight: 1.0,
+        });
+        let disk = metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: disk_cap,
+            balancing_weight: 1.0,
+        });
+        (
+            Cluster::new(ClusterConfig {
+                node_count: nodes,
+                metrics,
+                fault_domains: 1,
+            }),
+            cpu,
+            disk,
+        )
+    }
+
+    fn spec(c: &Cluster, cpu: f64, disk: f64, replicas: u32) -> ServiceSpec {
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = cpu;
+        load[MetricId(1)] = disk;
+        ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: replicas,
+            default_load: load,
+        }
+    }
+
+    fn plb(seed: u64) -> Plb {
+        Plb::new(PlbConfig::default(), seed)
+    }
+
+    #[test]
+    fn placement_spreads_replicas() {
+        let (mut c, _, _) = cluster(6, 96.0, 1000.0);
+        let mut p = plb(1);
+        let s = spec(&c, 8.0, 50.0, 4);
+        let placement = p.place_new_service(&c, &s).unwrap();
+        assert_eq!(placement.len(), 4);
+        let mut sorted = placement.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "distinct nodes");
+        c.add_service(&s, &placement, SimTime::ZERO);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn placement_prefers_empty_nodes() {
+        let (mut c, _, _) = cluster(3, 96.0, 1000.0);
+        let mut p = plb(2);
+        // Pre-load node 0 heavily.
+        let heavy = spec(&c, 80.0, 100.0, 1);
+        c.add_service(&heavy, &[NodeId(0)], SimTime::ZERO);
+        let s = spec(&c, 8.0, 10.0, 1);
+        // With two empty nodes, the PLB should avoid node 0 essentially
+        // always (annealing may explore, but the final answer is greedy).
+        let placement = p.place_new_service(&c, &s).unwrap();
+        assert_ne!(placement[0], NodeId(0));
+    }
+
+    #[test]
+    fn placement_fails_when_capacity_exhausted() {
+        let (mut c, _, _) = cluster(2, 16.0, 100.0);
+        let mut p = plb(3);
+        let filler = spec(&c, 15.0, 10.0, 1);
+        c.add_service(&filler, &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&filler, &[NodeId(1)], SimTime::ZERO);
+        let s = spec(&c, 4.0, 10.0, 1);
+        let err = p.place_new_service(&c, &s).unwrap_err();
+        assert_eq!(err, PlacementError::NotEnoughNodes { needed: 1, feasible: 0 });
+    }
+
+    #[test]
+    fn placement_needs_enough_distinct_nodes() {
+        let (c, _, _) = cluster(3, 96.0, 1000.0);
+        let mut p = plb(4);
+        let s = spec(&c, 1.0, 1.0, 4);
+        let err = p.place_new_service(&c, &s).unwrap_err();
+        assert_eq!(err, PlacementError::NotEnoughNodes { needed: 4, feasible: 3 });
+    }
+
+    #[test]
+    fn violation_triggers_failover() {
+        let (mut c, _, disk) = cluster(3, 96.0, 100.0);
+        let mut p = plb(5);
+        let a = spec(&c, 4.0, 60.0, 1);
+        let id_a = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        let b = spec(&c, 4.0, 30.0, 1);
+        c.add_service(&b, &[NodeId(0)], SimTime::ZERO);
+        // Grow a's disk beyond node capacity.
+        let rid = c.service(id_a).unwrap().replicas[0];
+        c.report_load(rid, disk, 80.0); // node 0 disk = 110 > 100
+        let events = p.fix_violations(&mut c, SimTime::from_secs(10));
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.reason, FailoverReason::CapacityViolation(disk));
+        assert_eq!(ev.from, NodeId(0));
+        assert!(c.violations().is_empty());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn smallest_clearing_replica_is_moved() {
+        let (mut c, _, disk) = cluster(3, 96.0, 100.0);
+        let mut p = plb(6);
+        let big = spec(&c, 4.0, 70.0, 1);
+        let small = spec(&c, 4.0, 0.0, 1);
+        c.add_service(&big, &[NodeId(0)], SimTime::ZERO);
+        let id_small = c.add_service(&small, &[NodeId(0)], SimTime::ZERO);
+        let rid_small = c.service(id_small).unwrap().replicas[0];
+        // Overshoot = 10; the 40 GB replica clears it, the 70 GB one also
+        // would, but the smaller clearing replica is preferred.
+        c.report_load(rid_small, disk, 40.0);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].replica, rid_small);
+    }
+
+    #[test]
+    fn primary_move_promotes_secondary() {
+        let (mut c, _, disk) = cluster(5, 96.0, 100.0);
+        let mut p = plb(7);
+        let bc = spec(&c, 8.0, 30.0, 4);
+        let id = c.add_service(&bc, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)], SimTime::ZERO);
+        let filler = spec(&c, 4.0, 60.0, 1);
+        c.add_service(&filler, &[NodeId(0)], SimTime::ZERO);
+        let primary = c.primary_of(id).unwrap().id;
+        // Grow the primary so node 0 violates disk (105 > 100) with the
+        // primary as the smallest clearing replica (45 < 60).
+        c.report_load(primary, disk, 45.0);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.replica, primary);
+        assert_eq!(ev.role, ReplicaRole::Primary);
+        let promoted = ev.promoted.expect("a secondary must be promoted");
+        assert_eq!(c.primary_of(id).unwrap().id, promoted);
+        assert_eq!(c.replica(primary).unwrap().role, ReplicaRole::Secondary);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn unresolvable_violation_is_left_standing() {
+        let (mut c, _, disk) = cluster(2, 96.0, 100.0);
+        let mut p = plb(8);
+        // Both nodes nearly full; the violating replica fits nowhere.
+        let filler = spec(&c, 4.0, 90.0, 1);
+        c.add_service(&filler, &[NodeId(1)], SimTime::ZERO);
+        let a = spec(&c, 4.0, 50.0, 1);
+        let id = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        c.report_load(rid, disk, 120.0);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert!(events.is_empty());
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn move_budget_is_respected() {
+        let (mut c, _, disk) = cluster(4, 960.0, 100.0);
+        let mut config = PlbConfig::default();
+        config.max_moves_per_pass = 2;
+        let mut p = Plb::new(config, 9);
+        // Many small services on node 0, then blow its disk capacity.
+        let mut rids = Vec::new();
+        for _ in 0..10 {
+            let s = spec(&c, 1.0, 9.0, 1);
+            let id = c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+            rids.push(c.service(id).unwrap().replicas[0]);
+        }
+        for r in &rids {
+            c.report_load(*r, disk, 15.0); // 150 total > 100
+        }
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert!(events.len() <= 2, "budget exceeded: {}", events.len());
+    }
+
+    #[test]
+    fn balance_reduces_spread() {
+        let (mut c, cpu, _) = cluster(4, 96.0, 10_000.0);
+        let mut p = plb(10);
+        for _ in 0..8 {
+            let s = spec(&c, 10.0, 10.0, 1);
+            c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        }
+        let spread_before = c.node(NodeId(0)).load[cpu] - c.node(NodeId(3)).load[cpu];
+        let events = p.balance(&mut c, SimTime::ZERO);
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.reason == FailoverReason::Balancing));
+        let spread_after = c.node(NodeId(0)).load[cpu] - c.node(NodeId(3)).load[cpu];
+        assert!(spread_after < spread_before);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn drain_empties_node_and_marks_it_down() {
+        let (mut c, _, _) = cluster(4, 96.0, 1000.0);
+        let mut p = plb(11);
+        for _ in 0..3 {
+            let s = spec(&c, 4.0, 20.0, 1);
+            c.add_service(&s, &[NodeId(2)], SimTime::ZERO);
+        }
+        let events = p.drain_node(&mut c, NodeId(2), SimTime::ZERO);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.reason == FailoverReason::NodeDrain));
+        assert!(c.node(NodeId(2)).replicas.is_empty());
+        assert!(!c.node(NodeId(2)).up);
+        // A drained node is not a placement target.
+        let s = spec(&c, 1.0, 1.0, 4);
+        let err = p.place_new_service(&c, &s).unwrap_err();
+        assert_eq!(err, PlacementError::NotEnoughNodes { needed: 4, feasible: 3 });
+        c.check_invariants();
+    }
+
+    #[test]
+    fn different_seeds_can_place_differently() {
+        let (c, _, _) = cluster(10, 96.0, 1000.0);
+        // Equalise: all nodes empty, so every placement is cost-equal and
+        // the annealing's random exploration decides.
+        let s = spec(&c, 4.0, 10.0, 1);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut p = plb(seed);
+            let placement = p.place_new_service(&c, &s).unwrap();
+            seen.insert(placement[0]);
+        }
+        // Note: greedy start always picks node 0 on an empty cluster, but
+        // annealing explores; with 20 seeds we expect at least 2 outcomes.
+        assert!(seen.len() >= 2, "placement is fully deterministic across seeds");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn placement_spreads_across_fault_domains() {
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        // 8 nodes over 4 domains: a 4-replica service must land in four
+        // distinct domains.
+        let c = Cluster::new(ClusterConfig {
+            node_count: 8,
+            metrics,
+            fault_domains: 4,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        let s = ServiceSpec {
+            name: "bc".into(),
+            tag: 0,
+            replica_count: 4,
+            default_load: load,
+        };
+        for seed in 0..10 {
+            let mut p = plb(seed);
+            let placement = p.place_new_service(&c, &s).unwrap();
+            let mut domains: Vec<u32> =
+                placement.iter().map(|n| c.node(*n).fault_domain).collect();
+            domains.sort_unstable();
+            domains.dedup();
+            assert_eq!(domains.len(), 4, "placement {placement:?}");
+        }
+    }
+
+    #[test]
+    fn placement_tolerates_fewer_domains_than_replicas() {
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        // 4 nodes in 2 domains: a 4-replica service still places (on four
+        // distinct nodes) even though domain collisions are unavoidable.
+        let c = Cluster::new(ClusterConfig {
+            node_count: 4,
+            metrics,
+            fault_domains: 2,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        let s = ServiceSpec {
+            name: "bc".into(),
+            tag: 0,
+            replica_count: 4,
+            default_load: load,
+        };
+        let placement = plb(3).place_new_service(&c, &s).unwrap();
+        assert_eq!(placement.len(), 4);
+    }
+
+    #[test]
+    fn failover_target_avoids_sibling_domains_when_possible() {
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let disk = MetricDef {
+            name: "Disk".into(),
+            node_capacity: 100.0,
+            balancing_weight: 1.0,
+        };
+        let mut m2 = MetricRegistry::new();
+        m2.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        m2.register(disk);
+        // 8 nodes, 4 domains (node i in domain i % 4). Place a 3-replica
+        // service on nodes 0,1,2 (domains 0,1,2), then violate node 0 so
+        // the replica must move: the chosen target should be in domain 3
+        // (nodes 3 or 7) when one fits.
+        let mut c = Cluster::new(ClusterConfig {
+            node_count: 8,
+            metrics: m2,
+            fault_domains: 4,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        load[MetricId(1)] = 60.0;
+        let s = ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: 3,
+            default_load: load,
+        };
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1), NodeId(2)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        c.report_load(rid, MetricId(1), 150.0);
+        // 150 > 100 violates but also cannot move (too big); shrink to a
+        // movable overload by adding a filler instead.
+        c.report_load(rid, MetricId(1), 60.0);
+        let filler = ServiceSpec {
+            name: "filler".into(),
+            tag: 0,
+            replica_count: 1,
+            default_load: {
+                let mut l = c.metrics().zero_load();
+                l[MetricId(1)] = 50.0;
+                l
+            },
+        };
+        c.add_service(&filler, &[NodeId(0)], SimTime::ZERO);
+        let mut p = plb(5);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        if ev.service == id {
+            let d = c.node(ev.to).fault_domain;
+            assert!(d == 3 || !matches!(d, 0 | 1 | 2), "moved into sibling domain {d}");
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let (c, _, _) = cluster(8, 96.0, 1000.0);
+        let s = spec(&c, 4.0, 10.0, 3);
+        let a = plb(42).place_new_service(&c, &s).unwrap();
+        let b = plb(42).place_new_service(&c, &s).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: random operation sequences must preserve the
+//! cluster's accounting invariants, and the PLB must never corrupt state.
+
+use proptest::prelude::*;
+use toto_fabric::cluster::{Cluster, ClusterConfig, ServiceSpec};
+use toto_fabric::ids::{MetricId, ServiceId};
+use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_fabric::plb::{Plb, PlbConfig};
+use toto_simcore::time::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { cpu: f64, disk: f64, replicas: u32 },
+    Remove { index: usize },
+    Report { index: usize, disk: f64 },
+    FixViolations,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1.0f64..16.0, 1.0f64..300.0, 1u32..=4).prop_map(|(cpu, disk, replicas)| Op::Create {
+            cpu,
+            disk,
+            replicas
+        }),
+        (0usize..64).prop_map(|index| Op::Remove { index }),
+        (0usize..64, 0.0f64..900.0).prop_map(|(index, disk)| Op::Report { index, disk }),
+        Just(Op::FixViolations),
+    ]
+}
+
+fn build_cluster() -> (Cluster, MetricId, MetricId) {
+    let mut metrics = MetricRegistry::new();
+    let cpu = metrics.register(MetricDef {
+        name: "Cpu".into(),
+        node_capacity: 96.0,
+        balancing_weight: 1.0,
+    });
+    let disk = metrics.register(MetricDef {
+        name: "Disk".into(),
+        node_capacity: 2_000.0,
+        balancing_weight: 1.0,
+    });
+    (
+        Cluster::new(ClusterConfig {
+            node_count: 8,
+            metrics,
+            fault_domains: 1,
+        }),
+        cpu,
+        disk,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_op_sequences_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..60), seed: u64) {
+        let (mut cluster, cpu, disk) = build_cluster();
+        let mut plb = Plb::new(PlbConfig::default(), seed);
+        let mut services: Vec<ServiceId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create { cpu: c, disk: d, replicas } => {
+                    let mut load = cluster.metrics().zero_load();
+                    load[cpu] = c;
+                    load[disk] = d;
+                    let spec = ServiceSpec {
+                        name: "db".into(),
+                        tag: 0,
+                        replica_count: replicas,
+                        default_load: load,
+                    };
+                    if let Ok(id) = plb.create_service(&mut cluster, &spec, SimTime::ZERO) {
+                        services.push(id);
+                    }
+                }
+                Op::Remove { index } => {
+                    if !services.is_empty() {
+                        let id = services.remove(index % services.len());
+                        prop_assert!(cluster.remove_service(id).is_some());
+                    }
+                }
+                Op::Report { index, disk: d } => {
+                    if !services.is_empty() {
+                        let id = services[index % services.len()];
+                        let rid = cluster.service(id).unwrap().replicas[0];
+                        cluster.report_load(rid, disk, d);
+                    }
+                }
+                Op::FixViolations => {
+                    let events = plb.fix_violations(&mut cluster, SimTime::ZERO);
+                    // Every reported move must reference live entities.
+                    for e in &events {
+                        prop_assert!(cluster.service(e.service).is_some());
+                        prop_assert!(cluster.replica(e.replica).is_some());
+                        prop_assert_eq!(cluster.replica(e.replica).unwrap().node, e.to);
+                    }
+                }
+            }
+            cluster.check_invariants();
+        }
+        // Total load equals the sum over replicas at all times (checked by
+        // check_invariants); finally, removing everything zeroes the loads.
+        for id in services {
+            cluster.remove_service(id);
+        }
+        prop_assert!(cluster.total_load(cpu).abs() < 1e-6);
+        prop_assert!(cluster.total_load(disk).abs() < 1e-6);
+    }
+
+    #[test]
+    fn placement_never_colocates_replicas(seed: u64, cpu_load in 1.0f64..24.0, replicas in 2u32..=4) {
+        let (mut cluster, cpu, disk) = build_cluster();
+        let mut plb = Plb::new(PlbConfig::default(), seed);
+        let mut load = cluster.metrics().zero_load();
+        load[cpu] = cpu_load;
+        load[disk] = 10.0;
+        let spec = ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: replicas,
+            default_load: load,
+        };
+        let placement = plb.place_new_service(&cluster, &spec).unwrap();
+        let mut nodes = placement.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), placement.len());
+        let id = cluster.add_service(&spec, &placement, SimTime::ZERO);
+        cluster.check_invariants();
+        prop_assert_eq!(cluster.service(id).unwrap().replicas.len(), replicas as usize);
+    }
+}

@@ -1,0 +1,490 @@
+//! Compiled, executable metric models.
+//!
+//! §3.3.1: "RgManager reads the model XML every 15 minutes from Naming
+//! Service, parses them, and constructs internal model objects … Because
+//! RgManager is stateless, all of the model objects are stateless as well.
+//! This allows the model objects to be updated without losing context of
+//! how to report the next load metric."
+//!
+//! Statelessness is achieved by making every sample a *pure function* of
+//! the spec, the seeds, the service identity and the clock:
+//!
+//! * per-report sampling noise derives from the **node** seed and the
+//!   report index (the paper gives every node's RgManager a unique seed,
+//!   so a replica that fails over to another node continues on that
+//!   node's stream);
+//! * per-database *pattern membership* (does this database have high
+//!   initial growth? is it an ETL-style rapid grower? what magnitudes?)
+//!   derives from the **base** seed and the service identity, so a
+//!   database keeps its personality across failovers and model refreshes.
+
+use toto_simcore::rng::SeedTree;
+use toto_simcore::time::{SimDuration, SimTime};
+use toto_spec::model::{MetricModelSpec, ModelSetSpec};
+use toto_spec::{EditionKind, ResourceKind};
+use toto_stats::binning::EqualProbabilityBins;
+use toto_stats::dist::{Distribution, Normal};
+
+/// Replica role from the model's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaRoleKind {
+    /// The primary replica: executes the model (for persisted metrics it
+    /// is the only replica that does, §3.3.2).
+    Primary,
+    /// A secondary replica.
+    Secondary,
+}
+
+/// Everything a stateless sample needs.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleContext {
+    /// Stable service identity (raw service id).
+    pub service: u64,
+    /// Node hosting the reporting replica.
+    pub node: u32,
+    /// Role of the reporting replica.
+    pub role: ReplicaRoleKind,
+    /// When the database was created.
+    pub created_at: SimTime,
+    /// The report instant.
+    pub now: SimTime,
+    /// Previously reported value: the in-memory copy for non-persisted
+    /// metrics, the Naming Service copy for persisted ones; `None` right
+    /// after creation or after a non-persisted reset.
+    pub prev: Option<f64>,
+}
+
+/// One compiled metric model.
+#[derive(Clone, Debug)]
+pub struct CompiledMetricModel {
+    spec: MetricModelSpec,
+    base: SeedTree,
+    initial_bins: Option<EqualProbabilityBins>,
+    rapid_inc_bins: Option<EqualProbabilityBins>,
+    rapid_dec_bins: Option<EqualProbabilityBins>,
+}
+
+fn bins_from_edges(edges: &[f64]) -> EqualProbabilityBins {
+    // Edges come straight from the spec; reconstruct the sampler. The
+    // edges are the k+1 quantile boundaries, so fitting k bins over the
+    // edges themselves reproduces them exactly.
+    EqualProbabilityBins::from_edges(edges.to_vec())
+}
+
+impl CompiledMetricModel {
+    /// Compile one spec under the model set's base seed.
+    pub fn new(spec: MetricModelSpec, base_seed: u64) -> Self {
+        let base = SeedTree::new(base_seed).child("model", spec.seed_salt);
+        let initial_bins = spec.initial.as_ref().map(|i| bins_from_edges(&i.bin_edges));
+        let rapid_inc_bins = spec.rapid.as_ref().map(|r| bins_from_edges(&r.increase.bin_edges));
+        let rapid_dec_bins = spec.rapid.as_ref().map(|r| bins_from_edges(&r.decrease.bin_edges));
+        CompiledMetricModel {
+            spec,
+            base,
+            initial_bins,
+            rapid_inc_bins,
+            rapid_dec_bins,
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &MetricModelSpec {
+        &self.spec
+    }
+
+    /// Whether the metric survives failovers.
+    pub fn persisted(&self) -> bool {
+        self.spec.persisted
+    }
+
+    /// Report period.
+    pub fn report_period(&self) -> SimDuration {
+        SimDuration::from_secs(self.spec.report_period_secs)
+    }
+
+    /// Index of the report interval containing `now` (0 for the first
+    /// period after creation).
+    fn report_index(&self, ctx: &SampleContext) -> u64 {
+        ctx.now.saturating_since(ctx.created_at).as_secs() / self.spec.report_period_secs.max(1)
+    }
+
+    /// The steady-state hourly-normal sample for this report.
+    fn steady_delta(&self, ctx: &SampleContext) -> f64 {
+        let day = ctx.now.day_kind().index();
+        let hour = ctx.now.hour_of_day() as usize;
+        let (mu, sigma) = self.spec.steady.hourly.cell(day, hour);
+        // Per-node stream, per (service, report) substream: stateless and
+        // reproducible, yet different after a failover to another node —
+        // matching "a unique seed was provided to every node" (§5.2).
+        let mut rng = self
+            .base
+            .child("node", ctx.node as u64)
+            .child("svc", ctx.service)
+            .child_rng("report", self.report_index(ctx));
+        Normal::new(mu, sigma).sample(&mut rng)
+    }
+
+    /// Deterministic pattern membership and magnitude for the
+    /// initial-creation growth (§4.2.3). Returns the *per-report* extra
+    /// growth if this report falls inside the high-growth window.
+    fn initial_creation_delta(&self, ctx: &SampleContext) -> f64 {
+        let (Some(init), Some(bins)) = (&self.spec.initial, &self.initial_bins) else {
+            return 0.0;
+        };
+        let mut rng = self.base.child("svc", ctx.service).child_rng("initial", 0);
+        if !rng.bernoulli(init.probability) {
+            return 0.0;
+        }
+        let age = ctx.now.saturating_since(ctx.created_at).as_secs();
+        if age >= init.duration_secs {
+            return 0.0;
+        }
+        let total = bins.sample(&mut rng).max(0.0);
+        let reports = (init.duration_secs / self.spec.report_period_secs.max(1)).max(1);
+        total / reports as f64
+    }
+
+    /// Deterministic rapid-growth state machine (§4.2.4). Returns the
+    /// per-report delta contributed by the current state.
+    fn rapid_growth_delta(&self, ctx: &SampleContext) -> f64 {
+        let (Some(rapid), Some(inc_bins), Some(dec_bins)) =
+            (&self.spec.rapid, &self.rapid_inc_bins, &self.rapid_dec_bins)
+        else {
+            return 0.0;
+        };
+        let mut rng = self.base.child("svc", ctx.service).child_rng("rapid", 0);
+        if !rng.bernoulli(rapid.probability) {
+            return 0.0;
+        }
+        // Magnitudes are fixed per database (its recurring ETL volume).
+        let inc_total = inc_bins.sample(&mut rng).max(0.0);
+        let dec_total = dec_bins.sample(&mut rng).max(0.0);
+        // To keep the pattern recurring without unbounded drift, the
+        // decrease magnitude mirrors the increase ("new data is loaded in
+        // and old data is aged out") scaled by the trained ratio.
+        let dec_total = if inc_total > 0.0 { dec_total.min(inc_total) } else { 0.0 };
+
+        let cycle = rapid.steady_secs
+            + rapid.increase.duration_secs
+            + rapid.between_secs
+            + rapid.decrease.duration_secs;
+        if cycle == 0 {
+            return 0.0;
+        }
+        // Per-database phase stagger: real ETL jobs run on each customer's
+        // own schedule, so cohorts created together (e.g. the bootstrap
+        // population) must not spike in lockstep.
+        let phase = rng.next_below(cycle);
+        let age = ctx.now.saturating_since(ctx.created_at).as_secs() + phase;
+        let pos = age % cycle;
+        let inc_start = rapid.steady_secs;
+        let inc_end = inc_start + rapid.increase.duration_secs;
+        let dec_start = inc_end + rapid.between_secs;
+        let period = self.spec.report_period_secs.max(1);
+        if (inc_start..inc_end).contains(&pos) {
+            let reports = (rapid.increase.duration_secs / period).max(1);
+            inc_total / reports as f64
+        } else if pos >= dec_start {
+            let reports = (rapid.decrease.duration_secs / period).max(1);
+            -(dec_total / reports as f64)
+        } else {
+            0.0
+        }
+    }
+
+    /// Compute the value this replica should report now.
+    ///
+    /// * Additive (disk): `max(0, prev + steady + initial + rapid)`, where
+    ///   a missing `prev` starts from `reset_value`.
+    /// * Absolute (memory/CPU): the steady table is sampled as a level;
+    ///   secondaries report `secondary_scale ×` the level. A missing
+    ///   `prev` still reports a fresh sample (there is nothing to
+    ///   accumulate), so the reset semantics come from the caller passing
+    ///   `reset_value` as the first report if desired.
+    pub fn next_value(&self, ctx: &SampleContext) -> f64 {
+        if self.spec.additive {
+            // §3.3.2: secondaries of persisted metrics do not execute the
+            // model; they report the persisted value as-is.
+            if self.spec.persisted && ctx.role == ReplicaRoleKind::Secondary {
+                return ctx.prev.unwrap_or(self.spec.reset_value).max(0.0);
+            }
+            let prev = ctx.prev.unwrap_or(self.spec.reset_value);
+            let delta = self.steady_delta(ctx)
+                + self.initial_creation_delta(ctx)
+                + self.rapid_growth_delta(ctx);
+            (prev + delta).max(0.0)
+        } else {
+            let level = self.steady_delta(ctx).max(0.0);
+            match ctx.role {
+                ReplicaRoleKind::Primary => level,
+                ReplicaRoleKind::Secondary => level * self.spec.secondary_scale,
+            }
+        }
+    }
+}
+
+/// A compiled model set: what RgManager holds between refreshes.
+#[derive(Clone, Debug)]
+pub struct CompiledModelSet {
+    version: u64,
+    models: Vec<CompiledMetricModel>,
+}
+
+impl CompiledModelSet {
+    /// Compile a parsed spec.
+    pub fn compile(spec: &ModelSetSpec) -> Self {
+        CompiledModelSet {
+            version: spec.version,
+            models: spec
+                .models
+                .iter()
+                .map(|m| CompiledMetricModel::new(m.clone(), spec.base_seed))
+                .collect(),
+        }
+    }
+
+    /// Spec version this was compiled from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of compiled models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True iff no models are present.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The first model matching `(resource, edition)`; `None` means
+    /// "report actual load" (§3.3.1).
+    pub fn model_for(
+        &self,
+        resource: ResourceKind,
+        edition: EditionKind,
+    ) -> Option<&CompiledMetricModel> {
+        self.models
+            .iter()
+            .find(|m| m.spec.resource == resource && m.spec.target.matches(edition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toto_spec::model::{
+        GrowthStateSpec, HourlyTable, InitialCreationSpec, RapidGrowthSpec, SteadyStateSpec,
+        TargetPopulation,
+    };
+
+    fn disk_spec(
+        initial: Option<InitialCreationSpec>,
+        rapid: Option<RapidGrowthSpec>,
+    ) -> MetricModelSpec {
+        MetricModelSpec {
+            resource: ResourceKind::Disk,
+            target: TargetPopulation::All,
+            persisted: true,
+            report_period_secs: 1200,
+            reset_value: 0.0,
+            additive: true,
+            secondary_scale: 1.0,
+            seed_salt: 7,
+            steady: SteadyStateSpec {
+                hourly: HourlyTable::constant(0.1, 0.0),
+            },
+            initial,
+            rapid,
+        }
+    }
+
+    fn ctx(service: u64, node: u32, now_secs: u64, prev: Option<f64>) -> SampleContext {
+        SampleContext {
+            service,
+            node,
+            role: ReplicaRoleKind::Primary,
+            created_at: SimTime::ZERO,
+            now: SimTime::from_secs(now_secs),
+            prev,
+        }
+    }
+
+    #[test]
+    fn additive_model_accumulates_steady_growth() {
+        let m = CompiledMetricModel::new(disk_spec(None, None), 1);
+        // sigma = 0 so the delta is exactly mu = 0.1 per report.
+        let v1 = m.next_value(&ctx(1, 0, 1200, None));
+        assert!((v1 - 0.1).abs() < 1e-12);
+        let v2 = m.next_value(&ctx(1, 0, 2400, Some(v1)));
+        assert!((v2 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_stateless_and_reproducible() {
+        let spec = {
+            let mut s = disk_spec(None, None);
+            s.steady.hourly = HourlyTable::constant(0.5, 0.3);
+            s
+        };
+        let m1 = CompiledMetricModel::new(spec.clone(), 42);
+        let m2 = CompiledMetricModel::new(spec, 42);
+        let c = ctx(5, 3, 6000, Some(10.0));
+        assert_eq!(m1.next_value(&c), m2.next_value(&c));
+    }
+
+    #[test]
+    fn different_nodes_sample_different_streams() {
+        let spec = {
+            let mut s = disk_spec(None, None);
+            s.steady.hourly = HourlyTable::constant(0.5, 0.3);
+            s
+        };
+        let m = CompiledMetricModel::new(spec, 42);
+        let a = m.next_value(&ctx(5, 0, 6000, Some(10.0)));
+        let b = m.next_value(&{
+            let mut c = ctx(5, 0, 6000, Some(10.0));
+            c.node = 1;
+            c
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn value_never_goes_negative() {
+        let spec = {
+            let mut s = disk_spec(None, None);
+            s.steady.hourly = HourlyTable::constant(-5.0, 0.0);
+            s
+        };
+        let m = CompiledMetricModel::new(spec, 1);
+        let v = m.next_value(&ctx(1, 0, 1200, Some(2.0)));
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn initial_creation_growth_applies_within_window_only() {
+        let init = InitialCreationSpec {
+            probability: 1.0,
+            duration_secs: 1800,
+            bin_edges: vec![12.0, 12.0], // deterministic 12 GB total
+        };
+        let m = CompiledMetricModel::new(disk_spec(Some(init), None), 1);
+        // 1800s window / 1200s period -> 1 report window carries all 12GB.
+        let v_in = m.next_value(&ctx(1, 0, 1200, None));
+        assert!(v_in > 11.0, "v_in = {v_in}");
+        // After the window the extra growth stops.
+        let v_after = m.next_value(&ctx(1, 0, 3600, Some(v_in)));
+        assert!((v_after - v_in - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_creation_membership_is_per_service() {
+        let init = InitialCreationSpec {
+            probability: 0.5,
+            duration_secs: 1800,
+            bin_edges: vec![100.0, 100.0],
+        };
+        let m = CompiledMetricModel::new(disk_spec(Some(init), None), 9);
+        let mut grew = 0;
+        for svc in 0..200 {
+            let v = m.next_value(&ctx(svc, 0, 1200, None));
+            if v > 50.0 {
+                grew += 1;
+            }
+            // Membership must be stable across repeated asks.
+            let v2 = m.next_value(&ctx(svc, 0, 1200, None));
+            assert_eq!(v, v2);
+        }
+        assert!((60..140).contains(&grew), "grew = {grew}");
+    }
+
+    #[test]
+    fn rapid_growth_cycles_up_and_down() {
+        let rapid = RapidGrowthSpec {
+            probability: 1.0,
+            steady_secs: 2400,
+            between_secs: 2400,
+            increase: GrowthStateSpec {
+                duration_secs: 1200,
+                bin_edges: vec![24.0, 24.0],
+            },
+            decrease: GrowthStateSpec {
+                duration_secs: 1200,
+                bin_edges: vec![24.0, 24.0],
+            },
+        };
+        let m = CompiledMetricModel::new(disk_spec(None, Some(rapid)), 1);
+        // The cycle is phase-staggered per database, so assert behavioural
+        // properties over whole cycles: exactly one +24 report and one -24
+        // report per 7200 s cycle (on top of the 0.1 steady delta), and
+        // the pattern repeats with the cycle period.
+        let cycle_reports = 7200 / 1200;
+        let deltas: Vec<f64> = (1..=2 * cycle_reports)
+            .map(|i| m.next_value(&ctx(1, 0, 1200 * i, Some(100.0))) - 100.0)
+            .collect();
+        let first: &[f64] = &deltas[..cycle_reports as usize];
+        let second: &[f64] = &deltas[cycle_reports as usize..];
+        assert_eq!(first, second, "pattern must repeat each cycle");
+        let spikes = first.iter().filter(|d| (**d - 24.1).abs() < 1e-9).count();
+        let drops = first.iter().filter(|d| (**d + 23.9).abs() < 1e-9).count();
+        let steady = first.iter().filter(|d| (**d - 0.1).abs() < 1e-9).count();
+        assert_eq!(spikes, 1, "deltas {first:?}");
+        assert_eq!(drops, 1, "deltas {first:?}");
+        assert_eq!(steady, cycle_reports as usize - 2);
+    }
+
+    #[test]
+    fn persisted_secondary_reports_prev_without_executing() {
+        let m = CompiledMetricModel::new(disk_spec(None, None), 1);
+        let mut c = ctx(1, 0, 1200, Some(55.0));
+        c.role = ReplicaRoleKind::Secondary;
+        // §3.3.2: "Secondaries simply report the disk usage read from
+        // Naming Service."
+        assert_eq!(m.next_value(&c), 55.0);
+    }
+
+    #[test]
+    fn absolute_model_reports_levels_with_secondary_scale() {
+        let spec = MetricModelSpec {
+            resource: ResourceKind::Memory,
+            target: TargetPopulation::All,
+            persisted: false,
+            report_period_secs: 1200,
+            reset_value: 0.5,
+            additive: false,
+            secondary_scale: 0.25,
+            seed_salt: 3,
+            steady: SteadyStateSpec {
+                hourly: HourlyTable::constant(8.0, 0.0),
+            },
+            initial: None,
+            rapid: None,
+        };
+        let m = CompiledMetricModel::new(spec, 1);
+        let p = m.next_value(&ctx(1, 0, 1200, Some(3.0)));
+        assert_eq!(p, 8.0);
+        let mut c = ctx(1, 0, 1200, Some(3.0));
+        c.role = ReplicaRoleKind::Secondary;
+        assert_eq!(m.next_value(&c), 2.0);
+    }
+
+    #[test]
+    fn model_set_lookup_and_fallthrough() {
+        let set_spec = ModelSetSpec {
+            version: 5,
+            base_seed: 11,
+            models: vec![disk_spec(None, None)],
+        };
+        let set = CompiledModelSet::compile(&set_spec);
+        assert_eq!(set.version(), 5);
+        assert_eq!(set.len(), 1);
+        assert!(set
+            .model_for(ResourceKind::Disk, EditionKind::StandardGp)
+            .is_some());
+        assert!(set
+            .model_for(ResourceKind::Memory, EditionKind::StandardGp)
+            .is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The Create DB / Drop DB model.
+//!
+//! §4.1: creates and drops "exhibited hourly patterns", differ between
+//! weekdays and weekends, and differ sharply by edition (Premium/BC has
+//! far fewer creates than Standard/GP). §4.1.3 models each of the
+//! 2 × 24 × 2 cells as an independent normal distribution — 96 Create
+//! models and 96 Drop models. The Population Manager samples these "at
+//! the top of each hour" (§3.3.3) to decide how many databases to create
+//! and drop over the next hour.
+
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::SimTime;
+use toto_spec::model::HourlyTable;
+use toto_spec::EditionKind;
+use toto_stats::dist::{Distribution, Normal, Poisson};
+
+/// The executable create/drop count model for both editions.
+#[derive(Clone, Debug)]
+pub struct CreateDropModel {
+    /// `create[edition.index()]`.
+    create: [HourlyTable; 2],
+    /// `drop[edition.index()]`.
+    drop: [HourlyTable; 2],
+}
+
+impl CreateDropModel {
+    /// Build from per-edition hourly tables.
+    pub fn new(create: [HourlyTable; 2], drop: [HourlyTable; 2]) -> Self {
+        CreateDropModel { create, drop }
+    }
+
+    fn sample_cell(table: &HourlyTable, at: SimTime, rng: &mut DetRng) -> u32 {
+        let (mu, sigma) = table.cell(at.day_kind().index(), at.hour_of_day() as usize);
+        // The paper's hourly-normal model is fitted at *region* level,
+        // where counts are large. Scaled down to one tenant ring the means
+        // drop below 1 and rounding a clamped normal would inflate them
+        // badly (E[max(round(N(0.1, 0.5)), 0)] is more than double 0.1).
+        // In that regime we sample the small-count limit instead: a
+        // Poisson with the same mean, which is also what binomially
+        // thinning the region-level process to one ring would give.
+        if mu <= 0.0 {
+            return 0;
+        }
+        if mu < 3.0 {
+            return Poisson::new(mu).sample(rng) as u32;
+        }
+        let x = Normal::new(mu, sigma.max(0.0)).sample(rng);
+        x.round().max(0.0) as u32
+    }
+
+    /// Number of databases of `edition` to create in the hour containing
+    /// `at`.
+    pub fn sample_creates(&self, edition: EditionKind, at: SimTime, rng: &mut DetRng) -> u32 {
+        Self::sample_cell(&self.create[edition.index()], at, rng)
+    }
+
+    /// Number of databases of `edition` to drop in the hour containing
+    /// `at`.
+    pub fn sample_drops(&self, edition: EditionKind, at: SimTime, rng: &mut DetRng) -> u32 {
+        Self::sample_cell(&self.drop[edition.index()], at, rng)
+    }
+
+    /// Expected (mean) creates for a cell, without sampling.
+    pub fn expected_creates(&self, edition: EditionKind, at: SimTime) -> f64 {
+        self.create[edition.index()]
+            .cell(at.day_kind().index(), at.hour_of_day() as usize)
+            .0
+            .max(0.0)
+    }
+
+    /// Expected (mean) drops for a cell, without sampling.
+    pub fn expected_drops(&self, edition: EditionKind, at: SimTime) -> f64 {
+        self.drop[edition.index()]
+            .cell(at.day_kind().index(), at.hour_of_day() as usize)
+            .0
+            .max(0.0)
+    }
+
+    /// Scale every cell's mean and standard deviation by `factor` — the
+    /// paper's region-to-ring scaling ("scaled the values of the model
+    /// parameters by the total number of tenant rings within that
+    /// region", §4.1.1, assuming equal ring-selection probability).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        let scale_table = |t: &HourlyTable| {
+            let mut out = t.clone();
+            for day in &mut out.cells {
+                for cell in day.iter_mut() {
+                    cell.0 *= factor;
+                    cell.1 *= factor;
+                }
+            }
+            out
+        };
+        CreateDropModel {
+            create: [scale_table(&self.create[0]), scale_table(&self.create[1])],
+            drop: [scale_table(&self.drop[0]), scale_table(&self.drop[1])],
+        }
+    }
+
+    /// Access the create table for an edition.
+    pub fn create_table(&self, edition: EditionKind) -> &HourlyTable {
+        &self.create[edition.index()]
+    }
+
+    /// Access the drop table for an edition.
+    pub fn drop_table(&self, edition: EditionKind) -> &HourlyTable {
+        &self.drop[edition.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toto_simcore::time::{SimDuration, SECS_PER_HOUR};
+
+    fn model() -> CreateDropModel {
+        // Weekday GP creates ~ N(10, 2); weekend halves; BC is 10x rarer.
+        let mut gp_create = HourlyTable::constant(10.0, 2.0);
+        for h in 0..24 {
+            gp_create.cells[1][h] = (5.0, 1.0);
+        }
+        let bc_create = HourlyTable::constant(1.0, 0.5);
+        let gp_drop = HourlyTable::constant(9.0, 2.0);
+        let bc_drop = HourlyTable::constant(0.8, 0.4);
+        CreateDropModel::new([gp_create, bc_create], [gp_drop, bc_drop])
+    }
+
+    #[test]
+    fn samples_are_nonnegative_integers_near_mean() {
+        let m = model();
+        let mut rng = DetRng::seed_from_u64(1);
+        let t = SimTime::from_secs(10 * SECS_PER_HOUR); // Monday 10:00
+        let n = 2000;
+        let total: u64 = (0..n)
+            .map(|_| m.sample_creates(EditionKind::StandardGp, t, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn weekend_cells_differ_from_weekday() {
+        let m = model();
+        let weekday = SimTime::from_secs(10 * SECS_PER_HOUR);
+        let weekend = weekday + SimDuration::from_days(5);
+        assert_eq!(m.expected_creates(EditionKind::StandardGp, weekday), 10.0);
+        assert_eq!(m.expected_creates(EditionKind::StandardGp, weekend), 5.0);
+    }
+
+    #[test]
+    fn bc_is_rarer_than_gp() {
+        let m = model();
+        let t = SimTime::ZERO;
+        assert!(
+            m.expected_creates(EditionKind::PremiumBc, t)
+                < m.expected_creates(EditionKind::StandardGp, t)
+        );
+        assert!(
+            m.expected_drops(EditionKind::PremiumBc, t)
+                < m.expected_drops(EditionKind::StandardGp, t)
+        );
+    }
+
+    #[test]
+    fn scaling_divides_region_down_to_ring() {
+        let m = model().scaled(1.0 / 50.0);
+        let t = SimTime::ZERO;
+        assert!((m.expected_creates(EditionKind::StandardGp, t) - 0.2).abs() < 1e-12);
+        // Sampling still works and stays non-negative.
+        let mut rng = DetRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let _ = m.sample_creates(EditionKind::StandardGp, t, &mut rng);
+        }
+    }
+
+    #[test]
+    fn negative_mean_cells_clamp_to_zero() {
+        let tbl = HourlyTable::constant(-3.0, 0.1);
+        let m = CreateDropModel::new([tbl.clone(), tbl.clone()], [tbl.clone(), tbl]);
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(m.sample_creates(EditionKind::StandardGp, SimTime::ZERO, &mut rng), 0);
+        }
+        assert_eq!(m.expected_creates(EditionKind::StandardGp, SimTime::ZERO), 0.0);
+    }
+}

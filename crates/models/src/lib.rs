@@ -1,0 +1,31 @@
+//! Executable behaviour models for Toto.
+//!
+//! §4 of the paper builds two modeling frameworks from "simple statistical
+//! models": the **Create DB / Drop DB model** (96 + 96 hourly-normal
+//! distributions over weekday/weekend × hour × edition) executed by the
+//! Population Manager, and the **disk usage model** (hourly-normal
+//! steady-state growth plus initial-creation and predictable-rapid-growth
+//! patterns) executed by RgManager. This crate provides:
+//!
+//! * [`compiled`] — the executable form of a [`toto_spec::ModelSetSpec`]:
+//!   the "internal model objects" RgManager constructs after parsing the
+//!   XML (§3.3.1). Model objects are stateless — every sample is a pure
+//!   function of the spec, the seeds and the clock — so they can be
+//!   rebuilt from XML at any time without losing context, exactly as the
+//!   paper requires.
+//! * [`createdrop`] — the Population Manager's create/drop count sampler.
+//! * [`training`] — fits the specs from telemetry traces: hourly-normal
+//!   fitting with K-S validation (§4.1.3), steady-state delta fitting
+//!   (§4.2.2), high-initial-growth labelling at the paper's 12 GB / 5 min
+//!   threshold (§4.2.3) and rapid-growth cycle extraction (§4.2.4).
+
+pub mod compiled;
+pub mod createdrop;
+pub mod training;
+
+pub use compiled::{CompiledMetricModel, CompiledModelSet, ReplicaRoleKind, SampleContext};
+pub use createdrop::CreateDropModel;
+pub use training::{
+    label_high_initial_growth, train_hourly_table, train_initial_creation, train_rapid_growth,
+    train_steady_state, HourlyObservation, TrainingReport,
+};

@@ -1,0 +1,419 @@
+//! Model training from telemetry traces.
+//!
+//! §4 trains every model on production telemetry. The synthetic traces we
+//! train on come from `toto-telemetry`; this module implements the fitting
+//! side:
+//!
+//! * [`train_hourly_table`] — groups observations by (weekday/weekend ×
+//!   hour), fits a normal per cell and runs the K-S normality check per
+//!   cell, producing both the [`HourlyTable`] and the p-value dispersion
+//!   the paper plots in Figure 7.
+//! * [`train_steady_state`] — the same construction over Delta Disk Usage
+//!   values (§4.2.2's "hourly normal" disk model).
+//! * [`label_high_initial_growth`] / [`train_initial_creation`] — the
+//!   §4.2.3 pipeline: label databases that grew more than 12 GB within
+//!   their first five minutes, then bin their 30-minute growth into five
+//!   equal-probability bins.
+//! * [`train_rapid_growth`] — the §4.2.4 pipeline: select databases whose
+//!   delta series shows spike-up/spike-down cycles, bin the magnitudes
+//!   and average the state dwell times.
+
+use toto_simcore::time::SimTime;
+use toto_spec::model::{GrowthStateSpec, HourlyTable, InitialCreationSpec, RapidGrowthSpec};
+use toto_stats::binning::EqualProbabilityBins;
+use toto_stats::describe;
+use toto_stats::ks::{ks_test_normal, KsResult};
+
+/// One timestamped observation (an hourly count, or one delta).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HourlyObservation {
+    /// When the observation was taken.
+    pub time: SimTime,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// Outcome of fitting an hourly table: the per-cell K-S results that
+/// Figure 7 visualises.
+#[derive(Clone, Debug)]
+pub struct TrainingReport {
+    /// K-S result per populated cell, in (day, hour) order. `None` for
+    /// cells with too little data to test.
+    pub cell_ks: Vec<((usize, usize), Option<KsResult>)>,
+}
+
+impl TrainingReport {
+    /// P-values of all tested cells.
+    pub fn p_values(&self) -> Vec<f64> {
+        self.cell_ks
+            .iter()
+            .filter_map(|(_, r)| r.map(|k| k.p_value))
+            .collect()
+    }
+
+    /// Fraction of tested cells whose normality hypothesis is *not*
+    /// rejected at `alpha`.
+    pub fn acceptance_rate(&self, alpha: f64) -> f64 {
+        let tested: Vec<f64> = self.p_values();
+        if tested.is_empty() {
+            return f64::NAN;
+        }
+        tested.iter().filter(|p| **p > alpha).count() as f64 / tested.len() as f64
+    }
+}
+
+/// Fit an hourly-normal table from timestamped observations.
+///
+/// Cells with no observations become `(0, 0)` (a point mass at zero —
+/// nothing was ever observed there).
+pub fn train_hourly_table(observations: &[HourlyObservation]) -> (HourlyTable, TrainingReport) {
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 48];
+    for obs in observations {
+        let idx = obs.time.day_kind().index() * 24 + obs.time.hour_of_day() as usize;
+        buckets[idx].push(obs.value);
+    }
+    let mut table = HourlyTable::constant(0.0, 0.0);
+    let mut cell_ks = Vec::with_capacity(48);
+    for (idx, values) in buckets.iter().enumerate() {
+        let (day, hour) = (idx / 24, idx % 24);
+        if values.is_empty() {
+            cell_ks.push(((day, hour), None));
+            continue;
+        }
+        let mu = describe::mean(values);
+        let sigma = describe::std_dev_population(values);
+        table.cells[day][hour] = (mu, sigma);
+        // K-S needs a handful of points to say anything.
+        let ks = if values.len() >= 5 {
+            ks_test_normal(values)
+        } else {
+            None
+        };
+        cell_ks.push(((day, hour), ks));
+    }
+    (table, TrainingReport { cell_ks })
+}
+
+/// Fit the steady-state disk model (§4.2.2): identical mechanics to the
+/// create/drop fitting, but over Delta Disk Usage values. Callers should
+/// pre-filter to the steady-state subset (the paper trains on the 99.8 %
+/// of deltas that are steady-state).
+pub fn train_steady_state(deltas: &[HourlyObservation]) -> (HourlyTable, TrainingReport) {
+    train_hourly_table(deltas)
+}
+
+/// Label databases as "High Initial Growth": more than `threshold_gb`
+/// growth within the first five minutes (§4.2.3 uses 12 GB).
+pub fn label_high_initial_growth(first_5min_growth_gb: &[f64], threshold_gb: f64) -> Vec<bool> {
+    first_5min_growth_gb
+        .iter()
+        .map(|g| *g > threshold_gb)
+        .collect()
+}
+
+/// Train the initial-creation model (§4.2.3) from per-database growth
+/// figures: `first_5min_gb[i]` and `first_30min_gb[i]` describe database
+/// `i`. Returns `None` when no database qualifies.
+pub fn train_initial_creation(
+    first_5min_gb: &[f64],
+    first_30min_gb: &[f64],
+    threshold_gb: f64,
+    bin_count: usize,
+) -> Option<InitialCreationSpec> {
+    assert_eq!(first_5min_gb.len(), first_30min_gb.len());
+    if first_5min_gb.is_empty() {
+        return None;
+    }
+    let labels = label_high_initial_growth(first_5min_gb, threshold_gb);
+    let high: Vec<f64> = labels
+        .iter()
+        .zip(first_30min_gb)
+        .filter(|(l, _)| **l)
+        .map(|(_, g)| *g)
+        .collect();
+    if high.is_empty() {
+        return None;
+    }
+    let probability = high.len() as f64 / first_5min_gb.len() as f64;
+    let bins = EqualProbabilityBins::fit(&high, bin_count)?;
+    Some(InitialCreationSpec {
+        probability,
+        duration_secs: 30 * 60,
+        bin_edges: bins.edges().to_vec(),
+    })
+}
+
+/// A per-database delta series at a fixed period.
+#[derive(Clone, Debug)]
+pub struct DeltaTrace {
+    /// Sampling period of the deltas, seconds (paper: 20 minutes).
+    pub period_secs: u64,
+    /// Consecutive Delta Disk Usage values, GB.
+    pub deltas: Vec<f64>,
+}
+
+/// Detected spike runs in one trace.
+struct SpikeRuns {
+    up_totals: Vec<f64>,
+    up_lens: Vec<usize>,
+    down_totals: Vec<f64>,
+    down_lens: Vec<usize>,
+    lead_len: usize,
+    between_lens: Vec<usize>,
+}
+
+fn detect_runs(trace: &DeltaTrace, spike_threshold: f64) -> SpikeRuns {
+    #[derive(PartialEq, Clone, Copy)]
+    enum S {
+        Flat,
+        Up,
+        Down,
+    }
+    let classify = |d: f64| {
+        if d > spike_threshold {
+            S::Up
+        } else if d < -spike_threshold {
+            S::Down
+        } else {
+            S::Flat
+        }
+    };
+    let mut runs = SpikeRuns {
+        up_totals: vec![],
+        up_lens: vec![],
+        down_totals: vec![],
+        down_lens: vec![],
+        lead_len: 0,
+        between_lens: vec![],
+    };
+    let mut i = 0;
+    let n = trace.deltas.len();
+    let mut seen_first_up = false;
+    let mut flat_since_up: Option<usize> = None;
+    while i < n {
+        let s = classify(trace.deltas[i]);
+        let mut j = i;
+        while j < n && classify(trace.deltas[j]) == s {
+            j += 1;
+        }
+        let len = j - i;
+        match s {
+            S::Flat => {
+                if !seen_first_up {
+                    runs.lead_len += len;
+                } else {
+                    flat_since_up = Some(len);
+                }
+            }
+            S::Up => {
+                seen_first_up = true;
+                runs.up_totals.push(trace.deltas[i..j].iter().sum());
+                runs.up_lens.push(len);
+                flat_since_up = None;
+            }
+            S::Down => {
+                runs.down_totals
+                    .push(trace.deltas[i..j].iter().map(|d| -d).sum());
+                runs.down_lens.push(len);
+                if let Some(gap) = flat_since_up.take() {
+                    runs.between_lens.push(gap);
+                }
+            }
+        }
+        i = j;
+    }
+    runs
+}
+
+/// Train the predictable-rapid-growth model (§4.2.4) from per-database
+/// delta traces. A database is a rapid grower when its series contains at
+/// least one spike-up run *and* one spike-down run above
+/// `spike_threshold_gb`. Returns `None` when no database qualifies.
+pub fn train_rapid_growth(
+    traces: &[DeltaTrace],
+    spike_threshold_gb: f64,
+    bin_count: usize,
+) -> Option<RapidGrowthSpec> {
+    if traces.is_empty() {
+        return None;
+    }
+    let mut inc_mags = Vec::new();
+    let mut dec_mags = Vec::new();
+    let mut inc_lens = Vec::new();
+    let mut dec_lens = Vec::new();
+    let mut lead_lens = Vec::new();
+    let mut between_lens = Vec::new();
+    let mut matching = 0usize;
+    let mut period = 0u64;
+    for trace in traces {
+        let runs = detect_runs(trace, spike_threshold_gb);
+        if runs.up_totals.is_empty() || runs.down_totals.is_empty() {
+            continue;
+        }
+        matching += 1;
+        period = trace.period_secs;
+        inc_mags.extend(runs.up_totals);
+        dec_mags.extend(runs.down_totals);
+        inc_lens.extend(runs.up_lens.iter().map(|l| *l as f64));
+        dec_lens.extend(runs.down_lens.iter().map(|l| *l as f64));
+        lead_lens.push(runs.lead_len as f64);
+        between_lens.extend(runs.between_lens.iter().map(|l| *l as f64));
+    }
+    if matching == 0 {
+        return None;
+    }
+    let probability = matching as f64 / traces.len() as f64;
+    let to_secs = |mean_periods: f64| (mean_periods.max(1.0) * period as f64).round() as u64;
+    let inc_bins = EqualProbabilityBins::fit(&inc_mags, bin_count)?;
+    let dec_bins = EqualProbabilityBins::fit(&dec_mags, bin_count)?;
+    Some(RapidGrowthSpec {
+        probability,
+        steady_secs: to_secs(describe::mean(&lead_lens)),
+        between_secs: if between_lens.is_empty() {
+            period
+        } else {
+            to_secs(describe::mean(&between_lens))
+        },
+        increase: GrowthStateSpec {
+            duration_secs: to_secs(describe::mean(&inc_lens)),
+            bin_edges: inc_bins.edges().to_vec(),
+        },
+        decrease: GrowthStateSpec {
+            duration_secs: to_secs(describe::mean(&dec_lens)),
+            bin_edges: dec_bins.edges().to_vec(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toto_simcore::rng::DetRng;
+    use toto_simcore::time::{SimDuration, SECS_PER_HOUR};
+    use toto_stats::dist::{Distribution, Normal};
+
+    fn synth_hourly(weeks: u64, mu_weekday: f64, mu_weekend: f64) -> Vec<HourlyObservation> {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        for hour in 0..(weeks * 7 * 24) {
+            let t = SimTime::from_secs(hour * SECS_PER_HOUR);
+            let mu = match t.day_kind().index() {
+                0 => mu_weekday,
+                _ => mu_weekend,
+            };
+            let v = Normal::new(mu, 1.5).sample(&mut rng);
+            out.push(HourlyObservation { time: t, value: v });
+        }
+        out
+    }
+
+    #[test]
+    fn hourly_table_recovers_day_kind_means() {
+        let obs = synth_hourly(8, 20.0, 8.0);
+        let (table, report) = train_hourly_table(&obs);
+        for h in 0..24 {
+            assert!((table.cells[0][h].0 - 20.0).abs() < 2.0, "wd h{h}");
+            assert!((table.cells[1][h].0 - 8.0).abs() < 2.0, "we h{h}");
+        }
+        // Normal data should mostly pass the K-S normality check.
+        assert!(report.acceptance_rate(0.05) > 0.85);
+        assert_eq!(report.cell_ks.len(), 48);
+    }
+
+    #[test]
+    fn empty_cells_are_point_masses() {
+        // Only weekday-hour-0 observations.
+        let obs: Vec<HourlyObservation> = (0..10)
+            .map(|w| HourlyObservation {
+                time: SimTime::from_secs(w * 7 * 24 * SECS_PER_HOUR),
+                value: 4.0,
+            })
+            .collect();
+        let (table, report) = train_hourly_table(&obs);
+        assert_eq!(table.cells[0][0].0, 4.0);
+        assert_eq!(table.cells[0][1], (0.0, 0.0));
+        // 47 untested cells plus one tested.
+        assert_eq!(
+            report.cell_ks.iter().filter(|(_, r)| r.is_none()).count(),
+            47
+        );
+    }
+
+    #[test]
+    fn high_initial_growth_labeling_uses_threshold() {
+        let labels = label_high_initial_growth(&[0.5, 13.0, 12.0, 40.0], 12.0);
+        assert_eq!(labels, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn initial_creation_training_matches_paper_construction() {
+        // 100 databases; 10 grow fast.
+        let mut f5 = vec![0.1; 90];
+        f5.extend(vec![20.0; 10]);
+        let mut f30 = vec![0.5; 90];
+        f30.extend((0..10).map(|i| 100.0 + 10.0 * i as f64));
+        let spec = train_initial_creation(&f5, &f30, 12.0, 5).unwrap();
+        assert!((spec.probability - 0.1).abs() < 1e-12);
+        assert_eq!(spec.duration_secs, 1800);
+        assert_eq!(spec.bin_edges.len(), 6);
+        assert_eq!(spec.bin_edges[0], 100.0);
+        assert_eq!(*spec.bin_edges.last().unwrap(), 190.0);
+    }
+
+    #[test]
+    fn initial_creation_none_when_nothing_qualifies() {
+        assert!(train_initial_creation(&[0.1, 0.2], &[1.0, 2.0], 12.0, 5).is_none());
+        assert!(train_initial_creation(&[], &[], 12.0, 5).is_none());
+    }
+
+    #[test]
+    fn rapid_growth_detects_etl_cycles() {
+        // An ETL-ish trace: 6 flat, 2 big up, 3 flat, 2 big down, repeat.
+        let mut deltas = Vec::new();
+        for _ in 0..4 {
+            deltas.extend([0.1; 6]);
+            deltas.extend([25.0; 2]);
+            deltas.extend([0.1; 3]);
+            deltas.extend([-24.0; 2]);
+        }
+        let etl = DeltaTrace { period_secs: 1200, deltas };
+        let quiet = DeltaTrace {
+            period_secs: 1200,
+            deltas: vec![0.05; 52],
+        };
+        let spec = train_rapid_growth(&[etl, quiet.clone(), quiet], 10.0, 3).unwrap();
+        assert!((spec.probability - 1.0 / 3.0).abs() < 1e-12);
+        // Up runs: 2 periods of 25 -> total 50.
+        assert_eq!(spec.increase.duration_secs, 2 * 1200);
+        assert_eq!(spec.decrease.duration_secs, 2 * 1200);
+        assert_eq!(spec.between_secs, 3 * 1200);
+        assert_eq!(spec.steady_secs, 6 * 1200);
+        assert!((spec.increase.bin_edges[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rapid_growth_none_without_cycles() {
+        let up_only = DeltaTrace {
+            period_secs: 1200,
+            deltas: vec![0.1, 30.0, 0.1],
+        };
+        assert!(train_rapid_growth(&[up_only], 10.0, 3).is_none());
+        assert!(train_rapid_growth(&[], 10.0, 3).is_none());
+    }
+
+    #[test]
+    fn steady_state_is_hourly_table_over_deltas() {
+        let mut obs = Vec::new();
+        for i in 0..(4 * 7 * 24) {
+            let t = SimTime::ZERO + SimDuration::from_hours(i);
+            obs.push(HourlyObservation {
+                time: t,
+                value: 0.02,
+            });
+        }
+        let (table, _) = train_steady_state(&obs);
+        assert!((table.cells[0][3].0 - 0.02).abs() < 1e-12);
+        // Identical observations: sigma is zero up to accumulation dust.
+        assert!(table.cells[0][3].1 < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal discrete-event simulation driver.
+//!
+//! Events are boxed closures over a user state type `S`. Simultaneous
+//! events fire in the order they were scheduled (stable FIFO tie-break via
+//! a monotonic sequence number), which keeps experiment runs byte-for-byte
+//! reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event callback: receives the mutable simulation state and the
+/// scheduler (through which follow-up events can be scheduled).
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+struct QueuedEvent<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for QueuedEvent<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for QueuedEvent<S> {}
+impl<S> PartialOrd for QueuedEvent<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for QueuedEvent<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The scheduling half of the simulation, passed to every event callback.
+pub struct Scheduler<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent<S>>,
+}
+
+impl<S> Scheduler<S> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past: an event that rewinds time would make
+    /// the run non-reproducible.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        assert!(at >= self.now, "cannot schedule event in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+}
+
+/// A discrete-event simulation over state `S`.
+pub struct Simulation<S> {
+    state: S,
+    scheduler: Scheduler<S>,
+}
+
+impl<S> Simulation<S> {
+    /// Create a simulation with the given initial state at time zero.
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            scheduler: Scheduler::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Immutable access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Access to the scheduler for seeding the initial events.
+    pub fn scheduler(&mut self) -> &mut Scheduler<S> {
+        &mut self.scheduler
+    }
+
+    /// Run one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.scheduler.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.scheduler.now, "time went backwards");
+                self.scheduler.now = ev.at;
+                (ev.run)(&mut self.state, &mut self.scheduler);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run all events with timestamps `<= end`, then advance the clock to
+    /// exactly `end`. Events scheduled beyond `end` remain queued.
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(ev) = self.scheduler.queue.peek() {
+            if ev.at > end {
+                break;
+            }
+            self.step();
+        }
+        if self.scheduler.now < end {
+            self.scheduler.now = end;
+        }
+    }
+
+    /// Run until the event queue drains. Use with care: self-rescheduling
+    /// periodic tasks never drain, so prefer [`Simulation::run_until`].
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Consume the simulation and return the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(30), |s: &mut Vec<u32>, _| s.push(30));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(10), |s: &mut Vec<u32>, _| s.push(10));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(20), |s: &mut Vec<u32>, _| s.push(20));
+        sim.run_to_completion();
+        assert_eq!(sim.state(), &vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
+        for i in 0..10 {
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(5), move |s: &mut Vec<u32>, _| s.push(i));
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.state(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |s: &mut u32, _| *s += 1);
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(50), |s: &mut u32, _| *s += 100);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.scheduler.pending(), 1);
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(*sim.state(), 101);
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        // A self-rescheduling task: counts 1-minute ticks over one hour.
+        fn tick(count: &mut u32, sched: &mut Scheduler<u32>) {
+            *count += 1;
+            if *count < 60 {
+                sched.schedule_in(SimDuration::from_minutes(1), tick);
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        sim.scheduler().schedule_at(SimTime::ZERO, tick);
+        sim.run_to_completion();
+        assert_eq!(*sim.state(), 60);
+        assert_eq!(sim.now(), SimTime::from_secs(59 * 60));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new(());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(100), |_, sched| {
+                sched.schedule_at(SimTime::from_secs(50), |_, _| {});
+            });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim: Simulation<()> = Simulation::new(());
+        sim.run_until(SimTime::from_secs(1234));
+        assert_eq!(sim.now(), SimTime::from_secs(1234));
+    }
+}

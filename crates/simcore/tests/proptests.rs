@@ -1,0 +1,74 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use toto_simcore::event::Simulation;
+use toto_simcore::rng::{DetRng, SeedTree};
+use toto_simcore::time::{DayKind, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn next_below_is_always_in_range(seed: u64, bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval(seed: u64) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_tree_derivation_is_pure(root: u64, label in "[a-z]{1,8}", index: u64) {
+        let t = SeedTree::new(root);
+        prop_assert_eq!(t.child(&label, index).seed(), t.child(&label, index).seed());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed: u64, mut xs in prop::collection::vec(0u32..100, 0..50)) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut original = xs.clone();
+        rng.shuffle(&mut xs);
+        original.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(original, xs);
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_secs(base);
+        let d = SimDuration::from_secs(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn day_kind_is_periodic_weekly(day in 0u64..2_000) {
+        let t = SimTime::from_secs(day * 86_400);
+        let next_week = SimTime::from_secs((day + 7) * 86_400);
+        prop_assert_eq!(t.day_kind(), next_week.day_kind());
+        match t.day_of_week() {
+            0..=4 => prop_assert_eq!(t.day_kind(), DayKind::Weekday),
+            _ => prop_assert_eq!(t.day_kind(), DayKind::Weekend),
+        }
+    }
+
+    #[test]
+    fn events_always_fire_in_nondecreasing_time_order(times in prop::collection::vec(0u64..10_000, 1..40)) {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new(Vec::new());
+        for &t in &times {
+            sim.scheduler().schedule_at(SimTime::from_secs(t), move |s: &mut Vec<u64>, sched| {
+                s.push(sched.now().as_secs());
+            });
+        }
+        sim.run_to_completion();
+        let fired = sim.into_state();
+        prop_assert_eq!(fired.len(), times.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

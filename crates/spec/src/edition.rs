@@ -1,0 +1,115 @@
+//! Database editions.
+//!
+//! §2 groups SQL DB offerings by where data is stored: *remote-store*
+//! editions (Standard DTU, General Purpose vCore) keep data/log files in
+//! remote storage and run a single replica, while *local-store* editions
+//! (Premium DTU, Business Critical vCore) keep files on the compute node's
+//! local SSDs and are "replicated four times on four different compute
+//! nodes". The evaluation aggregates both pairs, so we model the two
+//! groups the paper itself uses: `StandardGp` and `PremiumBc`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The two edition groups the paper distinguishes throughout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EditionKind {
+    /// Remote-store: Standard DTU / General Purpose vCore. One replica;
+    /// local disk holds only tempDB, which is lost on failover.
+    StandardGp,
+    /// Local-store: Premium DTU / Business Critical vCore. Four replicas;
+    /// each stores a full local copy of the data, so disk usage survives
+    /// failovers.
+    PremiumBc,
+}
+
+impl EditionKind {
+    /// Both editions in a stable order (useful for model tables).
+    pub const ALL: [EditionKind; 2] = [EditionKind::StandardGp, EditionKind::PremiumBc];
+
+    /// Stable index for lookup tables (StandardGp = 0, PremiumBc = 1).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            EditionKind::StandardGp => 0,
+            EditionKind::PremiumBc => 1,
+        }
+    }
+
+    /// Number of replicas the orchestrator must place (§2, §3.1).
+    #[inline]
+    pub fn replica_count(self) -> u32 {
+        match self {
+            EditionKind::StandardGp => 1,
+            EditionKind::PremiumBc => 4,
+        }
+    }
+
+    /// True iff the database files live on the compute node's local SSD.
+    #[inline]
+    pub fn is_local_store(self) -> bool {
+        matches!(self, EditionKind::PremiumBc)
+    }
+
+    /// Whether the *disk* metric persists across failovers (§3.3.2):
+    /// local-store databases keep their data; remote-store databases only
+    /// lose tempDB, so their disk metric resets like memory does.
+    #[inline]
+    pub fn disk_is_persisted(self) -> bool {
+        self.is_local_store()
+    }
+}
+
+impl fmt::Display for EditionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditionKind::StandardGp => write!(f, "StandardGp"),
+            EditionKind::PremiumBc => write!(f, "PremiumBc"),
+        }
+    }
+}
+
+impl FromStr for EditionKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "StandardGp" => Ok(EditionKind::StandardGp),
+            "PremiumBc" => Ok(EditionKind::PremiumBc),
+            other => Err(format!("unknown edition '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts_match_paper() {
+        assert_eq!(EditionKind::StandardGp.replica_count(), 1);
+        assert_eq!(EditionKind::PremiumBc.replica_count(), 4);
+    }
+
+    #[test]
+    fn store_locality() {
+        assert!(!EditionKind::StandardGp.is_local_store());
+        assert!(EditionKind::PremiumBc.is_local_store());
+        assert!(EditionKind::PremiumBc.disk_is_persisted());
+        assert!(!EditionKind::StandardGp.disk_is_persisted());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for e in EditionKind::ALL {
+            assert_eq!(e.to_string().parse::<EditionKind>().unwrap(), e);
+        }
+        assert!("Hyperscale".parse::<EditionKind>().is_err());
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(EditionKind::StandardGp.index(), 0);
+        assert_eq!(EditionKind::PremiumBc.index(), 1);
+    }
+}

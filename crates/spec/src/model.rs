@@ -1,0 +1,542 @@
+//! Metric-model specifications.
+//!
+//! §3.3.1: model specs "contain a description of the resource they are
+//! modeling, the set of databases it applies to (e.g., all remote store
+//! databases), and the periodicity of reporting resource load to the PLB";
+//! §3.3.2 adds the `persisted` flag that distinguishes local-store disk
+//! (survives failover) from everything else (resets on failover). The spec
+//! types here are pure data: the executable model objects live in
+//! `toto-models`, which compiles a [`ModelSetSpec`] read from the Naming
+//! Service into samplers, exactly as RgManager "parses them, and
+//! constructs internal model objects".
+
+use crate::edition::EditionKind;
+use crate::resource::ResourceKind;
+use crate::xml::{ParseError, XmlElement};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which databases a metric model applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TargetPopulation {
+    /// Every database in the cluster.
+    All,
+    /// Databases of one edition group.
+    Edition(EditionKind),
+}
+
+impl TargetPopulation {
+    /// True iff a database of `edition` is covered by this target.
+    pub fn matches(self, edition: EditionKind) -> bool {
+        match self {
+            TargetPopulation::All => true,
+            TargetPopulation::Edition(e) => e == edition,
+        }
+    }
+}
+
+impl fmt::Display for TargetPopulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetPopulation::All => write!(f, "All"),
+            TargetPopulation::Edition(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl FromStr for TargetPopulation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "All" {
+            return Ok(TargetPopulation::All);
+        }
+        s.parse::<EditionKind>()
+            .map(TargetPopulation::Edition)
+            .map_err(|_| format!("unknown target population '{s}'"))
+    }
+}
+
+/// A `(day-kind × hour-of-day)` table of normal-distribution parameters —
+/// the paper's "hourly normal" construction (96 = 2 × 24 × 2 models across
+/// both editions; one `HourlyTable` holds the 48 cells for one edition).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HourlyTable {
+    /// `cells[day_kind][hour] = (mu, sigma)`.
+    pub cells: [[(f64, f64); 24]; 2],
+}
+
+impl HourlyTable {
+    /// A table with every cell set to `(mu, sigma)`.
+    pub fn constant(mu: f64, sigma: f64) -> Self {
+        HourlyTable {
+            cells: [[(mu, sigma); 24]; 2],
+        }
+    }
+
+    /// The `(mu, sigma)` cell for a day kind index (0 = weekday) and hour.
+    pub fn cell(&self, day_index: usize, hour: usize) -> (f64, f64) {
+        self.cells[day_index][hour]
+    }
+
+    pub(crate) fn to_element(&self, name: &str) -> XmlElement {
+        let mut el = XmlElement::new(name);
+        for (d, day) in self.cells.iter().enumerate() {
+            for (h, (mu, sigma)) in day.iter().enumerate() {
+                el.children.push(
+                    XmlElement::new("Cell")
+                        .attr("day", d)
+                        .attr("hour", h)
+                        .attr("mu", mu)
+                        .attr("sigma", sigma),
+                );
+            }
+        }
+        el
+    }
+
+    pub(crate) fn from_element(el: &XmlElement) -> Result<Self, ParseError> {
+        let mut cells = [[(f64::NAN, f64::NAN); 24]; 2];
+        for cell in el.children_named("Cell") {
+            let d: usize = cell.parse_attr("day")?;
+            let h: usize = cell.parse_attr("hour")?;
+            if d >= 2 || h >= 24 {
+                return Err(ParseError {
+                    offset: 0,
+                    message: format!("cell index out of range: day={d} hour={h}"),
+                });
+            }
+            cells[d][h] = (cell.parse_attr("mu")?, cell.parse_attr("sigma")?);
+        }
+        for (d, day) in cells.iter().enumerate() {
+            for (h, (mu, _)) in day.iter().enumerate() {
+                if mu.is_nan() {
+                    return Err(ParseError {
+                        offset: 0,
+                        message: format!("missing cell day={d} hour={h} in <{}>", el.name),
+                    });
+                }
+            }
+        }
+        Ok(HourlyTable { cells })
+    }
+}
+
+/// Steady-state growth: the hourly-normal delta model of §4.2.2, applied
+/// every report period.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SteadyStateSpec {
+    /// Hourly `(mu, sigma)` of the *delta* added per report period (GB for
+    /// disk). Negative samples shrink usage, as in production deltas.
+    pub hourly: HourlyTable,
+}
+
+/// Initial-creation growth (§4.2.3): with some probability a freshly
+/// created database grows rapidly for a fixed window (the paper observed
+/// restores from `.mdf` files and fixed the window at 30 minutes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitialCreationSpec {
+    /// Probability that a new database exhibits high initial growth.
+    pub probability: f64,
+    /// Length of the high-growth window (paper: 30 minutes).
+    pub duration_secs: u64,
+    /// Equal-probability bin edges (k+1 values) of the *total* growth over
+    /// the window, in GB. Five bins in the paper.
+    pub bin_edges: Vec<f64>,
+}
+
+/// One rapid state of the predictable-rapid-growth state machine, with the
+/// magnitude bins for total change over the state and the mean dwell time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrowthStateSpec {
+    /// Mean time spent in the state (paper: "the average time in each
+    /// state for every database in our Rapid Growth training set").
+    pub duration_secs: u64,
+    /// Equal-probability bin edges of the total magnitude of the change
+    /// over the state, GB. Positive for increase states.
+    pub bin_edges: Vec<f64>,
+}
+
+/// Predictable rapid growth (§4.2.4): an ETL-like cycle implemented "as a
+/// state machine inside of Toto" with states Steady → Rapid Increase →
+/// Steady Between Spikes → Rapid Decrease, then back to Steady.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RapidGrowthSpec {
+    /// Probability that a database follows this pattern.
+    pub probability: f64,
+    /// Dwell time in the leading steady state before the first spike.
+    pub steady_secs: u64,
+    /// The rapid-increase state.
+    pub increase: GrowthStateSpec,
+    /// Dwell time in the between-spikes steady state.
+    pub between_secs: u64,
+    /// The rapid-decrease state (magnitudes are subtracted).
+    pub decrease: GrowthStateSpec,
+}
+
+/// A complete metric model: resource, target sub-population, reporting
+/// periodicity, persistence, and the growth patterns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricModelSpec {
+    /// The resource being modeled.
+    pub resource: ResourceKind,
+    /// Which databases the model applies to.
+    pub target: TargetPopulation,
+    /// Whether the previously reported value survives failover (§3.3.2).
+    pub persisted: bool,
+    /// How often replicas report this metric to the PLB, seconds.
+    pub report_period_secs: u64,
+    /// The load reported immediately after a non-persisted reset (e.g. a
+    /// cold buffer pool for memory, an empty tempDB for GP disk).
+    pub reset_value: f64,
+    /// `true` for delta-accumulating metrics (disk: each sample is added
+    /// to the previous value); `false` for absolute-level metrics (memory
+    /// and CPU report the sampled level directly).
+    pub additive: bool,
+    /// Scale factor applied to the value reported by *secondary* replicas.
+    /// §3.3.2: models for CPU/memory "need to be distinct for the primary
+    /// and secondary replicas in local-store Premium/BC databases";
+    /// persisted disk ignores this (secondaries report the persisted
+    /// primary value).
+    pub secondary_scale: f64,
+    /// Per-model salt mixed into the per-node RNG seeds.
+    pub seed_salt: u64,
+    /// Steady-state growth, always present.
+    pub steady: SteadyStateSpec,
+    /// Optional initial-creation growth.
+    pub initial: Option<InitialCreationSpec>,
+    /// Optional predictable rapid growth.
+    pub rapid: Option<RapidGrowthSpec>,
+}
+
+/// The whole blob written to the Naming Service: a versioned set of metric
+/// models. RgManager re-reads it every 15 minutes and rebuilds its model
+/// objects, so overwriting the XML re-configures a running benchmark
+/// ("Tweaking the growth behavior of subsets of databases … is easily
+/// configurable simply by changing XML properties", §3.3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSetSpec {
+    /// Monotonic version; RgManager only rebuilds when it changes.
+    pub version: u64,
+    /// Root seed; per-node streams derive from this plus the node id.
+    pub base_seed: u64,
+    /// The metric models. For a given (resource, edition) the *first*
+    /// matching model wins, mirroring "If no model exists for the replica
+    /// and the load metric … the replica's actual load usage will be
+    /// reported" (§3.3.1).
+    pub models: Vec<MetricModelSpec>,
+}
+
+fn bins_to_element(name: &str, edges: &[f64]) -> XmlElement {
+    let mut el = XmlElement::new(name);
+    for e in edges {
+        el.children.push(XmlElement::new("Edge").attr("v", e));
+    }
+    el
+}
+
+fn bins_from_element(el: &XmlElement) -> Result<Vec<f64>, ParseError> {
+    let edges: Result<Vec<f64>, _> = el.children_named("Edge").map(|c| c.parse_attr("v")).collect();
+    let edges = edges?;
+    if edges.len() < 2 {
+        return Err(ParseError {
+            offset: 0,
+            message: format!("<{}> needs at least two <Edge> children", el.name),
+        });
+    }
+    Ok(edges)
+}
+
+impl MetricModelSpec {
+    /// Serialise to an XML element.
+    pub fn to_element(&self) -> XmlElement {
+        let mut el = XmlElement::new("MetricModel")
+            .attr("resource", self.resource)
+            .attr("target", self.target)
+            .attr("persisted", self.persisted)
+            .attr("reportPeriodSecs", self.report_period_secs)
+            .attr("resetValue", self.reset_value)
+            .attr("additive", self.additive)
+            .attr("secondaryScale", self.secondary_scale)
+            .attr("seedSalt", self.seed_salt);
+        el.children.push(self.steady.hourly.to_element("SteadyState"));
+        if let Some(init) = &self.initial {
+            let mut c = XmlElement::new("InitialCreation")
+                .attr("probability", init.probability)
+                .attr("durationSecs", init.duration_secs);
+            c.children.push(bins_to_element("Bins", &init.bin_edges));
+            el.children.push(c);
+        }
+        if let Some(rapid) = &self.rapid {
+            let mut c = XmlElement::new("RapidGrowth")
+                .attr("probability", rapid.probability)
+                .attr("steadySecs", rapid.steady_secs)
+                .attr("betweenSecs", rapid.between_secs);
+            let mut inc = XmlElement::new("Increase").attr("durationSecs", rapid.increase.duration_secs);
+            inc.children.push(bins_to_element("Bins", &rapid.increase.bin_edges));
+            let mut dec = XmlElement::new("Decrease").attr("durationSecs", rapid.decrease.duration_secs);
+            dec.children.push(bins_to_element("Bins", &rapid.decrease.bin_edges));
+            c.children.push(inc);
+            c.children.push(dec);
+            el.children.push(c);
+        }
+        el
+    }
+
+    /// Parse from an XML element.
+    pub fn from_element(el: &XmlElement) -> Result<Self, ParseError> {
+        let steady = SteadyStateSpec {
+            hourly: HourlyTable::from_element(el.require_child("SteadyState")?)?,
+        };
+        let initial = match el.first_child("InitialCreation") {
+            Some(c) => Some(InitialCreationSpec {
+                probability: c.parse_attr("probability")?,
+                duration_secs: c.parse_attr("durationSecs")?,
+                bin_edges: bins_from_element(c.require_child("Bins")?)?,
+            }),
+            None => None,
+        };
+        let rapid = match el.first_child("RapidGrowth") {
+            Some(c) => {
+                let inc = c.require_child("Increase")?;
+                let dec = c.require_child("Decrease")?;
+                Some(RapidGrowthSpec {
+                    probability: c.parse_attr("probability")?,
+                    steady_secs: c.parse_attr("steadySecs")?,
+                    between_secs: c.parse_attr("betweenSecs")?,
+                    increase: GrowthStateSpec {
+                        duration_secs: inc.parse_attr("durationSecs")?,
+                        bin_edges: bins_from_element(inc.require_child("Bins")?)?,
+                    },
+                    decrease: GrowthStateSpec {
+                        duration_secs: dec.parse_attr("durationSecs")?,
+                        bin_edges: bins_from_element(dec.require_child("Bins")?)?,
+                    },
+                })
+            }
+            None => None,
+        };
+        Ok(MetricModelSpec {
+            resource: el.parse_attr("resource")?,
+            target: el.parse_attr("target")?,
+            persisted: el.parse_attr("persisted")?,
+            report_period_secs: el.parse_attr("reportPeriodSecs")?,
+            reset_value: el.parse_attr("resetValue")?,
+            additive: el.parse_attr("additive")?,
+            secondary_scale: el.parse_attr("secondaryScale")?,
+            seed_salt: el.parse_attr("seedSalt")?,
+            steady,
+            initial,
+            rapid,
+        })
+    }
+}
+
+impl ModelSetSpec {
+    /// Serialise the full model set to an XML string, the exact blob the
+    /// orchestrator writes into the Naming Service.
+    pub fn to_xml_string(&self) -> String {
+        let mut root = XmlElement::new("TotoModels")
+            .attr("version", self.version)
+            .attr("baseSeed", self.base_seed);
+        for m in &self.models {
+            root.children.push(m.to_element());
+        }
+        root.to_xml_string()
+    }
+
+    /// Parse the Naming Service blob back into a spec.
+    pub fn from_xml_str(s: &str) -> Result<Self, ParseError> {
+        let root = XmlElement::parse(s)?;
+        if root.name != "TotoModels" {
+            return Err(ParseError {
+                offset: 0,
+                message: format!("expected <TotoModels>, found <{}>", root.name),
+            });
+        }
+        let models: Result<Vec<_>, _> = root
+            .children_named("MetricModel")
+            .map(MetricModelSpec::from_element)
+            .collect();
+        Ok(ModelSetSpec {
+            version: root.parse_attr("version")?,
+            base_seed: root.parse_attr("baseSeed")?,
+            models: models?,
+        })
+    }
+
+    /// The first model matching `(resource, edition)`, if any. `None`
+    /// means "report actual load" — the normal, non-Toto behaviour.
+    pub fn model_for(
+        &self,
+        resource: ResourceKind,
+        edition: EditionKind,
+    ) -> Option<&MetricModelSpec> {
+        self.models
+            .iter()
+            .find(|m| m.resource == resource && m.target.matches(edition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ModelSetSpec {
+        ModelSetSpec {
+            version: 3,
+            base_seed: 99,
+            models: vec![
+                MetricModelSpec {
+                    resource: ResourceKind::Disk,
+                    target: TargetPopulation::Edition(EditionKind::PremiumBc),
+                    persisted: true,
+                    report_period_secs: 1200,
+                    reset_value: 0.0,
+                    additive: true,
+                    secondary_scale: 1.0,
+                    seed_salt: 1,
+                    steady: SteadyStateSpec {
+                        hourly: HourlyTable::constant(0.05, 0.02),
+                    },
+                    initial: Some(InitialCreationSpec {
+                        probability: 0.1,
+                        duration_secs: 1800,
+                        bin_edges: vec![12.0, 50.0, 120.0, 400.0, 900.0, 1400.0],
+                    }),
+                    rapid: Some(RapidGrowthSpec {
+                        probability: 0.05,
+                        steady_secs: 7200,
+                        between_secs: 3600,
+                        increase: GrowthStateSpec {
+                            duration_secs: 1200,
+                            bin_edges: vec![5.0, 10.0, 20.0],
+                        },
+                        decrease: GrowthStateSpec {
+                            duration_secs: 1800,
+                            bin_edges: vec![5.0, 10.0, 20.0],
+                        },
+                    }),
+                },
+                MetricModelSpec {
+                    resource: ResourceKind::Disk,
+                    target: TargetPopulation::Edition(EditionKind::StandardGp),
+                    persisted: false,
+                    report_period_secs: 1200,
+                    reset_value: 0.5,
+                    additive: true,
+                    secondary_scale: 1.0,
+                    seed_salt: 2,
+                    steady: SteadyStateSpec {
+                        hourly: HourlyTable::constant(0.01, 0.005),
+                    },
+                    initial: None,
+                    rapid: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_spec() {
+        let spec = sample_spec();
+        let xml = spec.to_xml_string();
+        let back = ModelSetSpec::from_xml_str(&xml).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn model_lookup_respects_target() {
+        let spec = sample_spec();
+        let bc = spec
+            .model_for(ResourceKind::Disk, EditionKind::PremiumBc)
+            .unwrap();
+        assert!(bc.persisted);
+        let gp = spec
+            .model_for(ResourceKind::Disk, EditionKind::StandardGp)
+            .unwrap();
+        assert!(!gp.persisted);
+        // No memory model: fall through to actual-load behaviour.
+        assert!(spec
+            .model_for(ResourceKind::Memory, EditionKind::StandardGp)
+            .is_none());
+    }
+
+    #[test]
+    fn all_target_matches_both_editions() {
+        let t = TargetPopulation::All;
+        assert!(t.matches(EditionKind::StandardGp));
+        assert!(t.matches(EditionKind::PremiumBc));
+        let e = TargetPopulation::Edition(EditionKind::PremiumBc);
+        assert!(e.matches(EditionKind::PremiumBc));
+        assert!(!e.matches(EditionKind::StandardGp));
+    }
+
+    #[test]
+    fn target_parse_roundtrip() {
+        for s in ["All", "StandardGp", "PremiumBc"] {
+            let t: TargetPopulation = s.parse().unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+        assert!("Basic".parse::<TargetPopulation>().is_err());
+    }
+
+    #[test]
+    fn hourly_table_missing_cell_is_error() {
+        let mut el = HourlyTable::constant(1.0, 0.1).to_element("SteadyState");
+        el.children.pop();
+        let err = HourlyTable::from_element(&el).unwrap_err();
+        assert!(err.message.contains("missing cell"));
+    }
+
+    #[test]
+    fn hourly_table_out_of_range_cell_is_error() {
+        let el = XmlElement::new("SteadyState").child(
+            XmlElement::new("Cell")
+                .attr("day", 5)
+                .attr("hour", 0)
+                .attr("mu", 0)
+                .attr("sigma", 0),
+        );
+        assert!(HourlyTable::from_element(&el).is_err());
+    }
+
+    #[test]
+    fn bins_need_two_edges() {
+        let el = XmlElement::new("Bins").child(XmlElement::new("Edge").attr("v", 1.0));
+        assert!(bins_from_element(&el).is_err());
+    }
+
+    #[test]
+    fn wrong_root_element_rejected() {
+        assert!(ModelSetSpec::from_xml_str("<Nope version=\"1\" baseSeed=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn first_matching_model_wins() {
+        let mut spec = sample_spec();
+        // Prepend an All-target model; it should shadow the edition models.
+        spec.models.insert(
+            0,
+            MetricModelSpec {
+                resource: ResourceKind::Disk,
+                target: TargetPopulation::All,
+                persisted: false,
+                report_period_secs: 60,
+                reset_value: 0.0,
+                additive: true,
+                secondary_scale: 1.0,
+                seed_salt: 9,
+                steady: SteadyStateSpec {
+                    hourly: HourlyTable::constant(1.0, 0.0),
+                },
+                initial: None,
+                rapid: None,
+            },
+        );
+        let m = spec
+            .model_for(ResourceKind::Disk, EditionKind::PremiumBc)
+            .unwrap();
+        assert_eq!(m.seed_salt, 9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Governed resources.
+//!
+//! §2: "The main resources that are considered are CPU consumption, DRAM
+//! memory consumption, and disk consumption for data storage." CPU is
+//! accounted in reserved cores, memory and disk in GB.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A resource whose load is reported to the PLB as a dynamic metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// Reserved CPU cores.
+    Cpu,
+    /// DRAM in GB.
+    Memory,
+    /// Local disk in GB. For local-store databases this includes data, log
+    /// and tempDB; for remote-store databases only tempDB (§2).
+    Disk,
+}
+
+impl ResourceKind {
+    /// All resources in a stable order.
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Disk];
+
+    /// Stable index for lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Memory => 1,
+            ResourceKind::Disk => 2,
+        }
+    }
+
+    /// Unit label used in reports.
+    pub fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cores",
+            ResourceKind::Memory => "GB",
+            ResourceKind::Disk => "GB",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "Cpu"),
+            ResourceKind::Memory => write!(f, "Memory"),
+            ResourceKind::Disk => write!(f, "Disk"),
+        }
+    }
+}
+
+impl FromStr for ResourceKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Cpu" => Ok(ResourceKind::Cpu),
+            "Memory" => Ok(ResourceKind::Memory),
+            "Disk" => Ok(ResourceKind::Disk),
+            other => Err(format!("unknown resource '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_indices() {
+        for (i, r) in ResourceKind::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(r.to_string().parse::<ResourceKind>().unwrap(), r);
+        }
+        assert!("Network".parse::<ResourceKind>().is_err());
+    }
+
+    #[test]
+    fn units() {
+        assert_eq!(ResourceKind::Cpu.unit(), "cores");
+        assert_eq!(ResourceKind::Disk.unit(), "GB");
+    }
+}

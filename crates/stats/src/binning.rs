@@ -1,0 +1,164 @@
+//! Equal-probability binning with uniform within-bin sampling.
+//!
+//! §4.2.3: "The probability distribution was then created by partitioning
+//! the 'High Initial Growth' Delta Disk Usage values into five uniform
+//! bins, each with equal probability of being selected" — and §4.2.4 reuses
+//! the same construction for rapid-growth magnitudes. This module is that
+//! construction: quantile-partition the training values into `k` bins, then
+//! sample by choosing a bin uniformly and drawing uniformly within it.
+
+use rand::Rng;
+
+/// An equal-probability binned distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EqualProbabilityBins {
+    /// Bin edges, length `k + 1`, non-decreasing.
+    edges: Vec<f64>,
+}
+
+impl EqualProbabilityBins {
+    /// Fit `k` equal-probability bins to the training values.
+    ///
+    /// Returns `None` if the sample is empty or `k == 0`.
+    pub fn fit(xs: &[f64], k: usize) -> Option<Self> {
+        if xs.is_empty() || k == 0 {
+            return None;
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in binning input"));
+        let mut edges = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            let q = i as f64 / k as f64;
+            edges.push(crate::describe::quantile_sorted(&v, q));
+        }
+        Some(EqualProbabilityBins { edges })
+    }
+
+    /// Reconstruct from explicit edges (k+1 values, non-decreasing), the
+    /// form in which bins travel inside declarative model specs.
+    ///
+    /// Panics if fewer than two edges are given or they decrease.
+    pub fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] <= w[1]),
+            "edges must be non-decreasing"
+        );
+        EqualProbabilityBins { edges }
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// The bin edges (length `bin_count() + 1`).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Sample: uniform bin choice, then uniform within the bin.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.bin_count();
+        let bin = rng.gen_range(0..k);
+        let (lo, hi) = (self.edges[bin], self.edges[bin + 1]);
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    }
+
+    /// CDF of the binned distribution (piecewise linear).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let k = self.bin_count() as f64;
+        if x >= *self.edges.last().expect("non-empty edges") {
+            return 1.0;
+        }
+        if x <= self.edges[0] {
+            return 0.0;
+        }
+        for i in 0..self.bin_count() {
+            let (lo, hi) = (self.edges[i], self.edges[i + 1]);
+            if x < hi {
+                let within = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+                return (i as f64 + within) / k;
+            }
+        }
+        1.0
+    }
+
+    /// Mean of the binned distribution (average of bin midpoints).
+    pub fn mean(&self) -> f64 {
+        let k = self.bin_count();
+        (0..k)
+            .map(|i| 0.5 * (self.edges[i] + self.edges[i + 1]))
+            .sum::<f64>()
+            / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fit_rejects_empty_or_zero_bins() {
+        assert!(EqualProbabilityBins::fit(&[], 5).is_none());
+        assert!(EqualProbabilityBins::fit(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn edges_are_quantiles() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = EqualProbabilityBins::fit(&xs, 5).unwrap();
+        assert_eq!(b.bin_count(), 5);
+        let expected = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+        for (e, x) in b.edges().iter().zip(expected) {
+            assert!((e - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_bins_are_equally_likely() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).powf(1.5)).collect();
+        let b = EqualProbabilityBins::fit(&xs, 5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            let s = b.sample(&mut rng);
+            assert!(s >= b.edges()[0] && s <= *b.edges().last().unwrap());
+            let bin = b.edges().windows(2).position(|w| s >= w[0] && s < w[1]).unwrap_or(4);
+            counts[bin] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn cdf_endpoints_and_midpoint() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = EqualProbabilityBins::fit(&xs, 4).unwrap();
+        assert_eq!(b.cdf(-1.0), 0.0);
+        assert_eq!(b.cdf(101.0), 1.0);
+        assert!((b.cdf(50.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_symmetric_data() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let b = EqualProbabilityBins::fit(&xs, 5).unwrap();
+        assert!((b.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_data_yields_point_mass() {
+        let b = EqualProbabilityBins::fit(&[7.0; 20], 5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        assert_eq!(b.sample(&mut rng), 7.0);
+        assert_eq!(b.cdf(7.0), 1.0);
+        assert_eq!(b.cdf(6.999), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Descriptive statistics: means, dispersion, five-number summaries.
+//!
+//! The paper leans heavily on box plots (Figures 3a, 6, 7, 13); the
+//! [`FiveNumberSummary`] here computes exactly the quantities those plots
+//! display, including Tukey-style whiskers and outliers.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (Bessel-corrected). Returns `NaN` for fewer than two
+/// observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (Bessel-corrected).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population standard deviation (divides by `n`); used when a whole
+/// training window is treated as the population, as model fitting does.
+pub fn std_dev_population(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated quantile of a **sorted** slice, `q` in `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Linear-interpolated quantile of an unsorted slice (allocates a copy).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Median convenience wrapper.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// A Tukey box-plot summary: quartiles, whiskers at 1.5 IQR, outliers and
+/// the mean (the paper's box plots mark the mean with an X).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FiveNumberSummary {
+    /// Smallest observation within the lower whisker.
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation within the upper whisker.
+    pub whisker_high: f64,
+    /// Arithmetic mean (the "X" on the paper's box plots).
+    pub mean: f64,
+    /// Observations beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Compute a Tukey five-number summary. Panics on an empty slice.
+pub fn five_number_summary(xs: &[f64]) -> FiveNumberSummary {
+    assert!(!xs.is_empty(), "summary of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+    let q1 = quantile_sorted(&v, 0.25);
+    let med = quantile_sorted(&v, 0.5);
+    let q3 = quantile_sorted(&v, 0.75);
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    // Whiskers extend *from the box*: clamp to the quartiles so an
+    // interpolated quartile beyond every in-fence observation cannot
+    // invert the plot (possible with linear-interpolated quantiles on
+    // tiny samples with extreme outliers).
+    let whisker_low = v
+        .iter()
+        .copied()
+        .find(|&x| x >= lo_fence)
+        .unwrap_or(v[0])
+        .min(q1);
+    let whisker_high = v
+        .iter()
+        .rev()
+        .copied()
+        .find(|&x| x <= hi_fence)
+        .unwrap_or(v[v.len() - 1])
+        .max(q3);
+    let outliers = v
+        .iter()
+        .copied()
+        .filter(|&x| x < lo_fence || x > hi_fence)
+        .collect();
+    FiveNumberSummary {
+        whisker_low,
+        q1,
+        median: med,
+        q3,
+        whisker_high,
+        mean: mean(xs),
+        outliers,
+    }
+}
+
+impl FiveNumberSummary {
+    /// Render as the compact single-line form used by the experiment
+    /// binaries: `lo [q1 | med | q3] hi (mean m, k outliers)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:.2} [{:.2} | {:.2} | {:.2}] {:.2} (mean {:.2}, {} outliers)",
+            self.whisker_low,
+            self.q1,
+            self.median,
+            self.q3,
+            self.whisker_high,
+            self.mean,
+            self.outliers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev_population(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(std_dev_population(&[]).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn summary_without_outliers() {
+        let xs: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let s = five_number_summary(&xs);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.whisker_low, 1.0);
+        assert_eq!(s.whisker_high, 9.0);
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    fn summary_flags_outliers() {
+        let mut xs: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        xs.push(1000.0);
+        let s = five_number_summary(&xs);
+        assert_eq!(s.outliers, vec![1000.0]);
+        assert!(s.whisker_high <= 20.0);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = five_number_summary(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.whisker_low, 7.0);
+        assert_eq!(s.whisker_high, 7.0);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let s = five_number_summary(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.render(), "1.00 [1.50 | 2.00 | 2.50] 3.00 (mean 2.00, 0 outliers)");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile q out of range")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+}

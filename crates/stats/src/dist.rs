@@ -1,0 +1,555 @@
+//! Probability distributions with sampling and fitting.
+//!
+//! §4.1.3: "we fitted the hourly training dataset via various probability
+//! distributions including normal, uniform, Poisson and negative binomial"
+//! — all four are implemented here, each with a `fit` constructor so the
+//! model-training pipeline can run the same selection the paper describes.
+
+use crate::describe;
+use crate::special::{ln_factorial, ln_gamma, std_normal_cdf, std_normal_quantile};
+use rand::Rng;
+
+/// A continuous or discrete distribution that can be sampled and evaluated.
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Cumulative distribution function.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+}
+
+/// A distribution family that can be fitted to data.
+pub trait Fit: Sized {
+    /// Fit the family to the observations. Returns `None` when the data is
+    /// insufficient or violates the family's support.
+    fn fit(xs: &[f64]) -> Option<Self>;
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution `N(mu, sigma^2)`.
+///
+/// The paper's chosen family for both the create/drop models and the
+/// steady-state disk growth model. `sigma == 0` is allowed and degenerates
+/// to a point mass — useful for "growth fixed to 0" bootstrap phases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Construct with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        assert!(mu.is_finite(), "mu must be finite");
+        Normal { mu, sigma }
+    }
+
+    /// The mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard-deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Quantile (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+}
+
+impl Distribution for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        // Box–Muller; one uniform pair per sample keeps the stream length
+        // deterministic per draw (important for reproducibility when model
+        // specs change downstream consumers).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x < self.mu { 0.0 } else { 1.0 };
+        }
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+impl Fit for Normal {
+    /// Maximum-likelihood fit (population sigma).
+    fn fit(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mu = describe::mean(xs);
+        let sigma = describe::std_dev_population(xs);
+        if !mu.is_finite() || !sigma.is_finite() {
+            return None;
+        }
+        Some(Normal::new(mu, sigma))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+/// Continuous uniform distribution on `[lo, hi]`.
+///
+/// Used within the equal-probability bins of the initial-creation and
+/// rapid-growth models (§4.2.3: "uniform was chosen because it performed
+/// better during model fitting").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Construct on `[lo, hi]`, `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "uniform requires lo <= hi ({lo} > {hi})");
+        assert!(lo.is_finite() && hi.is_finite());
+        Uniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else if self.hi == self.lo {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+impl Fit for Uniform {
+    /// MLE fit: the sample min and max.
+    fn fit(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Uniform::new(lo, hi))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0");
+        Poisson { lambda }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass function at integer `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        (k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)).exp()
+    }
+}
+
+impl Distribution for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction for large
+            // lambda — adequate for hourly create counts (tens per hour).
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            n.sample(rng).round().max(0.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let k = x.floor() as u64;
+        // Direct summation, terminating once the remaining tail is
+        // negligible (terms decay geometrically past the mean).
+        let mut acc = 0.0;
+        for i in 0..=k {
+            let term = self.pmf(i);
+            acc += term;
+            if i as f64 > self.lambda && term < 1e-16 {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Fit for Poisson {
+    /// MLE fit: the sample mean (must be positive).
+    fn fit(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let m = describe::mean(xs);
+        if !(m > 0.0) {
+            return None;
+        }
+        Some(Poisson::new(m))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negative binomial
+// ---------------------------------------------------------------------------
+
+/// Negative binomial distribution parameterised by number of successes `r`
+/// (real-valued) and success probability `p`, counting failures.
+///
+/// Mean `r(1-p)/p`, variance `r(1-p)/p^2` — the over-dispersed counterpart
+/// to the Poisson that the paper also fitted (§4.1.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NegativeBinomial {
+    r: f64,
+    p: f64,
+}
+
+impl NegativeBinomial {
+    /// Construct with `r > 0`, `0 < p < 1`.
+    pub fn new(r: f64, p: f64) -> Self {
+        assert!(r > 0.0 && r.is_finite(), "r must be > 0");
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        NegativeBinomial { r, p }
+    }
+
+    /// Number-of-successes parameter.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Success-probability parameter.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability mass function at integer `k` failures.
+    pub fn pmf(&self, k: u64) -> f64 {
+        let kf = k as f64;
+        (ln_gamma(kf + self.r) - ln_factorial(k) - ln_gamma(self.r)
+            + self.r * self.p.ln()
+            + kf * (1.0 - self.p).ln())
+        .exp()
+    }
+}
+
+impl Distribution for NegativeBinomial {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Gamma–Poisson mixture: lambda ~ Gamma(r, (1-p)/p), k ~ Poisson.
+        let scale = (1.0 - self.p) / self.p;
+        let lambda = sample_gamma(rng, self.r) * scale;
+        if lambda <= 0.0 {
+            return 0.0;
+        }
+        Poisson::new(lambda.max(f64::MIN_POSITIVE)).sample(rng)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let k = x.floor() as u64;
+        let mut acc = 0.0;
+        for i in 0..=k {
+            let term = self.pmf(i);
+            acc += term;
+            if i as f64 > self.mean() && term < 1e-16 {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.r * (1.0 - self.p) / self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.r * (1.0 - self.p) / (self.p * self.p)
+    }
+}
+
+impl Fit for NegativeBinomial {
+    /// Method-of-moments fit; requires over-dispersion (variance > mean).
+    fn fit(xs: &[f64]) -> Option<Self> {
+        if xs.len() < 2 {
+            return None;
+        }
+        let m = describe::mean(xs);
+        let v = describe::variance(xs);
+        if !(m > 0.0) || !(v > m) {
+            return None;
+        }
+        let p = m / v;
+        let r = m * m / (v - m);
+        Some(NegativeBinomial::new(r, p))
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler with unit scale, `shape > 0`.
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost via Gamma(shape+1) * U^(1/shape).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = Normal::new(0.0, 1.0).sample(rng);
+        let v = 1.0 + c * z;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * z * z + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(12345)
+    }
+
+    fn sample_n<D: Distribution>(d: &D, n: usize) -> Vec<f64> {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).collect()
+    }
+
+    #[test]
+    fn normal_moments_match_samples() {
+        let d = Normal::new(10.0, 3.0);
+        let xs = sample_n(&d, 50_000);
+        assert!((describe::mean(&xs) - 10.0).abs() < 0.1);
+        assert!((describe::std_dev(&xs) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_degenerate_sigma_zero() {
+        let d = Normal::new(5.0, 0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+        assert_eq!(d.cdf(4.999), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert_eq!(d.quantile(0.3), 5.0);
+    }
+
+    #[test]
+    fn normal_cdf_median() {
+        let d = Normal::new(2.0, 4.0);
+        assert!((d.cdf(2.0) - 0.5).abs() < 1e-9);
+        assert!((d.quantile(0.5) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let d = Normal::new(-4.0, 2.5);
+        let xs = sample_n(&d, 50_000);
+        let f = Normal::fit(&xs).unwrap();
+        assert!((f.mu() + 4.0).abs() < 0.1);
+        assert!((f.sigma() - 2.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn uniform_basics() {
+        let d = Uniform::new(2.0, 6.0);
+        let xs = sample_n(&d, 20_000);
+        assert!(xs.iter().all(|&x| (2.0..6.0).contains(&x)));
+        assert!((describe::mean(&xs) - 4.0).abs() < 0.05);
+        assert!((d.cdf(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(7.0), 1.0);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_point_mass() {
+        let d = Uniform::new(3.0, 3.0);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 3.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_fit_is_min_max() {
+        let f = Uniform::fit(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(f.lo(), 1.0);
+        assert_eq!(f.hi(), 3.0);
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let d = Poisson::new(4.5);
+        let xs = sample_n(&d, 50_000);
+        assert!((describe::mean(&xs) - 4.5).abs() < 0.1);
+        assert!((describe::variance(&xs) - 4.5).abs() < 0.25);
+        assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let d = Poisson::new(100.0);
+        let xs = sample_n(&d, 20_000);
+        assert!((describe::mean(&xs) - 100.0).abs() < 1.0);
+        assert!((describe::std_dev(&xs) - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let d = Poisson::new(3.0);
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((d.cdf(1e9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_binomial_moments() {
+        let d = NegativeBinomial::new(5.0, 0.4);
+        let xs = sample_n(&d, 50_000);
+        assert!((describe::mean(&xs) - d.mean()).abs() < 0.2, "mean {}", describe::mean(&xs));
+        // Variance 5*0.6/0.16 = 18.75; sampling noise is larger here.
+        assert!((describe::variance(&xs) - d.variance()).abs() < 1.5);
+    }
+
+    #[test]
+    fn negative_binomial_pmf_sums_to_one() {
+        let d = NegativeBinomial::new(2.0, 0.5);
+        let total: f64 = (0..200).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_binomial_fit_requires_overdispersion() {
+        // Variance < mean: not fittable.
+        assert!(NegativeBinomial::fit(&[5.0, 5.0, 5.0]).is_none());
+        let d = NegativeBinomial::new(3.0, 0.3);
+        let xs = sample_n(&d, 50_000);
+        let f = NegativeBinomial::fit(&xs).unwrap();
+        assert!((f.mean() - d.mean()).abs() < 0.3);
+    }
+
+    #[test]
+    fn fits_reject_empty_input() {
+        assert!(Normal::fit(&[]).is_none());
+        assert!(Uniform::fit(&[]).is_none());
+        assert!(Poisson::fit(&[]).is_none());
+        assert!(NegativeBinomial::fit(&[]).is_none());
+        assert!(Poisson::fit(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn gamma_sampler_small_shape() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| super::sample_gamma(&mut r, 0.5)).collect();
+        // Gamma(0.5, 1) has mean 0.5.
+        assert!((describe::mean(&xs) - 0.5).abs() < 0.03);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+}

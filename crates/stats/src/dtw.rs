@@ -1,0 +1,115 @@
+//! Dynamic time warping distance.
+//!
+//! §4.2.2 selects the hourly-normal disk model partly because "it had
+//! comparable or smaller dynamic time warping (DTW) and root mean squared
+//! errors (RMSE) than KDE and the customized binning model". This module
+//! provides the classic O(n·m) DTW with an optional Sakoe–Chiba band, using
+//! absolute difference as the local cost.
+
+/// DTW distance between two series with an unconstrained warping path.
+///
+/// Returns `f64::INFINITY` if either series is empty.
+pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
+    dtw_distance_banded(a, b, usize::MAX)
+}
+
+/// DTW distance constrained to a Sakoe–Chiba band of half-width `band`
+/// (indices may differ by at most `band`). `band = usize::MAX` disables the
+/// constraint. The band is automatically widened to at least the length
+/// difference so a path always exists.
+pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // Clamp to the series length (avoids overflow for `usize::MAX`) and
+    // widen to at least the length difference so a path always exists.
+    let band = band.min(n.max(m)).max(n.abs_diff(m));
+    // Two rolling rows keep memory at O(m).
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        let j_lo = i.saturating_sub(band).max(1);
+        let j_hi = (i + band).min(m);
+        // Cells outside the band stay at infinity.
+        for c in curr.iter_mut().take(j_lo).skip(1) {
+            *c = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            curr[j] = cost + best;
+        }
+        for c in curr.iter_mut().take(m + 1).skip(j_hi + 1) {
+            *c = f64::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_infinite() {
+        assert_eq!(dtw_distance(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(dtw_distance(&[1.0], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn shifted_series_warp_cheaply() {
+        // A time-shifted copy should be much closer under DTW than under
+        // pointwise comparison.
+        let a: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let b: Vec<f64> = (3..53).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let pointwise: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        let warped = dtw_distance(&a, &b);
+        assert!(warped < pointwise * 0.5, "warped={warped} pointwise={pointwise}");
+    }
+
+    #[test]
+    fn single_elements() {
+        assert_eq!(dtw_distance(&[3.0], &[5.0]), 2.0);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // a = [1,2,3], b = [2,2,2,3,4]:
+        // The optimal path aligns 1->2 (1), 2->2,2 (0), 3->3 (0), 3->4 (1) = 2.
+        let d = dtw_distance(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0, 3.0, 4.0]);
+        assert!((d - 2.0).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn band_matches_unconstrained_when_wide() {
+        let a: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i + 2) % 7) as f64).collect();
+        assert_eq!(dtw_distance(&a, &b), dtw_distance_banded(&a, &b, 30));
+    }
+
+    #[test]
+    fn narrow_band_is_no_better_than_wide() {
+        let a: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.2).cos()).collect();
+        let b: Vec<f64> = (5..45).map(|i| ((i as f64) * 0.2).cos()).collect();
+        let wide = dtw_distance(&a, &b);
+        let narrow = dtw_distance_banded(&a, &b, 1);
+        assert!(narrow >= wide - 1e-12);
+    }
+
+    #[test]
+    fn band_widens_for_unequal_lengths() {
+        // band 0 with unequal lengths would be infeasible without widening.
+        let d = dtw_distance_banded(&[1.0, 2.0], &[1.0, 2.0, 2.0, 2.0], 0);
+        assert!(d.is_finite());
+    }
+}

@@ -1,0 +1,46 @@
+//! Pointwise error measures between series.
+
+/// Root mean squared error between equally long series.
+///
+/// Panics if lengths differ; returns `NaN` for empty input.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sq / a.len() as f64).sqrt()
+}
+
+/// Mean absolute error between equally long series.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mae requires equal lengths");
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 4.0]), 1.5);
+        assert!(mae(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

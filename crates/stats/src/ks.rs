@@ -1,0 +1,273 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! §4.1.3 uses "the non-parametric Kolmogorov-Smirnov (K-S) test … performed
+//! across all the hourly training datasets" to justify the hourly-normal
+//! model (Figure 7 plots the p-value dispersion against the α = 0.05 line).
+//! The paper cites `scipy.stats.kstest`; this module reproduces that
+//! behaviour: the D statistic against a hypothesised CDF and the asymptotic
+//! Kolmogorov p-value with the small-sample effective-n correction.
+
+use crate::dist::{Distribution, Fit, Normal};
+
+/// Result of a one-sample K-S test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The K-S statistic: the supremum distance between the empirical CDF
+    /// and the hypothesised CDF.
+    pub statistic: f64,
+    /// Two-sided asymptotic p-value.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// True iff the null hypothesis ("data follows the hypothesised
+    /// distribution") is **not** rejected at significance level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `P(sqrt(n) D > x) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2)`.
+fn kolmogorov_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < 0.2 {
+        // The alternating series converges too slowly here; the value is
+        // indistinguishable from 1 anyway.
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * x * x).exp();
+        if term < 1e-16 {
+            break;
+        }
+        if k % 2 == 1 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample K-S test of `xs` against an arbitrary continuous CDF.
+///
+/// Returns `None` for an empty sample.
+pub fn ks_test_with_cdf(xs: &[f64], cdf: impl Fn(f64) -> f64) -> Option<KsResult> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in K-S input"));
+    let n = v.len();
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in v.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        // D+ = max(i+1)/n - F(x); D- = max F(x) - i/n.
+        let d_plus = (i as f64 + 1.0) / nf - f;
+        let d_minus = f - i as f64 / nf;
+        d = d.max(d_plus).max(d_minus);
+    }
+    // Effective-n correction (Stephens): improves the asymptotic p-value
+    // for small samples; this matches scipy's `mode='approx'` behaviour
+    // closely for the n≈14-60 samples the paper tests.
+    let en = nf.sqrt();
+    let arg = d * (en + 0.12 + 0.11 / en);
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(arg),
+        n,
+    })
+}
+
+/// K-S normality test with parameters estimated from the sample, exactly as
+/// the paper applies it to each hourly training dataset.
+///
+/// Note: estimating the parameters from the same data makes the test
+/// conservative (the classic Lilliefors caveat). The paper nonetheless uses
+/// the plain K-S p-value via scipy, so we do too.
+pub fn ks_test_normal(xs: &[f64]) -> Option<KsResult> {
+    let fitted = Normal::fit(xs)?;
+    if fitted.sigma() == 0.0 {
+        // A degenerate sample: the empirical CDF is a step function and the
+        // point-mass CDF matches it exactly.
+        return Some(KsResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            n: xs.len(),
+        });
+    }
+    ks_test_with_cdf(xs, |x| fitted.cdf(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal, Uniform};
+    use rand::SeedableRng;
+
+    #[test]
+    fn kolmogorov_sf_known_points() {
+        // Q(0.8276) ~ 0.5 ; Q(1.2238) ~ 0.1 ; Q(1.3581) ~ 0.05
+        assert!((kolmogorov_sf(0.8276) - 0.5).abs() < 0.01);
+        assert!((kolmogorov_sf(1.2238) - 0.1).abs() < 0.005);
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 0.005);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn normal_sample_passes_normality() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let d = Normal::new(50.0, 8.0);
+        let xs: Vec<f64> = (0..200).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test_normal(&xs).unwrap();
+        assert!(r.accepts(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn uniform_sample_fails_normality_with_enough_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let d = Uniform::new(0.0, 1.0);
+        let xs: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test_normal(&xs).unwrap();
+        assert!(!r.accepts(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn exact_cdf_gives_high_p_value() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let d = Normal::new(0.0, 1.0);
+        let xs: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test_with_cdf(&xs, |x| d.cdf(x)).unwrap();
+        assert!(r.p_value > 0.05);
+        assert!(r.statistic < 0.1);
+    }
+
+    #[test]
+    fn wrong_cdf_gives_low_p_value() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let d = Normal::new(0.0, 1.0);
+        let xs: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let wrong = Normal::new(2.0, 1.0);
+        let r = ks_test_with_cdf(&xs, |x| wrong.cdf(x)).unwrap();
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(ks_test_with_cdf(&[], |_| 0.5).is_none());
+        assert!(ks_test_normal(&[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_sample_accepts() {
+        let r = ks_test_normal(&[3.0, 3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // Two points at 0.25 and 0.75 against U(0,1):
+        // D = max over: i/n boundaries -> at x=0.25: D+ = 0.5-0.25 = 0.25;
+        // at x=0.75: D+ = 1.0-0.75=0.25, D- = 0.75-0.5=0.25 -> D = 0.25.
+        let r = ks_test_with_cdf(&[0.25, 0.75], |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!((r.statistic - 0.25).abs() < 1e-12);
+        assert_eq!(r.n, 2);
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test: are `xs` and `ys` drawn from the
+/// same distribution? Used to formalise the paper's Figure 3(a) point
+/// that regional populations differ materially.
+///
+/// Returns `None` if either sample is empty.
+pub fn ks_test_two_sample(xs: &[f64], ys: &[f64]) -> Option<KsResult> {
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in K-S input"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN in K-S input"));
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let arg = d * (en + 0.12 + 0.11 / en);
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(arg),
+        n: n + m,
+    })
+}
+
+#[cfg(test)]
+mod two_sample_tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_distribution_accepted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let d = Normal::new(10.0, 2.0);
+        let xs: Vec<f64> = (0..300).map(|_| d.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..250).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_test_two_sample(&xs, &ys).unwrap();
+        assert!(r.accepts(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let a = Normal::new(10.0, 2.0);
+        let b = Normal::new(12.0, 2.0);
+        let xs: Vec<f64> = (0..300).map(|_| a.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..300).map(|_| b.sample(&mut rng)).collect();
+        let r = ks_test_two_sample(&xs, &ys).unwrap();
+        assert!(!r.accepts(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn statistic_is_one_for_disjoint_supports() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 11.0];
+        let r = ks_test_two_sample(&xs, &ys).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        assert!(ks_test_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_test_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_test_two_sample(&xs, &xs).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Wilcoxon signed-rank test for paired samples.
+//!
+//! §5.3.4 compares node-level metric distributions between repeated runs
+//! "using the Wilcoxon signed-rank test … for both metrics (e.g., six null
+//! hypothesis of 'same distribution')" and finds all but one pair
+//! insignificantly different at α = 0.05. This module implements the
+//! two-sided test with the normal approximation, tie correction and
+//! continuity correction (the scipy default for n > 25, and an accepted
+//! approximation down to n ≈ 10).
+
+use crate::special::std_normal_cdf;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WilcoxonResult {
+    /// The W statistic (the smaller of the positive/negative rank sums).
+    pub statistic: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_value: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+}
+
+impl WilcoxonResult {
+    /// True iff the "same distribution" null is **not** rejected at `alpha`.
+    pub fn same_distribution(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Two-sided Wilcoxon signed-rank test on paired observations.
+///
+/// Zero differences are discarded (Wilcoxon's original treatment, scipy's
+/// `zero_method='wilcox'`). Returns `None` if the slices have different
+/// lengths or fewer than one non-zero difference remains.
+pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Option<WilcoxonResult> {
+    if xs.len() != ys.len() {
+        return None;
+    }
+    let mut diffs: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return None;
+    }
+
+    // Rank |d| with average ranks for ties.
+    diffs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("NaN in wilcoxon"));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_correction += t * t * t - t;
+        }
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let nf = n as f64;
+    let mean = total / 2.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        // All differences tied at the same magnitude with the same sign.
+        return Some(WilcoxonResult {
+            statistic: w,
+            p_value: if w == mean { 1.0 } else { 0.0 },
+            n_used: n,
+        });
+    }
+    // Continuity correction of 0.5 toward the mean.
+    let z = (w - mean + 0.5) / var.sqrt();
+    let p = (2.0 * std_normal_cdf(z)).clamp(0.0, 1.0);
+    Some(WilcoxonResult {
+        statistic: w,
+        p_value: p,
+        n_used: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_samples_have_no_usable_differences() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(wilcoxon_signed_rank(&xs, &xs).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn same_distribution_accepted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let d = Normal::new(100.0, 10.0);
+        let xs: Vec<f64> = (0..60).map(|_| d.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..60).map(|_| d.sample(&mut rng)).collect();
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        assert!(r.same_distribution(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let d = Normal::new(100.0, 10.0);
+        let xs: Vec<f64> = (0..60).map(|_| d.sample(&mut rng)).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 15.0).collect();
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        assert!(!r.same_distribution(0.05), "p={}", r.p_value);
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn small_shift_large_noise_accepted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let noise = Normal::new(0.0, 50.0);
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 0.1 + noise.sample(&mut rng)).collect();
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        assert!(r.p_value > 0.01);
+    }
+
+    #[test]
+    fn handles_ties_in_magnitudes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0]; // all |d| = 1, alternating sign
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        // Perfectly balanced: W+ = W- so p should be ~1.
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 5.0, 6.0];
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        assert_eq!(r.n_used, 2);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic example (Conover): n=10 paired differences.
+        let xs = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let ys = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
+        // One zero difference dropped, n_used = 9; W = 18 for this data.
+        assert_eq!(r.n_used, 9);
+        assert!((r.statistic - 18.0).abs() < 1e-9);
+        assert!(r.p_value > 0.05); // not significant
+    }
+}

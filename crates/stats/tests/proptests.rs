@@ -1,0 +1,119 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use toto_stats::binning::EqualProbabilityBins;
+use toto_stats::describe::{five_number_summary, quantile};
+use toto_stats::dist::{Distribution, Fit, Normal, Uniform};
+use toto_stats::dtw::dtw_distance;
+use toto_stats::kde::GaussianKde;
+use toto_stats::ks::ks_test_normal;
+use toto_stats::wilcoxon::wilcoxon_signed_rank;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_bounded_by_extremes(xs in finite_vec(1..60), q in 0.0f64..=1.0) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v = quantile(&xs, q);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn five_number_summary_is_ordered(xs in finite_vec(1..80)) {
+        let s = five_number_summary(&xs);
+        prop_assert!(s.whisker_low <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.whisker_high + 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone(mu in -100.0f64..100.0, sigma in 0.01f64..50.0, a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let d = Normal::new(mu, sigma);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d.cdf(a)));
+    }
+
+    #[test]
+    fn normal_fit_round_trips_moments(mu in -50.0f64..50.0, sigma in 0.5f64..20.0, seed: u64) {
+        let d = Normal::new(mu, sigma);
+        let mut rng = toto_simcore_rng(seed);
+        let xs: Vec<f64> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        let f = Normal::fit(&xs).unwrap();
+        prop_assert!((f.mu() - mu).abs() < sigma * 0.2 + 0.1);
+        prop_assert!((f.sigma() - sigma).abs() < sigma * 0.2 + 0.1);
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_support(lo in -100.0f64..100.0, width in 0.0f64..100.0, seed: u64) {
+        let d = Uniform::new(lo, lo + width);
+        let mut rng = toto_simcore_rng(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + width);
+        }
+    }
+
+    #[test]
+    fn ks_p_values_are_probabilities(xs in finite_vec(5..60)) {
+        if let Some(r) = ks_test_normal(&xs) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert!((0.0..=1.0).contains(&r.statistic));
+        }
+    }
+
+    #[test]
+    fn wilcoxon_is_symmetric(xs in finite_vec(5..40), ys in finite_vec(5..40)) {
+        let n = xs.len().min(ys.len());
+        let a = wilcoxon_signed_rank(&xs[..n], &ys[..n]);
+        let b = wilcoxon_signed_rank(&ys[..n], &xs[..n]);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.p_value - b.p_value).abs() < 1e-12);
+                prop_assert_eq!(a.n_used, b.n_used);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "symmetry broken in Some/None"),
+        }
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_zero_on_self(a in finite_vec(1..30), b in finite_vec(1..30)) {
+        prop_assert!(dtw_distance(&a, &a) <= 1e-9);
+        let ab = dtw_distance(&a, &b);
+        let ba = dtw_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn bins_sample_within_edges(xs in finite_vec(2..100), k in 1usize..8, seed: u64) {
+        let bins = EqualProbabilityBins::fit(&xs, k).unwrap();
+        let lo = bins.edges()[0];
+        let hi = *bins.edges().last().unwrap();
+        let mut rng = toto_simcore_rng(seed);
+        for _ in 0..100 {
+            let s = bins.sample(&mut rng);
+            prop_assert!(s >= lo && s <= hi);
+        }
+    }
+
+    #[test]
+    fn kde_cdf_is_monotone_probability(xs in finite_vec(1..50), at in -1e6f64..1e6) {
+        let kde = GaussianKde::fit(&xs).unwrap();
+        let c = kde.cdf(at);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(kde.cdf(at + 1.0) >= c - 1e-12);
+    }
+}
+
+/// A deterministic RNG for the property tests (proptest supplies the seed).
+fn toto_simcore_rng(seed: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,26 @@
+//! Telemetry: KPI collection, adjusted-revenue scoring, synthetic traces.
+//!
+//! Three concerns, mirroring how the paper observes its experiments:
+//!
+//! * [`kpi`] — the cluster telemetry the experiments collect (§5.2:
+//!   "telemetry on the cores reserved for databases, the disk utilization,
+//!   and the failovers that occurred"), plus the node-level snapshots used
+//!   by the §5.3.4 non-determinism study.
+//! * [`revenue`] — the §5.1 modeled adjusted revenue: SLO-priced compute
+//!   and storage revenue minus SLA service credits when a database is
+//!   down for 0.01 % or more of its lifetime.
+//! * [`synth`] — the synthetic stand-in for Azure production telemetry
+//!   (we have no access to the real thing): regionally parameterised
+//!   create/drop traces with diurnal and weekday/weekend structure,
+//!   low-utilization CPU/memory scatter, local-store population mixes and
+//!   per-database disk-delta traces with steady-state, initial-creation
+//!   and ETL-spike behaviours — the statistical properties §2 and §4
+//!   document.
+
+pub mod kpi;
+pub mod revenue;
+pub mod synth;
+
+pub use kpi::{FailoverRecord, NodeSnapshot, Telemetry, TimeSeries};
+pub use revenue::{BillingRecord, RevenueBreakdown, RevenueParams};
+pub use synth::{RegionProfile, SynthConfig, TraceGenerator};

@@ -1,0 +1,99 @@
+//! Property-based tests for telemetry and revenue scoring.
+
+use proptest::prelude::*;
+use toto_simcore::time::{SimDuration, SimTime};
+use toto_spec::EditionKind;
+use toto_telemetry::revenue::{BillingRecord, RevenueBreakdown, RevenueParams};
+use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
+
+proptest! {
+    #[test]
+    fn revenue_components_are_nonnegative(
+        price in 0.0f64..10.0,
+        storage_price in 0.0f64..0.01,
+        lifetime_hours in 1u64..2000,
+        data in 0.0f64..5000.0,
+        downtime in 0.0f64..100_000.0,
+    ) {
+        let params = RevenueParams::default();
+        let rec = BillingRecord {
+            service: 1,
+            edition: EditionKind::StandardGp,
+            compute_price_per_hour: price,
+            storage_price_per_gb_hour: storage_price,
+            created_at: SimTime::ZERO,
+            dropped_at: Some(SimTime::ZERO + SimDuration::from_hours(lifetime_hours)),
+            avg_data_gb: data,
+            downtime_secs: downtime,
+        };
+        let b = params.score(&rec, SimTime::from_secs(u64::MAX / 2));
+        prop_assert!(b.compute >= 0.0);
+        prop_assert!(b.storage >= 0.0);
+        prop_assert!(b.penalty >= 0.0);
+        // The credit never exceeds the full modeled monthly bill.
+        let monthly = (b.compute + b.storage) * (730.0 / lifetime_hours as f64).max(1.0);
+        prop_assert!(b.penalty <= monthly + 1e-9);
+    }
+
+    #[test]
+    fn more_downtime_never_reduces_the_penalty(
+        lifetime_hours in 10u64..2000,
+        downtime_a in 0.0f64..50_000.0,
+        extra in 0.0f64..50_000.0,
+    ) {
+        let params = RevenueParams::default();
+        let record = |downtime: f64| BillingRecord {
+            service: 1,
+            edition: EditionKind::PremiumBc,
+            compute_price_per_hour: 1.0,
+            storage_price_per_gb_hour: 0.001,
+            created_at: SimTime::ZERO,
+            dropped_at: Some(SimTime::ZERO + SimDuration::from_hours(lifetime_hours)),
+            avg_data_gb: 100.0,
+            downtime_secs: downtime,
+        };
+        let end = SimTime::from_secs(u64::MAX / 2);
+        let a = params.score(&record(downtime_a), end);
+        let b = params.score(&record(downtime_a + extra), end);
+        prop_assert!(b.penalty >= a.penalty - 1e-9);
+        prop_assert!(b.adjusted() <= a.adjusted() + 1e-9);
+    }
+
+    #[test]
+    fn breakdown_addition_is_commutative_in_totals(
+        c1 in 0.0f64..100.0, s1 in 0.0f64..100.0, p1 in 0.0f64..100.0,
+        c2 in 0.0f64..100.0, s2 in 0.0f64..100.0, p2 in 0.0f64..100.0,
+    ) {
+        let a = RevenueBreakdown { compute: c1, storage: s1, penalty: p1 };
+        let b = RevenueBreakdown { compute: c2, storage: s2, penalty: p2 };
+        let mut ab = a;
+        ab.add(&b);
+        let mut ba = b;
+        ba.add(&a);
+        prop_assert!((ab.adjusted() - ba.adjusted()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_counts_are_reproducible_and_finite(seed: u64, weeks in 1u64..4) {
+        let gen = TraceGenerator::new(SynthConfig {
+            seed,
+            region: RegionProfile::region1(),
+        });
+        let a = gen.hourly_creates(EditionKind::StandardGp, weeks);
+        let b = gen.hourly_creates(EditionKind::StandardGp, weeks);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|o| o.value.is_finite() && o.value >= 0.0));
+    }
+
+    #[test]
+    fn disk_traces_accumulate_nonnegative(seed: u64, db in 0u64..50, initial in 0.0f64..100.0) {
+        let gen = TraceGenerator::new(SynthConfig {
+            seed,
+            region: RegionProfile::region2(),
+        });
+        let trace = gen.disk_delta_trace(db, 200);
+        let usage = TraceGenerator::accumulate(initial, &trace);
+        prop_assert_eq!(usage.len(), 200);
+        prop_assert!(usage.iter().all(|u| *u >= 0.0 && u.is_finite()));
+    }
+}

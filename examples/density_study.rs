@@ -1,0 +1,53 @@
+//! The paper's §5 density study end to end: four back-to-back experiments
+//! at 100/110/120/140 % density, with the trade-off summary of Figure 2.
+//!
+//! ```text
+//! cargo run --release --example density_study            # full 6-day runs
+//! cargo run --release --example density_study -- 48      # shortened runs
+//! ```
+
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_spec::{EditionKind, ScenarioSpec};
+
+fn main() {
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(144);
+    println!("density study, {hours} simulated hours per experiment\n");
+
+    let mut results = Vec::new();
+    for density in [100u32, 110, 120, 140] {
+        let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
+        scenario.duration_hours = hours;
+        let r = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+        println!(
+            "{density:>3}%: reserved {:>5.0} cores | disk {:>5.1} TB | {:>3} redirects (first: {}) | {:>3} failovers ({:>4.0} cores, BC {:>3.0}) | adjusted ${:>8.0} (penalty ${:>7.2})",
+            r.final_reserved_cores,
+            r.final_disk_gb / 1024.0,
+            r.redirect_count,
+            r.first_redirect_hour.map_or("never".to_string(), |h| format!("h{h}")),
+            r.telemetry.failover_count(None),
+            r.telemetry.failed_over_cores(None),
+            r.telemetry.failed_over_cores(Some(EditionKind::PremiumBc)),
+            r.revenue.adjusted(),
+            r.revenue.penalty,
+        );
+        results.push((density, r));
+    }
+
+    let (_, base) = &results[0];
+    let base_cores = base.final_reserved_cores;
+    let base_rev = base.revenue.adjusted();
+    println!("\nFigure 2 view (relative to the 100% run):");
+    for (density, r) in &results[1..] {
+        println!(
+            "  {density}%: CPU reservation {:+.1}%, capacity moved {:.0} cores, adjusted revenue {:+.1}%",
+            (r.final_reserved_cores / base_cores - 1.0) * 100.0,
+            r.telemetry.failed_over_cores(None),
+            (r.revenue.adjusted() / base_rev - 1.0) * 100.0,
+        );
+    }
+    println!("\ntake-away: density buys reserved cores until failovers turn into SLA");
+    println!("credits — the sweet spot sits below the highest density level (§5.4).");
+}

@@ -1,0 +1,139 @@
+//! The §4 modeling pipeline end to end: generate synthetic production
+//! telemetry, train every model family, validate with the K-S test, and
+//! emit the declarative model XML that RgManager consumes.
+//!
+//! ```text
+//! cargo run --release --example model_training
+//! ```
+
+use toto_models::createdrop::CreateDropModel;
+use toto_models::training::{
+    train_hourly_table, train_initial_creation, train_rapid_growth, train_steady_state,
+    HourlyObservation,
+};
+use toto_simcore::time::SimTime;
+use toto_spec::model::{
+    MetricModelSpec, ModelSetSpec, SteadyStateSpec, TargetPopulation,
+};
+use toto_spec::{EditionKind, ResourceKind};
+use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
+
+fn main() {
+    let gen = TraceGenerator::new(SynthConfig {
+        seed: 2021,
+        region: RegionProfile::region2(),
+    });
+
+    // --- Create/Drop DB models (§4.1) -----------------------------------
+    println!("training create/drop models on 8 weeks of telemetry…");
+    let mut tables = Vec::new();
+    for edition in EditionKind::ALL {
+        let creates = gen.hourly_creates(edition, 8);
+        let (create_table, report) = train_hourly_table(&creates);
+        println!(
+            "  {edition} creates: {}/{} hourly cells pass K-S at α = 0.05",
+            report
+                .p_values()
+                .iter()
+                .filter(|p| **p > 0.05)
+                .count(),
+            report.p_values().len()
+        );
+        let drops = gen.hourly_drops(edition, 8);
+        let (drop_table, _) = train_hourly_table(&drops);
+        tables.push((create_table, drop_table));
+    }
+    let create_drop = CreateDropModel::new(
+        [tables[0].0.clone(), tables[1].0.clone()],
+        [tables[0].1.clone(), tables[1].1.clone()],
+    );
+    // Scale region-level rates down to one tenant ring (§4.1.1).
+    let ring_model = create_drop.scaled(1.0 / 50.0);
+    println!(
+        "  ring-level weekday-14:00 GP creates: {:.2}/hour (region {:.1}/hour)",
+        ring_model.expected_creates(EditionKind::StandardGp, SimTime::from_secs(14 * 3600)),
+        create_drop.expected_creates(EditionKind::StandardGp, SimTime::from_secs(14 * 3600)),
+    );
+
+    // --- Disk usage models (§4.2) ----------------------------------------
+    println!("\ntraining disk models on 400 database-weeks of delta traces…");
+    let mut steady_obs = Vec::new();
+    let mut first5 = Vec::new();
+    let mut first30 = Vec::new();
+    let mut traces = Vec::new();
+    for db in 0..400 {
+        let trace = gen.disk_delta_trace(db, 7 * 24 * 3);
+        // First 5 minutes ~ first period (20 min) prorated; first 30 min =
+        // first 1.5 periods. Keep it simple: use the first period's delta
+        // as the 5-minute proxy and the first two as the 30-minute growth.
+        first5.push(trace.deltas[0] / 4.0);
+        first30.push(trace.deltas[0] + trace.deltas[1] * 0.5);
+        for (i, d) in trace.deltas.iter().enumerate() {
+            // Steady-state subset: exclude spike periods (§4.2.1 trains on
+            // the 99.8 % steady mass).
+            if d.abs() < 5.0 {
+                steady_obs.push(HourlyObservation {
+                    time: SimTime::from_secs(i as u64 * trace.period_secs),
+                    value: *d,
+                });
+            }
+        }
+        traces.push(trace);
+    }
+    let (steady_table, steady_report) = train_steady_state(&steady_obs);
+    println!(
+        "  steady-state: {}/{} hourly cells pass K-S",
+        steady_report.p_values().iter().filter(|p| **p > 0.05).count(),
+        steady_report.p_values().len()
+    );
+    let initial = train_initial_creation(&first5, &first30, 12.0, 5);
+    match &initial {
+        Some(spec) => println!(
+            "  initial creation: probability {:.3}, bins {:?}",
+            spec.probability, spec.bin_edges
+        ),
+        None => println!("  initial creation: no qualifying databases"),
+    }
+    let rapid = train_rapid_growth(&traces, 8.0, 5);
+    match &rapid {
+        Some(spec) => println!(
+            "  rapid growth: probability {:.3}, inc {}s, between {}s, dec {}s",
+            spec.probability,
+            spec.increase.duration_secs,
+            spec.between_secs,
+            spec.decrease.duration_secs
+        ),
+        None => println!("  rapid growth: no qualifying databases"),
+    }
+
+    // --- Emit the declarative model XML (§3.3.1) -------------------------
+    let model_set = ModelSetSpec {
+        version: 1,
+        base_seed: 2021,
+        models: vec![MetricModelSpec {
+            resource: ResourceKind::Disk,
+            target: TargetPopulation::Edition(EditionKind::PremiumBc),
+            persisted: true,
+            report_period_secs: 1200,
+            reset_value: 0.0,
+            additive: true,
+            secondary_scale: 1.0,
+            seed_salt: 1,
+            steady: SteadyStateSpec {
+                hourly: steady_table,
+            },
+            initial,
+            rapid,
+        }],
+    };
+    let xml = model_set.to_xml_string();
+    println!(
+        "\nserialized model XML for the Naming Service: {} bytes, {} lines",
+        xml.len(),
+        xml.lines().count()
+    );
+    println!("first lines:\n{}", xml.lines().take(6).collect::<Vec<_>>().join("\n"));
+    // Round-trip check: what RgManager will parse equals what we trained.
+    assert_eq!(ModelSetSpec::from_xml_str(&xml).unwrap(), model_set);
+    println!("\nround-trip parse OK — this blob is ready for the Naming Service.");
+}

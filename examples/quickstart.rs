@@ -1,0 +1,38 @@
+//! Quickstart: run a short Toto benchmark against the simulated gen5
+//! stage ring and print the headline KPIs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_spec::ScenarioSpec;
+
+fn main() {
+    // The paper's scenario at 110 % density, shortened to one simulated
+    // day so the example finishes in about a second.
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(110);
+    scenario.duration_hours = 24;
+
+    println!("running '{}' for {} simulated hours…", scenario.name, scenario.duration_hours);
+    let result = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+
+    println!("\nbootstrap (Tables 2–3):");
+    println!("  databases          : {}", result.bootstrap.services.len());
+    println!("  reserved cores     : {:.0}", result.bootstrap.reserved_cores);
+    println!("  free logical cores : {:.0}", result.bootstrap.free_cores);
+    println!("  disk fill          : {:.1}%", result.bootstrap.disk_utilization * 100.0);
+
+    println!("\nafter the run:");
+    println!("  reserved cores     : {:.0}", result.final_reserved_cores);
+    println!("  cluster disk       : {:.1} TB", result.final_disk_gb / 1024.0);
+    println!("  creation redirects : {}", result.redirect_count);
+    println!("  failovers          : {}", result.telemetry.failover_count(None));
+    println!("  created during run : {}", result.created_during_run);
+
+    println!("\nmodeled adjusted revenue (§5.1):");
+    println!("  compute  : ${:.2}", result.revenue.compute);
+    println!("  storage  : ${:.2}", result.revenue.storage);
+    println!("  penalty  : ${:.2}", result.revenue.penalty);
+    println!("  adjusted : ${:.2}", result.revenue.adjusted());
+}

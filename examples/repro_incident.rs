@@ -1,0 +1,62 @@
+//! Toto as a "repro" tool (§1's use case (c): "debug ('repro') problems
+//! from the production clusters").
+//!
+//! The incident: §5.3.2 describes a 6-core Business Critical database
+//! that "grew about 1.3TB within the first 30 minutes of being created"
+//! and dramatically altered the cluster state. Here we reproduce that
+//! exact behaviour on demand by crafting a model set in which *every* new
+//! BC database is a 1.3 TB initial grower, replay it against a quiet
+//! ring, and watch the blast radius — placement pressure, violations and
+//! failovers — without touching production.
+//!
+//! ```text
+//! cargo run --release --example repro_incident
+//! ```
+
+use toto::defaults::gen5_model_set;
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_spec::model::InitialCreationSpec;
+use toto_spec::{EditionKind, ResourceKind, ScenarioSpec, TargetPopulation};
+
+fn run(label: &str, initial: Option<InitialCreationSpec>) {
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(120);
+    scenario.duration_hours = 36;
+    let mut models = gen5_model_set(scenario.model_seed, scenario.report_period_secs);
+    for m in &mut models.models {
+        if m.resource == ResourceKind::Disk
+            && m.target == TargetPopulation::Edition(EditionKind::PremiumBc)
+        {
+            m.initial = initial.clone();
+        }
+    }
+    let overrides = ExperimentOverrides {
+        models: Some(models),
+        ..ExperimentOverrides::default()
+    };
+    let r = DensityExperiment::new(scenario, overrides).run();
+    println!(
+        "{label:<34} disk {:>6.1} TB | {:>2} failovers ({:>4.0} cores) | {:>2} redirects | penalty ${:>7.2}",
+        r.final_disk_gb / 1024.0,
+        r.telemetry.failover_count(None),
+        r.telemetry.failed_over_cores(None),
+        r.redirect_count,
+        r.revenue.penalty,
+    );
+}
+
+fn main() {
+    println!("repro: the §5.3.2 1.3-TB initial-growth incident, at 120% density, 36h\n");
+    run("baseline (no initial growth)", None);
+    run(
+        "incident repro (every BC grows 1.3TB)",
+        Some(InitialCreationSpec {
+            probability: 1.0,
+            duration_secs: 30 * 60,
+            bin_edges: vec![1300.0, 1300.0],
+        }),
+    );
+    println!("\nthe repro run shows the incident's signature: a handful of admitted BC");
+    println!("databases adds terabytes within half an hour of creation, breaching node");
+    println!("disk capacities and forcing failovers — 'the impact that a single");
+    println!("Premium/BC database can have on the overall cluster state' (§5.3.2).");
+}

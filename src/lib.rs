@@ -1,0 +1,18 @@
+//! Workspace facade crate for the Toto reproduction.
+//!
+//! This crate exists so that the repository root can host the cross-crate
+//! integration tests (`tests/`) and the runnable examples (`examples/`)
+//! required by the project layout. The actual library surface lives in the
+//! member crates; the most important entry point is the [`toto`] crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use toto;
+pub use toto_controlplane as controlplane;
+pub use toto_fabric as fabric;
+pub use toto_models as models;
+pub use toto_rgmanager as rgmanager;
+pub use toto_simcore as simcore;
+pub use toto_spec as spec;
+pub use toto_stats as stats;
+pub use toto_telemetry as telemetry;

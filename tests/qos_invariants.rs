@@ -1,0 +1,129 @@
+//! Invariant checks on the QoS/efficiency trade-off machinery, spanning
+//! fabric, control plane and telemetry.
+
+use toto_controlplane::admission::{AdmissionController, AdmissionOutcome, CreateRequest};
+use toto_controlplane::slo::SloCatalog;
+use toto_fabric::cluster::{Cluster, ClusterConfig};
+use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_fabric::plb::{Plb, PlbConfig};
+use toto_simcore::time::SimTime;
+
+fn ring(nodes: u32, cpu: f64, disk: f64) -> (Cluster, Plb, AdmissionController, SloCatalog) {
+    let mut metrics = MetricRegistry::new();
+    let cpu_id = metrics.register(MetricDef {
+        name: "Cpu".into(),
+        node_capacity: cpu,
+        balancing_weight: 1.0,
+    });
+    let mem_id = metrics.register(MetricDef {
+        name: "Memory".into(),
+        node_capacity: 460.0,
+        balancing_weight: 0.3,
+    });
+    let disk_id = metrics.register(MetricDef {
+        name: "Disk".into(),
+        node_capacity: disk,
+        balancing_weight: 1.0,
+    });
+    (
+        Cluster::new(ClusterConfig {
+            node_count: nodes,
+            metrics,
+            fault_domains: 1,
+        }),
+        Plb::new(PlbConfig::default(), 3),
+        AdmissionController::new(cpu_id, mem_id, disk_id),
+        SloCatalog::gen5(),
+    )
+}
+
+#[test]
+fn admission_never_over_reserves_the_ring() {
+    let (mut cluster, mut plb, mut ac, catalog) = ring(6, 32.0, 8000.0);
+    let total = ac.remaining_cores(&cluster);
+    let mut admitted_cores = 0.0;
+    for i in 0..200 {
+        let (idx, slo) = catalog.by_name(if i % 3 == 0 { "BC_4" } else { "GP_4" }).unwrap();
+        let req = CreateRequest {
+            name: format!("db{i}"),
+            slo_index: idx,
+            initial_disk_gb: 5.0,
+            initial_memory_gb: 0.5,
+        };
+        if let AdmissionOutcome::Admitted(_) =
+            ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO)
+        {
+            admitted_cores += slo.total_reserved_cores();
+        }
+        cluster.check_invariants();
+    }
+    assert!(admitted_cores <= total);
+    assert!(
+        ac.redirects().len() > 0,
+        "a 192-core ring must redirect some of 200 requests"
+    );
+}
+
+#[test]
+fn violation_fixing_converges_or_stalls_without_thrashing() {
+    let (mut cluster, mut plb, mut ac, catalog) = ring(6, 96.0, 500.0);
+    let (idx, slo) = catalog.by_name("GP_4").unwrap();
+    let mut replicas = Vec::new();
+    for i in 0..30 {
+        let req = CreateRequest {
+            name: format!("db{i}"),
+            slo_index: idx,
+            initial_disk_gb: 40.0,
+            initial_memory_gb: 0.5,
+        };
+        if let AdmissionOutcome::Admitted(id) =
+            ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO)
+        {
+            replicas.push(cluster.service(id).unwrap().replicas[0]);
+        }
+    }
+    // Grow every database's disk so several nodes violate.
+    let disk = cluster.metrics().by_name("Disk").unwrap();
+    for (i, r) in replicas.iter().enumerate() {
+        cluster.report_load(*r, disk, 60.0 + (i as f64 % 5.0) * 25.0);
+    }
+    let before = cluster.violations().len();
+    let mut total_moves = 0;
+    for tick in 0..10 {
+        let events = plb.fix_violations(&mut cluster, SimTime::from_secs(tick * 300));
+        total_moves += events.len();
+        cluster.check_invariants();
+        if cluster.violations().is_empty() {
+            break;
+        }
+    }
+    let after = cluster.violations().len();
+    assert!(after <= before, "fixing must not create net new violations");
+    // Thrash bound: the PLB must not move more replicas than exist.
+    assert!(total_moves <= replicas.len() * 2, "moves {total_moves}");
+}
+
+#[test]
+fn drained_node_receives_nothing_until_back_up() {
+    let (mut cluster, mut plb, mut ac, catalog) = ring(4, 96.0, 8000.0);
+    plb.drain_node(&mut cluster, toto_fabric::ids::NodeId(1), SimTime::ZERO);
+    // Big enough databases that the per-node utilization spread after the
+    // drain exceeds the balancing threshold.
+    let (idx, slo) = catalog.by_name("GP_16").unwrap();
+    for i in 0..9 {
+        let req = CreateRequest {
+            name: format!("db{i}"),
+            slo_index: idx,
+            initial_disk_gb: 1.0,
+            initial_memory_gb: 0.5,
+        };
+        let _ = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
+    }
+    assert!(cluster.node(toto_fabric::ids::NodeId(1)).replicas.is_empty());
+    cluster.set_node_up(toto_fabric::ids::NodeId(1), true);
+    // Balancing should now move some load onto the empty node.
+    let events = plb.balance(&mut cluster, SimTime::from_secs(600));
+    assert!(!events.is_empty());
+    assert!(events.iter().any(|e| e.to == toto_fabric::ids::NodeId(1)));
+    cluster.check_invariants();
+}
