@@ -32,7 +32,11 @@ fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
         let mut load = cluster.metrics().zero_load();
         let bc = i % 7 == 0;
         load[cpu] = if bc { 8.0 } else { 4.0 };
-        load[disk] = if bc { 400.0 } else { 5.0 + rng.next_f64() * 10.0 };
+        load[disk] = if bc {
+            400.0
+        } else {
+            5.0 + rng.next_f64() * 10.0
+        };
         let spec = ServiceSpec {
             name: format!("db-{i}"),
             tag: 0,

@@ -44,7 +44,13 @@ fn bench_dtw(c: &mut Criterion) {
     let a = sample(1008, 4); // two weeks of 20-minute samples
     let bb = sample(1008, 5);
     c.bench_function("dtw_1008_unbanded", |b| {
-        b.iter(|| black_box(dtw_distance_banded(black_box(&a), black_box(&bb), usize::MAX)))
+        b.iter(|| {
+            black_box(dtw_distance_banded(
+                black_box(&a),
+                black_box(&bb),
+                usize::MAX,
+            ))
+        })
     });
     c.bench_function("dtw_1008_band72", |b| {
         b.iter(|| black_box(dtw_distance_banded(black_box(&a), black_box(&bb), 72)))
@@ -61,8 +67,16 @@ fn bench_sampling(c: &mut Criterion) {
         b.iter(|| black_box(normal.sample(&mut rng)))
     });
     c.bench_function("kde_sample", |b| b.iter(|| black_box(kde.sample(&mut rng))));
-    c.bench_function("bins_sample", |b| b.iter(|| black_box(bins.sample(&mut rng))));
+    c.bench_function("bins_sample", |b| {
+        b.iter(|| black_box(bins.sample(&mut rng)))
+    });
 }
 
-criterion_group!(benches, bench_fitting, bench_tests, bench_dtw, bench_sampling);
+criterion_group!(
+    benches,
+    bench_fitting,
+    bench_tests,
+    bench_dtw,
+    bench_sampling
+);
 criterion_main!(benches);

@@ -17,9 +17,7 @@ fn run(label: &str, persisted: bool, hours: u64) {
     scenario.duration_hours = hours;
     let mut models = gen5_model_set(scenario.model_seed, scenario.report_period_secs);
     for m in &mut models.models {
-        if m.resource == ResourceKind::Disk
-            && m.target.matches(EditionKind::PremiumBc)
-        {
+        if m.resource == ResourceKind::Disk && m.target.matches(EditionKind::PremiumBc) {
             m.persisted = persisted;
         }
     }
@@ -37,10 +35,7 @@ fn run(label: &str, persisted: bool, hours: u64) {
 }
 
 fn main() {
-    let hours = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(144);
+    let hours = toto_bench::BenchArgs::parse().hours_or(144);
     println!("ablation: BC disk persistence at 140% density, {hours}h\n");
     run("persisted (paper)", true, hours);
     run("non-persisted (ablated)", false, hours);

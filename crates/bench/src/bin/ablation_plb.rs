@@ -3,11 +3,13 @@
 //! solutions"), plus the model-refresh-period sensitivity (§3.3.1's
 //! 15-minute re-read).
 
-use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto::experiment::ExperimentOverrides;
+use toto_bench::BenchArgs;
 use toto_fabric::plb::PlbConfig;
+use toto_fleet::{FleetPlan, StderrProgress};
 use toto_spec::ScenarioSpec;
 
-fn run(label: &str, plb: PlbConfig, refresh_secs: Option<u64>, hours: u64) {
+fn add(plan: &mut FleetPlan, label: &str, plb: PlbConfig, refresh_secs: Option<u64>, hours: u64) {
     let mut scenario = ScenarioSpec::gen5_stage_cluster(120);
     scenario.duration_hours = hours;
     if let Some(secs) = refresh_secs {
@@ -17,24 +19,25 @@ fn run(label: &str, plb: PlbConfig, refresh_secs: Option<u64>, hours: u64) {
         plb: Some(plb),
         ..ExperimentOverrides::default()
     };
-    let r = DensityExperiment::new(scenario, overrides).run();
-    println!(
-        "{label:<30} reserved {:>5.0} | {:>3} redirects | {:>3} failovers | adjusted ${:>8.0}",
-        r.final_reserved_cores,
-        r.redirect_count,
-        r.telemetry.failover_count(None),
-        r.revenue.adjusted(),
-    );
+    plan.add_pinned(label, scenario, overrides);
 }
 
 fn main() {
-    let hours = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(144);
+    let args = BenchArgs::parse();
+    let hours = args.hours_or(144);
     println!("ablation: PLB search strategy at 120% density, {hours}h\n");
-    run("annealing (default)", PlbConfig::default(), None, hours);
-    run(
+    // All six variants are one fleet; the first three are the search
+    // ablation, the last three the refresh-period sensitivity.
+    let mut plan = FleetPlan::new(120);
+    add(
+        &mut plan,
+        "annealing (default)",
+        PlbConfig::default(),
+        None,
+        hours,
+    );
+    add(
+        &mut plan,
         "greedy (0 anneal iterations)",
         PlbConfig {
             anneal_iterations: 0,
@@ -43,7 +46,8 @@ fn main() {
         None,
         hours,
     );
-    run(
+    add(
+        &mut plan,
         "hot annealing (T x20)",
         PlbConfig {
             initial_temperature: 1.0,
@@ -52,13 +56,32 @@ fn main() {
         None,
         hours,
     );
-    println!("\nmodel refresh period sensitivity (same PLB):\n");
     for secs in [300u64, 900, 3600] {
-        run(
+        add(
+            &mut plan,
             &format!("refresh every {}m", secs / 60),
             PlbConfig::default(),
             Some(secs),
             hours,
+        );
+    }
+
+    let report = args.executor().run(plan.jobs(), &StderrProgress);
+    for (i, job) in report.jobs.iter().enumerate() {
+        if i == 3 {
+            println!("\nmodel refresh period sensitivity (same PLB):\n");
+        }
+        let r = job
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("{} did not complete", job.label));
+        println!(
+            "{:<30} reserved {:>5.0} | {:>3} redirects | {:>3} failovers | adjusted ${:>8.0}",
+            job.label,
+            r.final_reserved_cores,
+            r.redirect_count,
+            r.telemetry.failover_count(None),
+            r.revenue.adjusted(),
         );
     }
 }

@@ -25,9 +25,7 @@ fn main() {
         for hour in 0..24 {
             let values: Vec<f64> = trace
                 .iter()
-                .filter(|o| {
-                    o.time.day_kind() == day && o.time.hour_of_day() == hour
-                })
+                .filter(|o| o.time.day_kind() == day && o.time.hour_of_day() == hour)
                 .map(|o| o.value)
                 .collect();
             if values.is_empty() {
@@ -36,6 +34,9 @@ fn main() {
             let s = five_number_summary(&values);
             rows.push(vec![format!("{hour:02}"), s.render()]);
         }
-        println!("{}", render_table(&["hour", "box plot (creates/hour)"], &rows));
+        println!(
+            "{}",
+            render_table(&["hour", "box plot (creates/hour)"], &rows)
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! simulated envelope brackets the trace and the mean of the 100 runs
 //! nearly overlaps it.
 
-use toto_bench::render_table;
+use toto_bench::{render_table, BenchArgs};
+use toto_fleet::{FleetTask, StderrProgress};
 use toto_models::createdrop::CreateDropModel;
 use toto_models::training::train_hourly_table;
 use toto_simcore::rng::DetRng;
@@ -12,7 +13,43 @@ use toto_simcore::time::{SimDuration, SimTime};
 use toto_spec::EditionKind;
 use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
 
+/// One of the 100 model executions: samples a week of hourly creates and
+/// drops under this run's fixed seed. Pure function of `(model, run)`, so
+/// the fleet can run all 100 on any number of threads with identical
+/// output.
+struct SampleRun<'m> {
+    model: &'m CreateDropModel,
+    edition: EditionKind,
+    week_hours: usize,
+    run: u64,
+}
+
+impl FleetTask for SampleRun<'_> {
+    type Output = (Vec<f64>, Vec<f64>);
+
+    fn label(&self) -> String {
+        format!("sample-run-{:03}", self.run)
+    }
+
+    fn seed(&self) -> u64 {
+        1000 + self.run
+    }
+
+    fn run(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = DetRng::seed_from_u64(self.seed());
+        let mut creates = vec![0.0f64; self.week_hours];
+        let mut drops = vec![0.0f64; self.week_hours];
+        for h in 0..self.week_hours {
+            let t = SimTime::ZERO + SimDuration::from_hours(h as u64);
+            creates[h] = self.model.sample_creates(self.edition, t, &mut rng) as f64;
+            drops[h] = self.model.sample_drops(self.edition, t, &mut rng) as f64;
+        }
+        (creates, drops)
+    }
+}
+
 fn main() {
+    let args = BenchArgs::parse();
     let gen = TraceGenerator::new(SynthConfig {
         seed: 7,
         region: RegionProfile::region1(),
@@ -28,18 +65,28 @@ fn main() {
         [drop_table.clone(), drop_table],
     );
 
+    // The 100 model executions run as a fleet: seeds 1000..1100 exactly
+    // as the historical serial loop used, one task per run.
     let week_hours = 7 * 24;
     let runs = 100;
-    let mut sim_creates = vec![vec![0.0f64; week_hours]; runs];
-    let mut sim_drops = vec![vec![0.0f64; week_hours]; runs];
-    for (run, (sc, sd)) in sim_creates.iter_mut().zip(&mut sim_drops).enumerate() {
-        let mut rng = DetRng::seed_from_u64(1000 + run as u64);
-        for h in 0..week_hours {
-            let t = SimTime::ZERO + SimDuration::from_hours(h as u64);
-            sc[h] = model.sample_creates(edition, t, &mut rng) as f64;
-            sd[h] = model.sample_drops(edition, t, &mut rng) as f64;
-        }
-    }
+    let tasks: Vec<SampleRun> = (0..runs as u64)
+        .map(|run| SampleRun {
+            model: &model,
+            edition,
+            week_hours,
+            run,
+        })
+        .collect();
+    let report = args.executor().run(&tasks, &StderrProgress);
+    assert!(report.all_completed(), "sampling tasks cannot fail");
+    let (sim_creates, sim_drops): (Vec<Vec<f64>>, Vec<Vec<f64>>) = report
+        .jobs
+        .into_iter()
+        .map(|job| match job.outcome {
+            toto_fleet::JobOutcome::Completed(series) => series,
+            other => panic!("{} did not complete: {}", job.label, other.status()),
+        })
+        .unzip();
 
     println!("Figure 8 — production trace vs 100 simulated runs (daily totals)\n");
     let mut rows = Vec::new();
@@ -90,7 +137,8 @@ fn main() {
 }
 
 fn minmax(xs: &[f64]) -> (f64, f64) {
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }

@@ -45,8 +45,12 @@ fn main() {
         let (mu, sigma) = table.cell(t.day_kind().index(), t.hour_of_day() as usize);
         Normal::new(mu, sigma).sample(rng)
     });
-    let kde_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| kde.sample(rng));
-    let bin_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| bins.sample(rng));
+    let kde_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| {
+        kde.sample(rng)
+    });
+    let bin_usage = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| {
+        bins.sample(rng)
+    });
 
     println!("Figure 9 — cumulative disk usage, production vs models (GB)\n");
     let mut rows = Vec::new();
@@ -84,8 +88,12 @@ fn main() {
             let (mu, sigma) = table.cell(t.day_kind().index(), t.hour_of_day() as usize);
             Normal::new(mu, sigma).sample(rng)
         });
-        let kd = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| kde.sample(rng));
-        let bi = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| bins.sample(rng));
+        let kd = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| {
+            kde.sample(rng)
+        });
+        let bi = accumulate_with(&mut rng, periods, trace.period_secs, |_, rng| {
+            bins.sample(rng)
+        });
         for (slot, series) in [&hn, &kd, &bi].into_iter().enumerate() {
             scores[slot].0 += dtw_distance(&production, series) / seeds as f64;
             scores[slot].1 += rmse(&production, series) / seeds as f64;
@@ -114,4 +122,3 @@ fn accumulate_with(
         })
         .collect()
 }
-

@@ -27,9 +27,11 @@ fn main() {
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", render_table(&header_refs, &rows));
-    println!("(cores / disk-TB; logical capacity: {:.0} cores at 100%, {:.1} TB disk)",
+    println!(
+        "(cores / disk-TB; logical capacity: {:.0} cores at 100%, {:.1} TB disk)",
         results[0].scenario.total_logical_cores(),
-        results[0].scenario.total_logical_disk_gb() / 1024.0);
+        results[0].scenario.total_logical_disk_gb() / 1024.0
+    );
     println!("\nfailovers per 24h window:");
     for (d, r) in DENSITIES.iter().zip(&results) {
         let t0 = r.telemetry.reserved_cores.points()[0].0;

@@ -50,7 +50,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["density", "GP cores", "BC cores", "total cores", "failovers"],
+            &[
+                "density",
+                "GP cores",
+                "BC cores",
+                "total cores",
+                "failovers"
+            ],
             &rows
         )
     );

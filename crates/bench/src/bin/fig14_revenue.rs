@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["density", "compute $", "storage $", "penalty $", "adjusted $"],
+            &[
+                "density",
+                "compute $",
+                "storage $",
+                "penalty $",
+                "adjusted $"
+            ],
             &rows
         )
     );

@@ -17,11 +17,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("--emit") => {
-            let density: u32 = args
-                .get(2)
-                .and_then(|d| d.parse().ok())
-                .unwrap_or(100);
-            print!("{}", ScenarioSpec::gen5_stage_cluster(density).to_xml_string());
+            let density: u32 = args.get(2).and_then(|d| d.parse().ok()).unwrap_or(100);
+            print!(
+                "{}",
+                ScenarioSpec::gen5_stage_cluster(density).to_xml_string()
+            );
         }
         Some(path) => {
             let xml = std::fs::read_to_string(path)
@@ -30,22 +30,38 @@ fn main() {
                 .unwrap_or_else(|e| panic!("invalid scenario XML: {e}"));
             eprintln!(
                 "running '{}' ({} nodes, {}% density, {}h)…",
-                scenario.name, scenario.node_count, scenario.density_percent,
+                scenario.name,
+                scenario.node_count,
+                scenario.density_percent,
                 scenario.duration_hours
             );
             let r = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
-            println!("bootstrap: {} databases, {:.0} free cores, {:.1}% disk",
-                r.bootstrap.services.len(), r.bootstrap.free_cores,
-                r.bootstrap.disk_utilization * 100.0);
-            println!("final:     {:.0} reserved cores, {:.1} TB disk",
-                r.final_reserved_cores, r.final_disk_gb / 1024.0);
-            println!("redirects: {} (first at hour {:?})", r.redirect_count, r.first_redirect_hour);
-            println!("failovers: {} ({:.0} cores, {:.0} BC cores)",
+            println!(
+                "bootstrap: {} databases, {:.0} free cores, {:.1}% disk",
+                r.bootstrap.services.len(),
+                r.bootstrap.free_cores,
+                r.bootstrap.disk_utilization * 100.0
+            );
+            println!(
+                "final:     {:.0} reserved cores, {:.1} TB disk",
+                r.final_reserved_cores,
+                r.final_disk_gb / 1024.0
+            );
+            println!(
+                "redirects: {} (first at hour {:?})",
+                r.redirect_count, r.first_redirect_hour
+            );
+            println!(
+                "failovers: {} ({:.0} cores, {:.0} BC cores)",
                 r.telemetry.failover_count(None),
                 r.telemetry.failed_over_cores(None),
-                r.telemetry.failed_over_cores(Some(EditionKind::PremiumBc)));
-            println!("revenue:   ${:.0} adjusted (${:.2} penalty)",
-                r.revenue.adjusted(), r.revenue.penalty);
+                r.telemetry.failed_over_cores(Some(EditionKind::PremiumBc))
+            );
+            println!(
+                "revenue:   ${:.0} adjusted (${:.2} penalty)",
+                r.revenue.adjusted(),
+                r.revenue.penalty
+            );
         }
         None => {
             eprintln!("usage: run_scenario <scenario.xml> | --emit [density]");

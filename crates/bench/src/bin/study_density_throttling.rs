@@ -14,17 +14,18 @@
 //! cliff would be if utilizations rose.
 
 use toto::defaults::gen5_model_set;
-use toto::experiment::{DensityExperiment, ExperimentOverrides};
-use toto_bench::{hours_arg, render_table, DENSITIES};
+use toto::experiment::ExperimentOverrides;
+use toto_bench::{render_table, BenchArgs, DENSITIES};
+use toto_fleet::{FleetPlan, StderrProgress};
 use toto_spec::model::HourlyTable;
 use toto_spec::{ResourceKind, ScenarioSpec};
 
-fn run_mix(label: &str, utilization_peak: f64, sigma: f64, hours: Option<u64>) {
-    println!("{label}\n");
-    let mut rows = Vec::new();
+/// Plan one utilization mix: one pinned job per density level, with the
+/// mix's CPU model substituted in.
+fn plan_mix(plan: &mut FleetPlan, mix: &str, utilization_peak: f64, sigma: f64, args: &BenchArgs) {
     for &density in &DENSITIES {
         let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
-        if let Some(h) = hours {
+        if let Some(h) = args.hours {
             scenario.duration_hours = h;
         }
         let mut models = gen5_model_set(scenario.model_seed, scenario.report_period_secs);
@@ -35,8 +36,7 @@ fn run_mix(label: &str, utilization_peak: f64, sigma: f64, hours: Option<u64>) {
                     let diurnal = 0.25
                         + 0.75
                             * (0.5
-                                + 0.5
-                                    * ((h as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos());
+                                + 0.5 * ((h as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos());
                     let mu = utilization_peak * diurnal;
                     t.cells[0][h] = (mu, sigma);
                     t.cells[1][h] = (mu * 0.6, sigma * 0.7);
@@ -48,45 +48,69 @@ fn run_mix(label: &str, utilization_peak: f64, sigma: f64, hours: Option<u64>) {
             models: Some(models),
             ..ExperimentOverrides::default()
         };
-        let r = DensityExperiment::new(scenario, overrides).run();
-        let throttled = r.telemetry.cpu_throttling.last_value().unwrap_or(0.0);
-        rows.push(vec![
-            format!("{density}%"),
-            format!("{:.0}", r.final_reserved_cores),
-            format!("{throttled:.0}"),
-            format!("{}", r.telemetry.contended_governance_passes),
-        ]);
+        plan.add_pinned(format!("{mix}-density-{density}"), scenario, overrides);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "density",
-                "reserved cores",
-                "throttled core-intervals",
-                "contended node-passes"
-            ],
-            &rows
-        )
-    );
-    println!();
 }
 
 fn main() {
-    let hours = hours_arg();
+    let args = BenchArgs::parse();
     println!("density study — throttled CPU demand (node governance)\n");
-    run_mix(
-        "production-representative utilization (Figure 3b: mostly idle):",
-        0.22,
-        0.18,
-        hours,
-    );
-    run_mix(
-        "bursty what-if mix (peak demand beyond the reservation):",
-        1.2,
-        0.6,
-        hours,
-    );
+
+    // Both mixes' jobs (2 × 4 densities) go into one fleet so all eight
+    // experiments share the worker pool.
+    let mixes = [
+        (
+            "production-representative utilization (Figure 3b: mostly idle):",
+            0.22,
+            0.18,
+        ),
+        (
+            "bursty what-if mix (peak demand beyond the reservation):",
+            1.2,
+            0.6,
+        ),
+    ];
+    let mut plan = FleetPlan::new(55);
+    for (i, &(_, peak, sigma)) in mixes.iter().enumerate() {
+        plan_mix(&mut plan, &format!("mix{i}"), peak, sigma, &args);
+    }
+    let report = args.executor().run(plan.jobs(), &StderrProgress);
+    let results: Vec<_> = report
+        .jobs
+        .into_iter()
+        .map(|job| match job.outcome {
+            toto_fleet::JobOutcome::Completed(r) => r,
+            other => panic!("{} did not complete: {}", job.label, other.status()),
+        })
+        .collect();
+
+    for (i, &(label, _, _)) in mixes.iter().enumerate() {
+        println!("{label}\n");
+        let mut rows = Vec::new();
+        for (j, &density) in DENSITIES.iter().enumerate() {
+            let r = &results[i * DENSITIES.len() + j];
+            let throttled = r.telemetry.cpu_throttling.last_value().unwrap_or(0.0);
+            rows.push(vec![
+                format!("{density}%"),
+                format!("{:.0}", r.final_reserved_cores),
+                format!("{throttled:.0}"),
+                format!("{}", r.telemetry.contended_governance_passes),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "density",
+                    "reserved cores",
+                    "throttled core-intervals",
+                    "contended node-passes"
+                ],
+                &rows
+            )
+        );
+        println!();
+    }
     println!("take-away: at observed cloud utilizations, CPU density up to 140% is");
     println!("performance-free — disk is the binding resource, which is exactly the");
     println!("paper's density story. Were tenants to run hot, governance contention");

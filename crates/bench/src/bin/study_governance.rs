@@ -17,7 +17,8 @@ use toto_simcore::rng::DetRng;
 /// A bursty demand trace: mostly idle, occasional bursts to several
 /// times the reservation (the Figure 3(b) low-utilization shape).
 fn demand(rng: &mut DetRng, reserved: f64, hour: usize) -> f64 {
-    let diurnal = 0.25 + 0.75 * (0.5 + 0.5 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos());
+    let diurnal =
+        0.25 + 0.75 * (0.5 + 0.5 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos());
     let base = reserved * 0.15 * diurnal;
     if rng.bernoulli(0.08 * diurnal) {
         base + reserved * (1.0 + 2.0 * rng.next_f64())
@@ -85,7 +86,10 @@ fn main() {
         rows.push(vec![
             format!("{density}%"),
             format!("{count}"),
-            format!("{:.1}%", stats.contended_passes as f64 / stats.passes as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                stats.contended_passes as f64 / stats.passes as f64 * 100.0
+            ),
             format!("{:.0}", stats.throttled_core_intervals),
             format!("{:.0}", naive_throttled),
             format!("{:.1}", governed_guarantee_violations),

@@ -54,7 +54,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["pool shape", "singleton cores", "pooled cores", "densification"],
+            &[
+                "pool shape",
+                "singleton cores",
+                "pooled cores",
+                "densification"
+            ],
             &rows
         )
     );
@@ -63,9 +68,7 @@ fn main() {
     let cpu_total = 14.0 * 96.0;
     let singleton_fit = (cpu_total / (2.0 * 4.0)) as u32;
     let pool_fit = ((cpu_total / (8.0 * 4.0)) as u32) * 20;
-    println!(
-        "ring capacity: {singleton_fit} singleton databases vs {pool_fit} pooled databases\n"
-    );
+    println!("ring capacity: {singleton_fit} singleton databases vs {pool_fit} pooled databases\n");
 
     // Place a fleet of pools and drive their aggregate disk for a day.
     let mut cluster = ring();

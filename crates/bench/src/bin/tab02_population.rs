@@ -3,8 +3,8 @@
 //! representative mix produced.
 
 use std::collections::BTreeMap;
-use toto_bench::render_table;
 use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_bench::render_table;
 use toto_controlplane::slo::SloCatalog;
 use toto_spec::{EditionKind, ScenarioSpec};
 

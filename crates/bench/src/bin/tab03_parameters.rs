@@ -3,8 +3,8 @@
 //! hence reserved cores and disk) is identical across densities; only the
 //! density-scaled logical core capacity changes.
 
-use toto_bench::{render_table, DENSITIES};
 use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_bench::{render_table, DENSITIES};
 use toto_spec::ScenarioSpec;
 
 fn main() {
@@ -23,7 +23,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Density Level %", "Free Remaining Logical Cores", "Disk Usage %"],
+            &[
+                "Density Level %",
+                "Free Remaining Logical Cores",
+                "Disk Usage %"
+            ],
             &rows
         )
     );

@@ -80,7 +80,13 @@ impl AdmissionController {
     }
 
     /// Build the fabric service spec for a request.
-    fn service_spec(&self, cluster: &Cluster, slo: &Slo, slo_index: usize, req: &CreateRequest) -> ServiceSpec {
+    fn service_spec(
+        &self,
+        cluster: &Cluster,
+        slo: &Slo,
+        slo_index: usize,
+        req: &CreateRequest,
+    ) -> ServiceSpec {
         let mut load = cluster.metrics().zero_load();
         load[self.cpu] = slo.vcores as f64;
         load[self.memory] = req.initial_memory_gb;

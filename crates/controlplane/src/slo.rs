@@ -129,10 +129,7 @@ impl SloCatalog {
 
     /// Lookup by name.
     pub fn by_name(&self, name: &str) -> Option<(usize, &Slo)> {
-        self.slos
-            .iter()
-            .enumerate()
-            .find(|(_, s)| s.name == name)
+        self.slos.iter().enumerate().find(|(_, s)| s.name == name)
     }
 
     /// SLOs of one edition, `(index, slo)` pairs.

@@ -65,7 +65,11 @@ pub fn bootstrap_population(
     memory: MetricId,
     disk: MetricId,
 ) -> BootstrapReport {
-    assert_eq!(cluster.service_count(), 0, "bootstrap requires an empty cluster");
+    assert_eq!(
+        cluster.service_count(),
+        0,
+        "bootstrap requires an empty cluster"
+    );
     let mut rng = DetRng::seed_from_u64(scenario.population_seed ^ 0xB007_57A9);
 
     // Draw the population: SLOs and relative disk weights.
@@ -122,7 +126,9 @@ pub fn bootstrap_population(
     let bc_target = (target_disk - gp_total).max(0.0);
     let capped_size = |d: &Draft, scale: f64| -> f64 {
         let slo = catalog.get(d.slo_index).expect("exists");
-        (d.disk_weight * scale).min(slo.max_data_gb).min(1200.0).max(1.0)
+        (d.disk_weight * scale)
+            .min(slo.max_data_gb)
+            .clamp(1.0, 1200.0)
     };
     let mut bc_scale = 400.0;
     for _ in 0..12 {
@@ -177,7 +183,10 @@ pub fn bootstrap_population(
             Ok(id) => services.push((id, draft.edition, draft.slo_index, initial_disk)),
             Err(_e) => {
                 #[cfg(test)]
-                eprintln!("bootstrap placement failure: {} cores={} disk={:.0} err={_e:?}", spec.name, slo.vcores, initial_disk);
+                eprintln!(
+                    "bootstrap placement failure: {} cores={} disk={:.0} err={_e:?}",
+                    spec.name, slo.vcores, initial_disk
+                );
                 placement_failures += 1;
             }
         }
@@ -235,7 +244,13 @@ mod tests {
         let mut plb = Plb::new(PlbConfig::default(), scenario.plb_seed);
         let catalog = SloCatalog::gen5();
         let report = bootstrap_population(
-            &mut cluster, &mut plb, &catalog, &scenario, cpu, memory, disk,
+            &mut cluster,
+            &mut plb,
+            &catalog,
+            &scenario,
+            cpu,
+            memory,
+            disk,
         );
         (report, cluster, cpu, disk, scenario)
     }
@@ -274,8 +289,11 @@ mod tests {
         assert!((r100.reserved_cores - r120.reserved_cores).abs() < 1e-9);
         assert!(r120.free_cores > r100.free_cores + 200.0);
         // Table 3's 100 % row leaves only a few dozen cores free.
-        assert!(r100.free_cores > 0.0 && r100.free_cores < 200.0,
-            "free cores at 100%: {}", r100.free_cores);
+        assert!(
+            r100.free_cores > 0.0 && r100.free_cores < 200.0,
+            "free cores at 100%: {}",
+            r100.free_cores
+        );
     }
 
     #[test]

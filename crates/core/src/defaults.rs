@@ -54,18 +54,48 @@ pub fn gen5_population_model(seed: u64) -> PopulationModelSpec {
         drop: [gp_drop, bc_drop],
         slo_mix: [
             vec![
-                SloMixEntry { slo_name: "GP_2".into(), weight: 48.0 },
-                SloMixEntry { slo_name: "GP_4".into(), weight: 30.0 },
-                SloMixEntry { slo_name: "GP_8".into(), weight: 14.0 },
-                SloMixEntry { slo_name: "GP_16".into(), weight: 6.0 },
-                SloMixEntry { slo_name: "GP_24".into(), weight: 2.0 },
+                SloMixEntry {
+                    slo_name: "GP_2".into(),
+                    weight: 48.0,
+                },
+                SloMixEntry {
+                    slo_name: "GP_4".into(),
+                    weight: 30.0,
+                },
+                SloMixEntry {
+                    slo_name: "GP_8".into(),
+                    weight: 14.0,
+                },
+                SloMixEntry {
+                    slo_name: "GP_16".into(),
+                    weight: 6.0,
+                },
+                SloMixEntry {
+                    slo_name: "GP_24".into(),
+                    weight: 2.0,
+                },
             ],
             vec![
-                SloMixEntry { slo_name: "BC_2".into(), weight: 40.0 },
-                SloMixEntry { slo_name: "BC_4".into(), weight: 29.0 },
-                SloMixEntry { slo_name: "BC_8".into(), weight: 20.0 },
-                SloMixEntry { slo_name: "BC_16".into(), weight: 8.0 },
-                SloMixEntry { slo_name: "BC_24".into(), weight: 3.0 },
+                SloMixEntry {
+                    slo_name: "BC_2".into(),
+                    weight: 40.0,
+                },
+                SloMixEntry {
+                    slo_name: "BC_4".into(),
+                    weight: 29.0,
+                },
+                SloMixEntry {
+                    slo_name: "BC_8".into(),
+                    weight: 20.0,
+                },
+                SloMixEntry {
+                    slo_name: "BC_16".into(),
+                    weight: 8.0,
+                },
+                SloMixEntry {
+                    slo_name: "BC_24".into(),
+                    weight: 3.0,
+                },
             ],
         ],
         // Initial disk per replica, GB: GP carries only tempDB; BC carries
@@ -258,14 +288,22 @@ mod tests {
     #[test]
     fn model_set_covers_disk_for_both_editions() {
         let set = gen5_model_set(1, 1200);
-        let bc = set.model_for(ResourceKind::Disk, EditionKind::PremiumBc).unwrap();
+        let bc = set
+            .model_for(ResourceKind::Disk, EditionKind::PremiumBc)
+            .unwrap();
         assert!(bc.persisted);
-        let gp = set.model_for(ResourceKind::Disk, EditionKind::StandardGp).unwrap();
+        let gp = set
+            .model_for(ResourceKind::Disk, EditionKind::StandardGp)
+            .unwrap();
         assert!(!gp.persisted);
-        assert!(set.model_for(ResourceKind::Memory, EditionKind::PremiumBc).is_some());
+        assert!(set
+            .model_for(ResourceKind::Memory, EditionKind::PremiumBc)
+            .is_some());
         // CPU *usage* model (utilization fraction for the node governor;
         // the PLB's Cpu metric remains the reservation).
-        let cpu = set.model_for(ResourceKind::Cpu, EditionKind::StandardGp).unwrap();
+        let cpu = set
+            .model_for(ResourceKind::Cpu, EditionKind::StandardGp)
+            .unwrap();
         assert!(!cpu.additive);
         assert!(cpu.secondary_scale < 1.0);
     }
@@ -274,11 +312,15 @@ mod tests {
     fn frozen_set_has_zero_disk_growth() {
         let set = frozen_model_set(1, 1200);
         assert_eq!(set.version, 0);
-        let bc = set.model_for(ResourceKind::Disk, EditionKind::PremiumBc).unwrap();
+        let bc = set
+            .model_for(ResourceKind::Disk, EditionKind::PremiumBc)
+            .unwrap();
         assert_eq!(bc.steady.hourly.cells[0][14], (0.0, 0.0));
         assert!(bc.initial.is_none());
         // Memory models stay live during bootstrap.
-        let mem = set.model_for(ResourceKind::Memory, EditionKind::PremiumBc).unwrap();
+        let mem = set
+            .model_for(ResourceKind::Memory, EditionKind::PremiumBc)
+            .unwrap();
         assert!(mem.steady.hourly.cells[0][14].0 > 0.0);
     }
 

@@ -26,8 +26,8 @@ use toto_fabric::ids::{MetricId, NodeId, ReplicaId};
 use toto_fabric::metrics::{MetricDef, MetricRegistry};
 use toto_fabric::naming::NamingService;
 use toto_fabric::plb::{FailoverEvent, Plb, PlbConfig};
-use toto_rgmanager::{persisted_state_key, ReportRequest, RgManager, MODEL_KEY};
 use toto_models::compiled::ReplicaRoleKind;
+use toto_rgmanager::{persisted_state_key, ReportRequest, RgManager, MODEL_KEY};
 use toto_simcore::event::{Scheduler, Simulation};
 use toto_simcore::rng::DetRng;
 use toto_simcore::time::{SimDuration, SimTime};
@@ -186,12 +186,18 @@ pub struct DensityExperiment {
 impl DensityExperiment {
     /// Configure an experiment.
     pub fn new(scenario: ScenarioSpec, overrides: ExperimentOverrides) -> Self {
-        DensityExperiment { scenario, overrides }
+        DensityExperiment {
+            scenario,
+            overrides,
+        }
     }
 
     /// Run to completion and score.
     pub fn run(self) -> ExperimentResult {
-        let DensityExperiment { scenario, overrides } = self;
+        let DensityExperiment {
+            scenario,
+            overrides,
+        } = self;
 
         // --- Cluster and metrics -----------------------------------------
         let mut metrics = MetricRegistry::new();
@@ -220,7 +226,13 @@ impl DensityExperiment {
 
         // --- Bootstrap ----------------------------------------------------
         let bootstrap = bootstrap_population(
-            &mut cluster, &mut plb, &catalog, &scenario, cpu, memory, disk,
+            &mut cluster,
+            &mut plb,
+            &catalog,
+            &scenario,
+            cpu,
+            memory,
+            disk,
         );
 
         // The experiment clock starts one week after the bootstrap epoch:
@@ -232,13 +244,13 @@ impl DensityExperiment {
 
         // --- Toto orchestrator: write models, seed persisted state --------
         let mut naming = NamingService::new();
-        let model_set = overrides
-            .models
-            .clone()
-            .unwrap_or_else(|| defaults::gen5_model_set(scenario.model_seed, scenario.report_period_secs));
+        let model_set = overrides.models.clone().unwrap_or_else(|| {
+            defaults::gen5_model_set(scenario.model_seed, scenario.report_period_secs)
+        });
         naming.write(MODEL_KEY, model_set.to_xml_string());
         let mut billing: BTreeMap<u64, BillingState> = BTreeMap::new();
-        let mut identities: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut identities: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
         for (id, edition, slo_index, initial_disk) in &bootstrap.services {
             let identity = toto_simcore::rng::stable_id(
                 &cluster.service(*id).expect("bootstrap service").name,
@@ -267,8 +279,7 @@ impl DensityExperiment {
             );
         }
 
-        let mut rgmanagers: Vec<RgManager> =
-            (0..scenario.node_count).map(RgManager::new).collect();
+        let mut rgmanagers: Vec<RgManager> = (0..scenario.node_count).map(RgManager::new).collect();
         for rg in &mut rgmanagers {
             rg.refresh_models(&mut naming);
         }
@@ -330,22 +341,24 @@ impl DensityExperiment {
                     break;
                 }
                 let node = NodeId(i as u32);
-                sim.scheduler().schedule_at(t_drain, move |s: &mut ExperimentState, sc| {
-                    let events = {
-                        let mut plb = s.plb.clone();
-                        let ev = plb.drain_node(&mut s.cluster, node, sc.now());
-                        s.plb = plb;
-                        ev
-                    };
-                    // Drain moves reset non-persisted state but are not
-                    // capacity-violation failovers.
-                    process_failovers(s, events);
-                });
+                sim.scheduler()
+                    .schedule_at(t_drain, move |s: &mut ExperimentState, sc| {
+                        let events = {
+                            let mut plb = s.plb.clone();
+                            let ev = plb.drain_node(&mut s.cluster, node, sc.now());
+                            s.plb = plb;
+                            ev
+                        };
+                        // Drain moves reset non-persisted state but are not
+                        // capacity-violation failovers.
+                        process_failovers(s, events);
+                    });
                 let t_up = t_drain + SimDuration::from_hours(upgrade.downtime_hours);
                 if t_up <= end {
-                    sim.scheduler().schedule_at(t_up, move |s: &mut ExperimentState, _| {
-                        s.cluster.set_node_up(node, true);
-                    });
+                    sim.scheduler()
+                        .schedule_at(t_up, move |s: &mut ExperimentState, _| {
+                            s.cluster.set_node_up(node, true);
+                        });
                 }
             }
         }
@@ -399,8 +412,19 @@ fn edition_of(tag: u64) -> EditionKind {
 /// disk and memory metrics and reports the modeled loads to the PLB.
 fn report_metrics(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentState>) {
     let now = sched.now();
-    // Collect first: reporting mutates the cluster.
-    let replicas: Vec<(ReplicaId, u64, u32, ReplicaRole, EditionKind, SimTime, f64, f64)> = state
+    // One row per replica: (id, service, node, role, edition, created_at,
+    // disk_load, mem_load). Collect first: reporting mutates the cluster.
+    type ReplicaRow = (
+        ReplicaId,
+        u64,
+        u32,
+        ReplicaRole,
+        EditionKind,
+        SimTime,
+        f64,
+        f64,
+    );
+    let replicas: Vec<ReplicaRow> = state
         .cluster
         .replicas()
         .map(|r| {
@@ -492,7 +516,10 @@ fn process_failovers(state: &mut ExperimentState, events: Vec<FailoverEvent>) {
         // The replica restarted on another node either way: the source
         // RgManager forgets its non-persisted metric state.
         state.rgmanagers[ev.from.raw() as usize].forget_replica(ev.replica.raw());
-        if !matches!(ev.reason, toto_fabric::plb::FailoverReason::CapacityViolation(_)) {
+        if !matches!(
+            ev.reason,
+            toto_fabric::plb::FailoverReason::CapacityViolation(_)
+        ) {
             continue;
         }
         let Some(svc) = state.cluster.service(ev.service) else {
@@ -659,7 +686,10 @@ fn create_database(state: &mut ExperimentState, edition: EditionKind, now: SimTi
 
 /// Execute one drop request.
 fn drop_database(state: &mut ExperimentState, edition: EditionKind, now: SimTime) {
-    let Some(victim) = state.popmgr.pick_drop_victim(&state.cluster, edition, state.disk) else {
+    let Some(victim) = state
+        .popmgr
+        .pick_drop_victim(&state.cluster, edition, state.disk)
+    else {
         return;
     };
     let nodes: Vec<u32> = state
@@ -722,11 +752,8 @@ mod tests {
 
     #[test]
     fn short_run_produces_consistent_result() {
-        let result = DensityExperiment::new(
-            short_scenario(110, 4),
-            ExperimentOverrides::default(),
-        )
-        .run();
+        let result =
+            DensityExperiment::new(short_scenario(110, 4), ExperimentOverrides::default()).run();
         assert_eq!(result.bootstrap.services.len(), 220);
         assert!(result.final_reserved_cores > 1000.0);
         assert!(result.final_disk_gb > 10_000.0);
@@ -739,12 +766,17 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible_with_fixed_seeds() {
-        let a = DensityExperiment::new(short_scenario(100, 3), ExperimentOverrides::default()).run();
-        let b = DensityExperiment::new(short_scenario(100, 3), ExperimentOverrides::default()).run();
+        let a =
+            DensityExperiment::new(short_scenario(100, 3), ExperimentOverrides::default()).run();
+        let b =
+            DensityExperiment::new(short_scenario(100, 3), ExperimentOverrides::default()).run();
         assert_eq!(a.final_reserved_cores, b.final_reserved_cores);
         assert_eq!(a.final_disk_gb, b.final_disk_gb);
         assert_eq!(a.redirect_count, b.redirect_count);
-        assert_eq!(a.telemetry.failover_count(None), b.telemetry.failover_count(None));
+        assert_eq!(
+            a.telemetry.failover_count(None),
+            b.telemetry.failover_count(None)
+        );
         assert_eq!(a.revenue, b.revenue);
     }
 
@@ -762,8 +794,10 @@ mod tests {
 
     #[test]
     fn higher_density_reserves_more_cores() {
-        let lo = DensityExperiment::new(short_scenario(100, 8), ExperimentOverrides::default()).run();
-        let hi = DensityExperiment::new(short_scenario(140, 8), ExperimentOverrides::default()).run();
+        let lo =
+            DensityExperiment::new(short_scenario(100, 8), ExperimentOverrides::default()).run();
+        let hi =
+            DensityExperiment::new(short_scenario(140, 8), ExperimentOverrides::default()).run();
         assert!(
             hi.final_reserved_cores >= lo.final_reserved_cores,
             "140% reserved {} < 100% reserved {}",
@@ -774,8 +808,10 @@ mod tests {
 
     #[test]
     fn node_snapshots_cover_all_nodes() {
-        let mut overrides = ExperimentOverrides::default();
-        overrides.node_snapshot_secs = Some(1800);
+        let overrides = ExperimentOverrides {
+            node_snapshot_secs: Some(1800),
+            ..Default::default()
+        };
         let r = DensityExperiment::new(short_scenario(100, 2), overrides).run();
         // Snapshots at 1800s, 3600s, 5400s, 7200s = 4 rounds x 14 nodes.
         assert_eq!(r.telemetry.node_snapshots.len(), 4 * 14);
@@ -798,8 +834,7 @@ mod upgrade_tests {
             ..ExperimentOverrides::default()
         };
         let with_upgrade = DensityExperiment::new(scenario.clone(), overrides).run();
-        let baseline =
-            DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+        let baseline = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
         // The upgraded run completes with consistent accounting and moved
         // replicas around (node snapshots show empty nodes mid-run).
         assert_eq!(with_upgrade.bootstrap.services.len(), 220);
@@ -887,12 +922,7 @@ fn governance_tick(state: &mut ExperimentState, sched: &mut Scheduler<Experiment
         throttled_total += after.throttled_core_intervals - before.throttled_core_intervals;
         contended += after.contended_passes - before.contended_passes;
     }
-    let cumulative = state
-        .telemetry
-        .cpu_throttling
-        .last_value()
-        .unwrap_or(0.0)
-        + throttled_total;
+    let cumulative = state.telemetry.cpu_throttling.last_value().unwrap_or(0.0) + throttled_total;
     state.telemetry.cpu_throttling.push(now, cumulative);
     state.telemetry.contended_governance_passes += contended;
     let next = now + state.report_period;

@@ -229,8 +229,7 @@ mod tests {
         // 100 bursty 2-vcore databases as singletons: 100 x 2 x 4 = 800
         // reserved cores (BC). Pools of 20 sharing 8 vcores: 5 x 8 x 4 =
         // 160 cores — a 5x densification.
-        let (singleton, pooled) =
-            reservation_comparison(100, 2, 20, 8, EditionKind::PremiumBc);
+        let (singleton, pooled) = reservation_comparison(100, 2, 20, 8, EditionKind::PremiumBc);
         assert_eq!(singleton, 800.0);
         assert_eq!(pooled, 160.0);
         // GP singletons are single-replica.

@@ -64,9 +64,7 @@ impl PopulationManager {
                 })
                 .collect()
         };
-        let bins = |edges: &[f64]| {
-            EqualProbabilityBins::from_edges(edges.to_vec())
-        };
+        let bins = |edges: &[f64]| EqualProbabilityBins::from_edges(edges.to_vec());
         PopulationManager {
             model: CreateDropModel::new(spec.create.clone(), spec.drop.clone()),
             slo_mix: [resolve(&spec.slo_mix[0]), resolve(&spec.slo_mix[1])],
@@ -90,7 +88,9 @@ impl PopulationManager {
         let hour_start = at.truncate_to_hour();
         let mut events = Vec::new();
         for edition in EditionKind::ALL {
-            let creates = self.model.sample_creates(edition, hour_start, &mut self.rng);
+            let creates = self
+                .model
+                .sample_creates(edition, hour_start, &mut self.rng);
             for _ in 0..creates {
                 events.push(PlannedEvent {
                     offset_secs: self.rng.next_below(3600),
@@ -140,7 +140,7 @@ impl PopulationManager {
             slo_index,
             initial_disk_gb: initial_disk,
             initial_memory_gb: 0.5,
-            };
+        };
         (slo_index, req)
     }
 
@@ -228,7 +228,9 @@ mod tests {
         let t = SimTime::from_secs(14 * 3600 + 123);
         let plan = pm.plan_hour(t);
         assert!(!plan.is_empty(), "weekday peak hour should plan something");
-        assert!(plan.windows(2).all(|w| w[0].offset_secs <= w[1].offset_secs));
+        assert!(plan
+            .windows(2)
+            .all(|w| w[0].offset_secs <= w[1].offset_secs));
         assert!(plan.iter().all(|e| e.offset_secs < 3600));
     }
 
@@ -270,7 +272,11 @@ mod tests {
     fn drop_victims_match_edition() {
         let (mut pm, _catalog) = manager(4);
         let mut metrics = MetricRegistry::new();
-        metrics.register(MetricDef { name: "Cpu".into(), node_capacity: 96.0, balancing_weight: 1.0 });
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
         let mut cluster = Cluster::new(ClusterConfig::uniform(3, metrics));
         // One GP service (tag encodes edition), no BC.
         let spec = ServiceSpec {
@@ -281,8 +287,14 @@ mod tests {
         };
         let id = cluster.add_service(&spec, &[toto_fabric::ids::NodeId(0)], SimTime::ZERO);
         let disk = toto_fabric::ids::MetricId(0);
-        assert_eq!(pm.pick_drop_victim(&cluster, EditionKind::StandardGp, disk), Some(id));
-        assert_eq!(pm.pick_drop_victim(&cluster, EditionKind::PremiumBc, disk), None);
+        assert_eq!(
+            pm.pick_drop_victim(&cluster, EditionKind::StandardGp, disk),
+            Some(id)
+        );
+        assert_eq!(
+            pm.pick_drop_victim(&cluster, EditionKind::PremiumBc, disk),
+            None
+        );
     }
 
     #[test]

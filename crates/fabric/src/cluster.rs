@@ -123,8 +123,14 @@ impl Cluster {
     /// Build an empty cluster from its configuration.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.node_count > 0, "cluster needs at least one node");
-        assert!(!config.metrics.is_empty(), "cluster needs at least one metric");
-        assert!(config.fault_domains > 0, "cluster needs at least one fault domain");
+        assert!(
+            !config.metrics.is_empty(),
+            "cluster needs at least one metric"
+        );
+        assert!(
+            config.fault_domains > 0,
+            "cluster needs at least one fault domain"
+        );
         let nodes = (0..config.node_count)
             .map(|i| Node {
                 id: NodeId(i),
@@ -336,7 +342,10 @@ impl Cluster {
             .get(&replica)
             .unwrap_or_else(|| panic!("promote: unknown replica {replica}"))
             .service;
-        let svc = self.services.get(&service).expect("replica's service exists");
+        let svc = self
+            .services
+            .get(&service)
+            .expect("replica's service exists");
         let replica_ids = svc.replicas.clone();
         for rid in replica_ids {
             let rep = self.replicas.get_mut(&rid).expect("service replica exists");

@@ -156,7 +156,10 @@ mod tests {
         ns.write("other", "w");
         assert_eq!(
             ns.keys_with_prefix("toto/state/"),
-            vec!["toto/state/rep-1".to_string(), "toto/state/rep-2".to_string()]
+            vec![
+                "toto/state/rep-1".to_string(),
+                "toto/state/rep-2".to_string()
+            ]
         );
         assert_eq!(ns.keys_with_prefix("zzz"), Vec::<String>::new());
     }

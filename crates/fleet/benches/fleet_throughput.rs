@@ -1,0 +1,55 @@
+//! Fleet executor scaling: the same 4-job density fleet on 1 worker vs
+//! all available workers. The jobs are deliberately small (short
+//! duration, reduced population) so criterion can take several samples;
+//! the wall-clock ratio between the two benches is the speedup headline
+//! recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toto::experiment::ExperimentOverrides;
+use toto_fleet::{FleetExecutor, FleetPlan, NullObserver};
+use toto_spec::ScenarioSpec;
+
+/// A small-but-real fleet: 4 density jobs, 2 simulated hours, reduced
+/// bootstrap population.
+fn small_fleet() -> FleetPlan {
+    let mut plan = FleetPlan::new(42);
+    for density in [100, 110, 120, 140] {
+        let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
+        scenario.duration_hours = 2;
+        scenario.bootstrap_standard_gp = 40;
+        scenario.bootstrap_premium_bc = 8;
+        plan.add(
+            format!("bench-density-{density}"),
+            scenario,
+            ExperimentOverrides::default(),
+        );
+    }
+    plan
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let plan = small_fleet();
+    // At least 4 workers so the parallel bench is distinct even on
+    // small machines; more if the host has more cores.
+    let threads = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(4);
+
+    c.bench_function("fleet/4jobs/1thread", |b| {
+        b.iter(|| {
+            let report = FleetExecutor::new(1).run(plan.jobs(), &NullObserver);
+            assert!(report.all_completed());
+            report.jobs.len()
+        })
+    });
+    c.bench_function(&format!("fleet/4jobs/{threads}threads"), |b| {
+        b.iter(|| {
+            let report = FleetExecutor::new(threads).run(plan.jobs(), &NullObserver);
+            assert!(report.all_completed());
+            report.jobs.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! `fleet_runner` — run a fleet of density experiments in parallel and
+//! persist run artifacts.
+//!
+//! ```text
+//! fleet_runner [--jobs N] [--threads T] [--hours H] [--seed S] [--out DIR]
+//! ```
+//!
+//! Jobs cycle through the paper's density levels (100, 110, 120, 140 %;
+//! §5.2). Each job gets a seed derived from `--seed` via the workspace
+//! SplitMix64 scheme, so the artifact set is a pure function of the
+//! arguments — re-running with the same arguments reproduces every run
+//! record byte-for-byte, regardless of `--threads`.
+
+use toto_fleet::{
+    density_fleet, FleetExecutor, FleetManifest, ManifestJob, RunRecord, RunStore, StderrProgress,
+    RUN_SCHEMA_VERSION,
+};
+
+/// The §5.2 density ladder the job list cycles through.
+const DENSITIES: [u32; 4] = [100, 110, 120, 140];
+
+struct Args {
+    jobs: usize,
+    threads: usize,
+    hours: u64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: DENSITIES.len(),
+        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        hours: 144,
+        seed: 42,
+        out: "results".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--hours" => args.hours = value("--hours").parse().expect("--hours: integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => args.out = value("--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: fleet_runner [--jobs N] [--threads T] [--hours H] \
+                     [--seed S] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let densities: Vec<u32> = (0..args.jobs)
+        .map(|i| DENSITIES[i % DENSITIES.len()])
+        .collect();
+
+    // Duplicate densities get distinct labels (and thus distinct seeds)
+    // from their position in the ladder.
+    let mut plan = toto_fleet::FleetPlan::new(args.seed);
+    if args.jobs == DENSITIES.len() {
+        plan = density_fleet(args.seed, &densities, args.hours);
+    } else {
+        for (i, &density) in densities.iter().enumerate() {
+            let mut scenario = toto_spec::ScenarioSpec::gen5_stage_cluster(density);
+            scenario.duration_hours = args.hours;
+            plan.add(
+                format!("job{i:03}-density-{density}"),
+                scenario,
+                toto::experiment::ExperimentOverrides::default(),
+            );
+        }
+    }
+
+    eprintln!(
+        "[fleet_runner] {} jobs on {} threads, {}h each, root seed {}",
+        plan.jobs().len(),
+        args.threads,
+        args.hours,
+        args.seed
+    );
+
+    let executor = FleetExecutor::new(args.threads);
+    let report = executor.run(plan.jobs(), &StderrProgress);
+
+    let records: Vec<RunRecord> = report
+        .completed()
+        .map(|(job, result)| RunRecord::from_result(&job.label, job.seed, result))
+        .collect();
+    let manifest = FleetManifest {
+        schema_version: RUN_SCHEMA_VERSION,
+        fleet: "fleet_runner".to_string(),
+        root_seed: args.seed,
+        threads: report.threads as u64,
+        wall_secs: report.wall_secs,
+        jobs: report
+            .jobs
+            .iter()
+            .map(|j| ManifestJob {
+                label: j.label.clone(),
+                seed: j.seed,
+                status: j.outcome.status().to_string(),
+                wall_secs: j.wall_secs,
+            })
+            .collect(),
+    };
+    let store = RunStore::new(&args.out);
+    let dir = store
+        .save_fleet(&manifest, &records)
+        .expect("write run artifacts");
+    store
+        .append_bench_entries(&[toto_fleet::BenchEntry {
+            name: "fleet_runner/jobs_per_sec".to_string(),
+            unit: "jobs/s".to_string(),
+            value: report.jobs_per_sec(),
+        }])
+        .expect("append benchdata.json");
+
+    println!(
+        "{:<24} {:>10} {:>14} {:>10} {:>10}",
+        "job", "failovers", "adj_revenue_$", "redirects", "status"
+    );
+    for job in &report.jobs {
+        match job.outcome.output() {
+            Some(result) => println!(
+                "{:<24} {:>10} {:>14.2} {:>10} {:>10}",
+                job.label,
+                result.telemetry.failover_count(None),
+                result.revenue.adjusted(),
+                result.redirect_count,
+                job.outcome.status()
+            ),
+            None => println!(
+                "{:<24} {:>10} {:>14} {:>10} {:>10}",
+                job.label,
+                "-",
+                "-",
+                "-",
+                job.outcome.status()
+            ),
+        }
+    }
+    println!(
+        "\n{} jobs in {:.1}s on {} threads ({:.2} jobs/s) -> {}",
+        report.jobs.len(),
+        report.wall_secs,
+        report.threads,
+        report.jobs_per_sec(),
+        dir.display()
+    );
+    if !report.all_completed() {
+        std::process::exit(1);
+    }
+}

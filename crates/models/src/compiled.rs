@@ -76,8 +76,14 @@ impl CompiledMetricModel {
     pub fn new(spec: MetricModelSpec, base_seed: u64) -> Self {
         let base = SeedTree::new(base_seed).child("model", spec.seed_salt);
         let initial_bins = spec.initial.as_ref().map(|i| bins_from_edges(&i.bin_edges));
-        let rapid_inc_bins = spec.rapid.as_ref().map(|r| bins_from_edges(&r.increase.bin_edges));
-        let rapid_dec_bins = spec.rapid.as_ref().map(|r| bins_from_edges(&r.decrease.bin_edges));
+        let rapid_inc_bins = spec
+            .rapid
+            .as_ref()
+            .map(|r| bins_from_edges(&r.increase.bin_edges));
+        let rapid_dec_bins = spec
+            .rapid
+            .as_ref()
+            .map(|r| bins_from_edges(&r.decrease.bin_edges));
         CompiledMetricModel {
             spec,
             base,
@@ -162,7 +168,11 @@ impl CompiledMetricModel {
         // To keep the pattern recurring without unbounded drift, the
         // decrease magnitude mirrors the increase ("new data is loaded in
         // and old data is aged out") scaled by the trained ratio.
-        let dec_total = if inc_total > 0.0 { dec_total.min(inc_total) } else { 0.0 };
+        let dec_total = if inc_total > 0.0 {
+            dec_total.min(inc_total)
+        } else {
+            0.0
+        };
 
         let cycle = rapid.steady_secs
             + rapid.increase.duration_secs

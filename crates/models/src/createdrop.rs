@@ -180,8 +180,14 @@ mod tests {
         let m = CreateDropModel::new([tbl.clone(), tbl.clone()], [tbl.clone(), tbl]);
         let mut rng = DetRng::seed_from_u64(3);
         for _ in 0..50 {
-            assert_eq!(m.sample_creates(EditionKind::StandardGp, SimTime::ZERO, &mut rng), 0);
+            assert_eq!(
+                m.sample_creates(EditionKind::StandardGp, SimTime::ZERO, &mut rng),
+                0
+            );
         }
-        assert_eq!(m.expected_creates(EditionKind::StandardGp, SimTime::ZERO), 0.0);
+        assert_eq!(
+            m.expected_creates(EditionKind::StandardGp, SimTime::ZERO),
+            0.0
+        );
     }
 }

@@ -376,7 +376,10 @@ mod tests {
             deltas.extend([0.1; 3]);
             deltas.extend([-24.0; 2]);
         }
-        let etl = DeltaTrace { period_secs: 1200, deltas };
+        let etl = DeltaTrace {
+            period_secs: 1200,
+            deltas,
+        };
         let quiet = DeltaTrace {
             period_secs: 1200,
             deltas: vec![0.05; 52],

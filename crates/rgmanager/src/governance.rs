@@ -121,10 +121,7 @@ impl NodeGovernor {
             if hungry.is_empty() {
                 break;
             }
-            let weight_total: f64 = hungry
-                .iter()
-                .map(|id| demands[id].reserved.max(0.1))
-                .sum();
+            let weight_total: f64 = hungry.iter().map(|id| demands[id].reserved.max(0.1)).sum();
             let mut consumed = 0.0;
             for id in &hungry {
                 let d = &demands[id];
@@ -216,11 +213,7 @@ mod tests {
     #[test]
     fn total_grants_never_exceed_physical_cores() {
         let mut g = NodeGovernor::new(24.0);
-        let grants = g.govern(&demands(&[
-            (1, 8.0, 30.0),
-            (2, 8.0, 30.0),
-            (3, 8.0, 30.0),
-        ]));
+        let grants = g.govern(&demands(&[(1, 8.0, 30.0), (2, 8.0, 30.0), (3, 8.0, 30.0)]));
         let total: f64 = grants.values().map(|x| x.granted).sum();
         assert!(total <= 24.0 + 1e-9);
         // Everyone gets exactly their guarantee here.

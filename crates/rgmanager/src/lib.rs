@@ -315,7 +315,10 @@ mod tests {
         rg0.compute_report(&mut naming, &request(1, 9, ReplicaRoleKind::Primary, 2400));
         let writes_before = naming.stats().writes;
         // Secondary on node 1 reports the stored value and writes nothing.
-        let v = rg1.compute_report(&mut naming, &request(2, 9, ReplicaRoleKind::Secondary, 2400));
+        let v = rg1.compute_report(
+            &mut naming,
+            &request(2, 9, ReplicaRoleKind::Secondary, 2400),
+        );
         assert!((v - 2.0).abs() < 1e-12);
         assert_eq!(naming.stats().writes, writes_before);
     }
@@ -331,7 +334,10 @@ mod tests {
         rg0.refresh_models(&mut naming);
         rg1.refresh_models(&mut naming);
         for i in 1..=5 {
-            rg0.compute_report(&mut naming, &request(1, 9, ReplicaRoleKind::Primary, 1200 * i));
+            rg0.compute_report(
+                &mut naming,
+                &request(1, 9, ReplicaRoleKind::Primary, 1200 * i),
+            );
         }
         // Old primary reported 5.0; promoted replica (on node 1) continues.
         let v = rg1.compute_report(&mut naming, &request(2, 9, ReplicaRoleKind::Primary, 7200));
@@ -347,7 +353,10 @@ mod tests {
         rg0.refresh_models(&mut naming);
         rg1.refresh_models(&mut naming);
         for i in 1..=4 {
-            rg0.compute_report(&mut naming, &request(1, 9, ReplicaRoleKind::Primary, 1200 * i));
+            rg0.compute_report(
+                &mut naming,
+                &request(1, 9, ReplicaRoleKind::Primary, 1200 * i),
+            );
         }
         // Fail over: new node's RgManager has no memory of the replica.
         let v = rg1.compute_report(&mut naming, &request(1, 9, ReplicaRoleKind::Primary, 6000));
@@ -376,7 +385,7 @@ mod tests {
 
     #[test]
     fn value_serialisation_round_trips() {
-        let v = 1234.567_890_123_456_7;
+        let v = 1_234.567_890_123_456_7;
         let s = super::format_value(v);
         assert_eq!(s.parse::<f64>().unwrap(), v);
     }

@@ -77,7 +77,9 @@ impl SeedTree {
         // A couple of SplitMix64 rounds to decorrelate neighbouring indices.
         let a = splitmix64(&mut s);
         let b = splitmix64(&mut s);
-        SeedTree { seed: a ^ b.rotate_left(17) }
+        SeedTree {
+            seed: a ^ b.rotate_left(17),
+        }
     }
 
     /// Materialise the RNG for this point in the tree.

@@ -236,7 +236,10 @@ fn bins_to_element(name: &str, edges: &[f64]) -> XmlElement {
 }
 
 fn bins_from_element(el: &XmlElement) -> Result<Vec<f64>, ParseError> {
-    let edges: Result<Vec<f64>, _> = el.children_named("Edge").map(|c| c.parse_attr("v")).collect();
+    let edges: Result<Vec<f64>, _> = el
+        .children_named("Edge")
+        .map(|c| c.parse_attr("v"))
+        .collect();
     let edges = edges?;
     if edges.len() < 2 {
         return Err(ParseError {
@@ -259,7 +262,8 @@ impl MetricModelSpec {
             .attr("additive", self.additive)
             .attr("secondaryScale", self.secondary_scale)
             .attr("seedSalt", self.seed_salt);
-        el.children.push(self.steady.hourly.to_element("SteadyState"));
+        el.children
+            .push(self.steady.hourly.to_element("SteadyState"));
         if let Some(init) = &self.initial {
             let mut c = XmlElement::new("InitialCreation")
                 .attr("probability", init.probability)
@@ -272,10 +276,14 @@ impl MetricModelSpec {
                 .attr("probability", rapid.probability)
                 .attr("steadySecs", rapid.steady_secs)
                 .attr("betweenSecs", rapid.between_secs);
-            let mut inc = XmlElement::new("Increase").attr("durationSecs", rapid.increase.duration_secs);
-            inc.children.push(bins_to_element("Bins", &rapid.increase.bin_edges));
-            let mut dec = XmlElement::new("Decrease").attr("durationSecs", rapid.decrease.duration_secs);
-            dec.children.push(bins_to_element("Bins", &rapid.decrease.bin_edges));
+            let mut inc =
+                XmlElement::new("Increase").attr("durationSecs", rapid.increase.duration_secs);
+            inc.children
+                .push(bins_to_element("Bins", &rapid.increase.bin_edges));
+            let mut dec =
+                XmlElement::new("Decrease").attr("durationSecs", rapid.decrease.duration_secs);
+            dec.children
+                .push(bins_to_element("Bins", &rapid.decrease.bin_edges));
             c.children.push(inc);
             c.children.push(dec);
             el.children.push(c);

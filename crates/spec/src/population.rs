@@ -79,7 +79,10 @@ impl PopulationModelSpec {
             });
         }
         let seed = root.parse_attr("seed")?;
-        let mut create = [HourlyTable::constant(0.0, 0.0), HourlyTable::constant(0.0, 0.0)];
+        let mut create = [
+            HourlyTable::constant(0.0, 0.0),
+            HourlyTable::constant(0.0, 0.0),
+        ];
         let mut drop = create.clone();
         let mut slo_mix: [Vec<SloMixEntry>; 2] = [Vec::new(), Vec::new()];
         let mut initial_disk_bins: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
@@ -129,14 +132,29 @@ mod tests {
     fn spec() -> PopulationModelSpec {
         PopulationModelSpec {
             seed: 77,
-            create: [HourlyTable::constant(8.0, 2.0), HourlyTable::constant(1.5, 0.5)],
-            drop: [HourlyTable::constant(7.0, 2.0), HourlyTable::constant(1.0, 0.4)],
+            create: [
+                HourlyTable::constant(8.0, 2.0),
+                HourlyTable::constant(1.5, 0.5),
+            ],
+            drop: [
+                HourlyTable::constant(7.0, 2.0),
+                HourlyTable::constant(1.0, 0.4),
+            ],
             slo_mix: [
                 vec![
-                    SloMixEntry { slo_name: "GP_2".into(), weight: 5.0 },
-                    SloMixEntry { slo_name: "GP_4".into(), weight: 3.0 },
+                    SloMixEntry {
+                        slo_name: "GP_2".into(),
+                        weight: 5.0,
+                    },
+                    SloMixEntry {
+                        slo_name: "GP_4".into(),
+                        weight: 3.0,
+                    },
                 ],
-                vec![SloMixEntry { slo_name: "BC_8".into(), weight: 1.0 }],
+                vec![SloMixEntry {
+                    slo_name: "BC_8".into(),
+                    weight: 1.0,
+                }],
             ],
             initial_disk_bins: [vec![0.1, 1.0, 10.0], vec![1.0, 50.0, 500.0]],
         }
@@ -156,7 +174,8 @@ mod tests {
         let xml = s.to_xml_string();
         // Remove the PremiumBc edition block crudely via the parsed tree.
         let mut root = XmlElement::parse(&xml).unwrap();
-        root.children.retain(|c| c.get_attr("kind") != Some("PremiumBc"));
+        root.children
+            .retain(|c| c.get_attr("kind") != Some("PremiumBc"));
         let err = PopulationModelSpec::from_xml_str(&root.to_xml_string()).unwrap_err();
         assert!(err.message.contains("both editions"));
     }

@@ -188,9 +188,7 @@ mod tests {
     fn density_scales_cpu_not_disk() {
         let base = ScenarioSpec::gen5_stage_cluster(100);
         let dense = ScenarioSpec::gen5_stage_cluster(140);
-        assert!(
-            (dense.cpu_capacity_per_node() - 1.4 * base.cpu_capacity_per_node()).abs() < 1e-9
-        );
+        assert!((dense.cpu_capacity_per_node() - 1.4 * base.cpu_capacity_per_node()).abs() < 1e-9);
         assert_eq!(
             dense.disk_capacity_per_node(),
             base.disk_capacity_per_node()
@@ -207,11 +205,7 @@ mod tests {
     #[test]
     fn totals_multiply_by_node_count() {
         let s = ScenarioSpec::gen5_stage_cluster(110);
-        assert!(
-            (s.total_logical_cores() - s.cpu_capacity_per_node() * 14.0).abs() < 1e-9
-        );
-        assert!(
-            (s.total_logical_disk_gb() - s.disk_capacity_per_node() * 14.0).abs() < 1e-9
-        );
+        assert!((s.total_logical_cores() - s.cpu_capacity_per_node() * 14.0).abs() < 1e-9);
+        assert!((s.total_logical_disk_gb() - s.disk_capacity_per_node() * 14.0).abs() < 1e-9);
     }
 }

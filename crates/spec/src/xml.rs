@@ -36,7 +36,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -194,7 +198,9 @@ fn unescape(s: &str) -> Result<String, String> {
             continue;
         }
         let rest = &s[i + 1..];
-        let end = rest.find(';').ok_or_else(|| "unterminated entity".to_string())?;
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity".to_string())?;
         let entity = &rest[..end];
         match entity {
             "amp" => out.push('&'),

@@ -129,7 +129,11 @@ mod tests {
         for _ in 0..50_000 {
             let s = b.sample(&mut rng);
             assert!(s >= b.edges()[0] && s <= *b.edges().last().unwrap());
-            let bin = b.edges().windows(2).position(|w| s >= w[0] && s < w[1]).unwrap_or(4);
+            let bin = b
+                .edges()
+                .windows(2)
+                .position(|w| s >= w[0] && s < w[1])
+                .unwrap_or(4);
             counts[bin] += 1;
         }
         for &c in &counts {

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn render_is_stable() {
         let s = five_number_summary(&[1.0, 2.0, 3.0]);
-        assert_eq!(s.render(), "1.00 [1.50 | 2.00 | 2.50] 3.00 (mean 2.00, 0 outliers)");
+        assert_eq!(
+            s.render(),
+            "1.00 [1.50 | 2.00 | 2.50] 3.00 (mean 2.00, 0 outliers)"
+        );
     }
 
     #[test]

@@ -163,9 +163,7 @@ impl Distribution for Uniform {
     fn cdf(&self, x: f64) -> f64 {
         if x < self.lo {
             0.0
-        } else if x >= self.hi {
-            1.0
-        } else if self.hi == self.lo {
+        } else if x >= self.hi || self.hi == self.lo {
             1.0
         } else {
             (x - self.lo) / (self.hi - self.lo)
@@ -281,7 +279,8 @@ impl Fit for Poisson {
             return None;
         }
         let m = describe::mean(xs);
-        if !(m > 0.0) {
+        // NaN-safe: a NaN mean must also fail the fit.
+        if m.is_nan() || m <= 0.0 {
             return None;
         }
         Some(Poisson::new(m))
@@ -375,7 +374,8 @@ impl Fit for NegativeBinomial {
         }
         let m = describe::mean(xs);
         let v = describe::variance(xs);
-        if !(m > 0.0) || !(v > m) {
+        // NaN-safe: NaN moments must also fail the fit.
+        if m.is_nan() || v.is_nan() || m <= 0.0 || v <= m {
             return None;
         }
         let p = m / v;
@@ -513,7 +513,11 @@ mod tests {
     fn negative_binomial_moments() {
         let d = NegativeBinomial::new(5.0, 0.4);
         let xs = sample_n(&d, 50_000);
-        assert!((describe::mean(&xs) - d.mean()).abs() < 0.2, "mean {}", describe::mean(&xs));
+        assert!(
+            (describe::mean(&xs) - d.mean()).abs() < 0.2,
+            "mean {}",
+            describe::mean(&xs)
+        );
         // Variance 5*0.6/0.16 = 18.75; sampling noise is larger here.
         assert!((describe::variance(&xs) - d.variance()).abs() < 1.5);
     }
@@ -547,7 +551,9 @@ mod tests {
     #[test]
     fn gamma_sampler_small_shape() {
         let mut r = rng();
-        let xs: Vec<f64> = (0..20_000).map(|_| super::sample_gamma(&mut r, 0.5)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| super::sample_gamma(&mut r, 0.5))
+            .collect();
         // Gamma(0.5, 1) has mean 0.5.
         assert!((describe::mean(&xs) - 0.5).abs() < 0.03);
         assert!(xs.iter().all(|&x| x >= 0.0));

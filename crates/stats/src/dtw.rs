@@ -74,7 +74,10 @@ mod tests {
         let b: Vec<f64> = (3..53).map(|i| ((i as f64) * 0.3).sin()).collect();
         let pointwise: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         let warped = dtw_distance(&a, &b);
-        assert!(warped < pointwise * 0.5, "warped={warped} pointwise={pointwise}");
+        assert!(
+            warped < pointwise * 0.5,
+            "warped={warped} pointwise={pointwise}"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl GaussianKde {
 
     /// Fit with an explicit bandwidth (`> 0`).
     pub fn with_bandwidth(xs: &[f64], bandwidth: f64) -> Option<Self> {
-        if xs.is_empty() || !(bandwidth > 0.0) {
+        if xs.is_empty() || bandwidth.is_nan() || bandwidth <= 0.0 {
             return None;
         }
         Some(GaussianKde {

@@ -143,7 +143,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(29);
         let noise = Normal::new(0.0, 50.0);
         let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| x + 0.1 + noise.sample(&mut rng)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x + 0.1 + noise.sample(&mut rng))
+            .collect();
         let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
         assert!(r.p_value > 0.01);
     }
@@ -168,8 +171,12 @@ mod tests {
     #[test]
     fn textbook_example() {
         // Classic example (Conover): n=10 paired differences.
-        let xs = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let ys = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let xs = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let ys = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
         // One zero difference dropped, n_used = 9; W = 18 for this data.
         assert_eq!(r.n_used, 9);

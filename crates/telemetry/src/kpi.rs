@@ -154,6 +154,57 @@ impl Telemetry {
     pub fn node_values(&self, select: impl Fn(&NodeSnapshot) -> f64) -> Vec<f64> {
         self.node_snapshots.iter().map(select).collect()
     }
+
+    /// Condense this run's telemetry into the flat KPI summary that run
+    /// artifacts persist (see `toto-fleet`'s run-artifact store).
+    pub fn summarize(&self) -> KpiSummary {
+        KpiSummary {
+            failover_count: self.failover_count(None) as u64,
+            failed_over_cores: self.failed_over_cores(None),
+            gp_failover_count: self.failover_count(Some(EditionKind::StandardGp)) as u64,
+            bc_failover_count: self.failover_count(Some(EditionKind::PremiumBc)) as u64,
+            total_downtime_secs: self.failovers.iter().map(|f| f.downtime_secs).sum::<f64>() + 0.0,
+            final_reserved_cores: self.reserved_cores.last_value().unwrap_or(0.0),
+            final_disk_gb: self.disk_usage.last_value().unwrap_or(0.0),
+            creation_redirects: self.creation_redirects.last_value().unwrap_or(0.0) as u64,
+            throttled_core_intervals: self.cpu_throttling.last_value().unwrap_or(0.0),
+            contended_governance_passes: self.contended_governance_passes,
+            kpi_samples: self.reserved_cores.len() as u64,
+            node_snapshot_count: self.node_snapshots.len() as u64,
+        }
+    }
+}
+
+/// A flat, order-stable digest of one run's telemetry: everything the
+/// benchmark artifact store persists per job. All fields are plain
+/// numbers so records serialize deterministically and diff cleanly
+/// across runs and PRs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KpiSummary {
+    /// Total failovers (capacity-violation moves only).
+    pub failover_count: u64,
+    /// Total failed-over cores.
+    pub failed_over_cores: f64,
+    /// Failovers of Standard/GP databases.
+    pub gp_failover_count: u64,
+    /// Failovers of Premium/BC databases.
+    pub bc_failover_count: u64,
+    /// Sum of customer-visible downtime across all failovers, seconds.
+    pub total_downtime_secs: f64,
+    /// Last hourly reserved-cores sample.
+    pub final_reserved_cores: f64,
+    /// Last hourly cluster disk sample, GB.
+    pub final_disk_gb: f64,
+    /// Final cumulative creation-redirect count.
+    pub creation_redirects: u64,
+    /// Final cumulative throttled CPU demand, core-intervals.
+    pub throttled_core_intervals: f64,
+    /// Governance passes that hit contention.
+    pub contended_governance_passes: u64,
+    /// Number of hourly KPI samples taken.
+    pub kpi_samples: u64,
+    /// Number of node-level snapshots taken.
+    pub node_snapshot_count: u64,
 }
 
 #[cfg(test)]

@@ -102,7 +102,10 @@ impl RevenueParams {
     /// Score one billing record against the experiment window ending at
     /// `experiment_end`.
     pub fn score(&self, record: &BillingRecord, experiment_end: SimTime) -> RevenueBreakdown {
-        let end = record.dropped_at.unwrap_or(experiment_end).min(experiment_end);
+        let end = record
+            .dropped_at
+            .unwrap_or(experiment_end)
+            .min(experiment_end);
         let lifetime_secs = end.saturating_since(record.created_at).as_secs() as f64;
         if lifetime_secs <= 0.0 {
             return RevenueBreakdown::default();
@@ -206,10 +209,16 @@ mod tests {
         let params = RevenueParams::default();
         // 2% downtime -> availability 98% -> 25% credit (dropped: actual bill).
         let lifetime = 100.0 * 3600.0;
-        let b = params.score(&record(0.02 * lifetime, 100), SimTime::from_secs(u64::MAX / 2));
+        let b = params.score(
+            &record(0.02 * lifetime, 100),
+            SimTime::from_secs(u64::MAX / 2),
+        );
         assert!((b.penalty - 0.25 * 38.0).abs() < 1e-9);
         // 10% downtime -> availability 90% -> full credit of the bill.
-        let b = params.score(&record(0.10 * lifetime, 100), SimTime::from_secs(u64::MAX / 2));
+        let b = params.score(
+            &record(0.10 * lifetime, 100),
+            SimTime::from_secs(u64::MAX / 2),
+        );
         assert!((b.penalty - 1.0 * 38.0).abs() < 1e-9);
         // A database still alive at window end scales to the monthly bill.
         let mut alive = record(40.0, 100);
@@ -234,7 +243,10 @@ mod tests {
         let params = RevenueParams::default();
         let mut r = record(0.0, 0);
         r.dropped_at = Some(SimTime::ZERO);
-        assert_eq!(params.score(&r, SimTime::from_secs(100)), RevenueBreakdown::default());
+        assert_eq!(
+            params.score(&r, SimTime::from_secs(100)),
+            RevenueBreakdown::default()
+        );
     }
 
     #[test]

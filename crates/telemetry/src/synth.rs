@@ -188,12 +188,10 @@ impl TraceGenerator {
         let mut out = Vec::with_capacity(clusters * days);
         for c in 0..clusters {
             // Each cluster has a stable identity around the region mean…
-            let cluster_mean = Normal::new(
-                self.region.local_store_mean,
-                self.region.local_store_sd,
-            )
-            .sample(&mut rng)
-            .clamp(0.0, 1.0);
+            let cluster_mean =
+                Normal::new(self.region.local_store_mean, self.region.local_store_sd)
+                    .sample(&mut rng)
+                    .clamp(0.0, 1.0);
             let mut day_rng = self.seeds.child("localstore-day", c as u64).rng();
             for _ in 0..days {
                 // …with small day-to-day drift.
@@ -279,7 +277,10 @@ mod tests {
         let g = generator();
         let noon = SimTime::from_secs(13 * 3600);
         let night = SimTime::from_secs(3 * 3600);
-        assert!(g.mean_creates(EditionKind::StandardGp, noon) > 2.0 * g.mean_creates(EditionKind::StandardGp, night));
+        assert!(
+            g.mean_creates(EditionKind::StandardGp, noon)
+                > 2.0 * g.mean_creates(EditionKind::StandardGp, night)
+        );
         let weekend_noon = noon + SimDuration::from_days(5);
         assert!(
             g.mean_creates(EditionKind::StandardGp, weekend_noon)
@@ -296,7 +297,9 @@ mod tests {
         let g = generator();
         let creates = g.hourly_creates(EditionKind::StandardGp, 4);
         assert_eq!(creates.len(), 4 * 7 * 24);
-        assert!(creates.iter().all(|o| o.value >= 0.0 && o.value.fract() == 0.0));
+        assert!(creates
+            .iter()
+            .all(|o| o.value >= 0.0 && o.value.fract() == 0.0));
         // Reproducible.
         let again = g.hourly_creates(EditionKind::StandardGp, 4);
         assert_eq!(creates, again);

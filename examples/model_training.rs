@@ -12,9 +12,7 @@ use toto_models::training::{
     HourlyObservation,
 };
 use toto_simcore::time::SimTime;
-use toto_spec::model::{
-    MetricModelSpec, ModelSetSpec, SteadyStateSpec, TargetPopulation,
-};
+use toto_spec::model::{MetricModelSpec, ModelSetSpec, SteadyStateSpec, TargetPopulation};
 use toto_spec::{EditionKind, ResourceKind};
 use toto_telemetry::synth::{RegionProfile, SynthConfig, TraceGenerator};
 
@@ -32,11 +30,7 @@ fn main() {
         let (create_table, report) = train_hourly_table(&creates);
         println!(
             "  {edition} creates: {}/{} hourly cells pass K-S at α = 0.05",
-            report
-                .p_values()
-                .iter()
-                .filter(|p| **p > 0.05)
-                .count(),
+            report.p_values().iter().filter(|p| **p > 0.05).count(),
             report.p_values().len()
         );
         let drops = gen.hourly_drops(edition, 8);
@@ -83,7 +77,11 @@ fn main() {
     let (steady_table, steady_report) = train_steady_state(&steady_obs);
     println!(
         "  steady-state: {}/{} hourly cells pass K-S",
-        steady_report.p_values().iter().filter(|p| **p > 0.05).count(),
+        steady_report
+            .p_values()
+            .iter()
+            .filter(|p| **p > 0.05)
+            .count(),
         steady_report.p_values().len()
     );
     let initial = train_initial_creation(&first5, &first30, 12.0, 5);
@@ -132,7 +130,10 @@ fn main() {
         xml.len(),
         xml.lines().count()
     );
-    println!("first lines:\n{}", xml.lines().take(6).collect::<Vec<_>>().join("\n"));
+    println!(
+        "first lines:\n{}",
+        xml.lines().take(6).collect::<Vec<_>>().join("\n")
+    );
     // Round-trip check: what RgManager will parse equals what we trained.
     assert_eq!(ModelSetSpec::from_xml_str(&xml).unwrap(), model_set);
     println!("\nround-trip parse OK — this blob is ready for the Naming Service.");

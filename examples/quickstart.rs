@@ -14,20 +14,35 @@ fn main() {
     let mut scenario = ScenarioSpec::gen5_stage_cluster(110);
     scenario.duration_hours = 24;
 
-    println!("running '{}' for {} simulated hours…", scenario.name, scenario.duration_hours);
+    println!(
+        "running '{}' for {} simulated hours…",
+        scenario.name, scenario.duration_hours
+    );
     let result = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
 
     println!("\nbootstrap (Tables 2–3):");
     println!("  databases          : {}", result.bootstrap.services.len());
-    println!("  reserved cores     : {:.0}", result.bootstrap.reserved_cores);
+    println!(
+        "  reserved cores     : {:.0}",
+        result.bootstrap.reserved_cores
+    );
     println!("  free logical cores : {:.0}", result.bootstrap.free_cores);
-    println!("  disk fill          : {:.1}%", result.bootstrap.disk_utilization * 100.0);
+    println!(
+        "  disk fill          : {:.1}%",
+        result.bootstrap.disk_utilization * 100.0
+    );
 
     println!("\nafter the run:");
     println!("  reserved cores     : {:.0}", result.final_reserved_cores);
-    println!("  cluster disk       : {:.1} TB", result.final_disk_gb / 1024.0);
+    println!(
+        "  cluster disk       : {:.1} TB",
+        result.final_disk_gb / 1024.0
+    );
     println!("  creation redirects : {}", result.redirect_count);
-    println!("  failovers          : {}", result.telemetry.failover_count(None));
+    println!(
+        "  failovers          : {}",
+        result.telemetry.failover_count(None)
+    );
     println!("  created during run : {}", result.created_during_run);
 
     println!("\nmodeled adjusted revenue (§5.1):");

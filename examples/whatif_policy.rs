@@ -34,22 +34,28 @@ fn main() {
 
     run("baseline", hours, ExperimentOverrides::default());
 
-    let mut balancing = ExperimentOverrides::default();
-    balancing.balance_during_run = true;
+    let balancing = ExperimentOverrides {
+        balance_during_run: true,
+        ..Default::default()
+    };
     run("proactive balancing ON", hours, balancing);
 
-    let mut headroom = ExperimentOverrides::default();
-    headroom.plb = Some(PlbConfig {
-        placement_headroom: 0.9,
-        ..PlbConfig::default()
-    });
+    let headroom = ExperimentOverrides {
+        plb: Some(PlbConfig {
+            placement_headroom: 0.9,
+            ..PlbConfig::default()
+        }),
+        ..Default::default()
+    };
     run("placement headroom 90%", hours, headroom);
 
-    let mut aggressive = ExperimentOverrides::default();
-    aggressive.plb = Some(PlbConfig {
-        max_moves_per_pass: 2,
-        ..PlbConfig::default()
-    });
+    let aggressive = ExperimentOverrides {
+        plb: Some(PlbConfig {
+            max_moves_per_pass: 2,
+            ..PlbConfig::default()
+        }),
+        ..Default::default()
+    };
     run("failover budget 2/pass", hours, aggressive);
 
     println!("\neach variant runs the identical benchmark scenario (same population");

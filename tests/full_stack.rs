@@ -49,10 +49,7 @@ fn billing_covers_every_database_that_ever_lived() {
     // Every record has a sane lifetime and non-negative money.
     let params = toto_telemetry::revenue::RevenueParams::default();
     for rec in &r.billing {
-        let b = params.score(
-            rec,
-            toto_simcore::time::SimTime::from_secs(u64::MAX / 2),
-        );
+        let b = params.score(rec, toto_simcore::time::SimTime::from_secs(u64::MAX / 2));
         assert!(b.compute >= 0.0 && b.storage >= 0.0 && b.penalty >= 0.0);
         assert!(rec.avg_data_gb >= 0.0, "avg disk of {}", rec.service);
     }
@@ -87,8 +84,7 @@ fn model_override_changes_behaviour() {
     frozen.version = 1;
     overrides.models = Some(frozen);
     let frozen_run = DensityExperiment::new(short(140, 24), overrides).run();
-    let live_run =
-        DensityExperiment::new(short(140, 24), ExperimentOverrides::default()).run();
+    let live_run = DensityExperiment::new(short(140, 24), ExperimentOverrides::default()).run();
     // The live model grows disk; frozen stays near the bootstrap level
     // modulo create/drop churn.
     assert!(live_run.final_disk_gb > frozen_run.final_disk_gb);

@@ -43,7 +43,9 @@ fn admission_never_over_reserves_the_ring() {
     let total = ac.remaining_cores(&cluster);
     let mut admitted_cores = 0.0;
     for i in 0..200 {
-        let (idx, slo) = catalog.by_name(if i % 3 == 0 { "BC_4" } else { "GP_4" }).unwrap();
+        let (idx, slo) = catalog
+            .by_name(if i % 3 == 0 { "BC_4" } else { "GP_4" })
+            .unwrap();
         let req = CreateRequest {
             name: format!("db{i}"),
             slo_index: idx,
@@ -59,7 +61,7 @@ fn admission_never_over_reserves_the_ring() {
     }
     assert!(admitted_cores <= total);
     assert!(
-        ac.redirects().len() > 0,
+        !ac.redirects().is_empty(),
         "a 192-core ring must redirect some of 200 requests"
     );
 }
@@ -119,7 +121,10 @@ fn drained_node_receives_nothing_until_back_up() {
         };
         let _ = ac.try_admit(&mut cluster, &mut plb, slo, &req, SimTime::ZERO);
     }
-    assert!(cluster.node(toto_fabric::ids::NodeId(1)).replicas.is_empty());
+    assert!(cluster
+        .node(toto_fabric::ids::NodeId(1))
+        .replicas
+        .is_empty());
     cluster.set_node_up(toto_fabric::ids::NodeId(1), true);
     // Balancing should now move some load onto the empty node.
     let events = plb.balance(&mut cluster, SimTime::from_secs(600));

@@ -1,0 +1,261 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — as a small adaptive wall-clock harness: each
+//! benchmark is warmed up, then timed in batches until a sampling budget
+//! is spent, and the mean/median per-iteration time is printed.
+//!
+//! No statistical regression analysis, HTML reports, or gnuplot output —
+//! results go to stdout, one line per benchmark, and are also collected
+//! so a wrapper (e.g. `toto-fleet`'s benchdata store) can persist them.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup cost relates to the routine (accepted, not used to
+/// tune batch sizes in this stand-in).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations actually timed.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Per-benchmark measuring budget.
+    measurement_time: Duration,
+    /// Warm-up budget.
+    warm_up_time: Duration,
+    /// All finished measurements, in execution order.
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(80),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the measuring budget (criterion-compatible builder).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Override the warm-up budget (criterion-compatible builder).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iterations > 0 {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "bench: {id:<44} {:>12} / iter ({} iterations)",
+            format_ns(mean_ns),
+            bencher.iterations
+        );
+        self.measurements.push(Measurement {
+            name: id.to_string(),
+            mean_ns,
+            iterations: bencher.iterations,
+        });
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Start a named group; benchmarks run under it get `name/`-prefixed
+    /// ids, matching real criterion's reporting.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// The result of [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's budget is
+    /// wall-clock based, not sample-count based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measuring budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark under the group's prefix.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".into()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measuring budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].iterations > 0);
+        assert!(c.measurements()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        assert!(c.measurements()[0].iterations > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! `any::<T>()` support for `name: Type` proptest arguments.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spread over many orders of magnitude (no NaN /
+    /// infinity: properties in this workspace assume finite inputs, and
+    /// real proptest's default f64 strategy is similarly finite-only).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        let exp = rng.below(61) as i32 - 30; // 1e-30 ..= 1e30
+        sign * rng.next_f64() * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_arbitrary_is_finite() {
+        let mut rng = TestRng::for_case("arbitrary::f64", 0);
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro (with `name: Type` and `name in strategy`
+//! argument forms and `#![proptest_config(..)]`), range / tuple / string
+//! / [`Just`] / [`prop_oneof!`] / `prop::collection::vec` strategies,
+//! `prop_map`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case reports its deterministic case index
+//!   instead of a minimized input;
+//! * cases are derived deterministically from the test's module path and
+//!   name, so failures reproduce exactly across runs and machines;
+//! * string strategies support character-class regexes of the form
+//!   `"[class]{m,n}"` (the only shape used in this workspace).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property tests import.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Mirror of real proptest's `prelude::prop` module tree.
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property; panics (no error-propagation machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The property-test macro: wraps each `#[test] fn` in a deterministic
+/// case loop, binding arguments from strategies (`name in strat`) or
+/// from [`arbitrary::Arbitrary`] (`name: Type`).
+#[macro_export]
+macro_rules! proptest {
+    // Internal rules lead: the public entry points end in catch-alls
+    // that would otherwise shadow them and recurse forever.
+    (@all ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    $crate::proptest!(@bind __rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    // -- argument binding -------------------------------------------------
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; mut $name:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    // -- public entry points ----------------------------------------------
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@all ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@all ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,322 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (**self).gen_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (see [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Choose uniformly among `options`.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].gen_value(rng)
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        // 2^-53 granularity makes hitting the inclusive end possible.
+        lo + (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64 * (hi - lo)
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+ ))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// --- string regexes --------------------------------------------------------
+
+/// Character-class regex strategy: a concatenation of one or more
+/// `[class]`, `[class]{m}`, or `[class]{m,n}` segments — the shapes the
+/// workspace's tests use (e.g. `"[a-z][a-z0-9]{0,8}"`). Classes support
+/// ranges (`a-z`), literal characters, and leading `^` negation over
+/// printable ASCII.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let segments = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy regex: {self:?}"));
+        let mut out = String::new();
+        for (chars, min, max) in &segments {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            out.extend((0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]));
+        }
+        out
+    }
+}
+
+/// One parsed `[class]{m,n}` segment: (alphabet, min_len, max_len).
+type ClassSegment = (Vec<char>, usize, usize);
+
+/// Parse a concatenation of `[class]{m,n}` segments.
+fn parse_class_regex(pattern: &str) -> Option<Vec<ClassSegment>> {
+    let mut segments = Vec::new();
+    let mut rest = pattern;
+    while !rest.is_empty() {
+        let (segment, tail) = parse_class_segment(rest)?;
+        segments.push(segment);
+        rest = tail;
+    }
+    if segments.is_empty() {
+        return None;
+    }
+    Some(segments)
+}
+
+/// Parse one leading `[class]{m,n}` segment; returns it plus the unparsed
+/// remainder of the pattern.
+fn parse_class_segment(pattern: &str) -> Option<(ClassSegment, &str)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let negate = class.first() == Some(&'^');
+    let body = if negate { &class[1..] } else { &class[..] };
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(body[i]);
+            i += 1;
+        }
+    }
+    if negate {
+        alphabet = (0x20u32..0x7F)
+            .filter_map(char::from_u32)
+            .filter(|c| !alphabet.contains(c))
+            .collect();
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let after_class = &rest[close + 1..];
+    if !after_class.starts_with('{') {
+        return Some(((alphabet, 1, 1), after_class));
+    }
+    let brace_end = after_class.find('}')?;
+    let inner = &after_class[1..brace_end];
+    let (min, max) = match inner.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = inner.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some(((alphabet, min, max), &after_class[brace_end + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("strategy::ranges", 0);
+        for _ in 0..500 {
+            assert!((1u64..100).gen_value(&mut rng) < 100);
+            let f = (2.0f64..3.0).gen_value(&mut rng);
+            assert!((2.0..3.0).contains(&f));
+            let i = (1u32..=4).gen_value(&mut rng);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn string_regex_shapes() {
+        let mut rng = TestRng::for_case("strategy::strings", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".gen_value(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~]{0,60}".gen_value(&mut rng);
+            assert!(t.len() <= 60);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "[a-z][a-z0-9]{0,8}".gen_value(&mut rng);
+            assert!((1..=9).contains(&u.len()));
+            assert!(u.starts_with(|c: char| c.is_ascii_lowercase()));
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn map_union_and_just_compose() {
+        let mut rng = TestRng::for_case("strategy::compose", 0);
+        let s = crate::prop_oneof![(0u32..10).prop_map(|x| x * 2), Just(99u32),];
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v == 99 || (v < 20 && v % 2 == 0));
+        }
+    }
+}

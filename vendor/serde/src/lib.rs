@@ -1,0 +1,24 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! facade.
+//!
+//! The build environment has no crates.io access, so this crate keeps
+//! `use serde::{Serialize, Deserialize}` and the corresponding derives
+//! compiling: the traits are blanket-implemented markers and the derives
+//! (re-exported from the vendored `serde_derive`) generate nothing.
+//!
+//! Code that needs *actual* serialization uses the explicit JSON layer in
+//! `toto-fleet` (`toto_fleet::json`), which is hand-written, dependency-
+//! free, and schema-versioned.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: a type that could be serialized. Blanket-implemented — every
+/// type qualifies, because no generic serializer exists in this stand-in.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: a type that could be deserialized. Blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored [`serde`](../serde) facade implements `Serialize` /
+//! `Deserialize` as blanket marker traits, so the derive macros have
+//! nothing to generate: they exist only so `#[derive(Serialize,
+//! Deserialize)]` attributes in the workspace keep compiling without
+//! network access to crates.io. Real serialization in this repository
+//! is done by `toto-fleet`'s explicit JSON layer.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
