@@ -35,6 +35,32 @@ fn bootstrap_mix(edition: EditionKind) -> &'static [(&'static str, f64)] {
     }
 }
 
+/// Why bootstrap could not build the population.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The per-edition bootstrap mix references an SLO name that is not
+    /// in the catalog the caller supplied.
+    UnknownSlo {
+        /// The unresolved SLO name.
+        name: String,
+        /// The edition whose mix referenced it.
+        edition: EditionKind,
+    },
+}
+
+impl std::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapError::UnknownSlo { name, edition } => write!(
+                f,
+                "bootstrap mix for {edition:?} references unknown SLO {name:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
 /// What bootstrap produced.
 #[derive(Clone, Debug)]
 pub struct BootstrapReport {
@@ -55,7 +81,8 @@ pub struct BootstrapReport {
 ///
 /// BC initial sizes are drawn from a heavy-tailed distribution and then
 /// scaled so the cluster starts at `scenario.bootstrap_disk_fill` of its
-/// logical disk (Table 3's 77 %).
+/// logical disk (Table 3's 77 %). Fails with [`BootstrapError::UnknownSlo`]
+/// when the bootstrap mix names an SLO the catalog does not define.
 pub fn bootstrap_population(
     cluster: &mut Cluster,
     plb: &mut Plb,
@@ -64,7 +91,7 @@ pub fn bootstrap_population(
     cpu: MetricId,
     memory: MetricId,
     disk: MetricId,
-) -> BootstrapReport {
+) -> Result<BootstrapReport, BootstrapError> {
     assert_eq!(
         cluster.service_count(),
         0,
@@ -72,14 +99,20 @@ pub fn bootstrap_population(
     );
     let mut rng = DetRng::seed_from_u64(scenario.population_seed ^ 0xB007_57A9);
 
-    // Draw the population: SLOs and relative disk weights.
+    // Draw the population: SLOs and relative disk weights. The catalog is
+    // resolved once per draft so the rest of the pipeline (capping, the
+    // packing sort, placement) never needs a fallible lookup again.
     struct Draft {
         edition: EditionKind,
         slo_index: usize,
+        slo_name: String,
+        vcores: u32,
+        max_data_gb: f64,
+        replica_count: u32,
         disk_weight: f64,
     }
     let mut drafts = Vec::new();
-    let draw = |edition: EditionKind, rng: &mut DetRng| {
+    let draw = |edition: EditionKind, rng: &mut DetRng| -> Result<Draft, BootstrapError> {
         let mix = bootstrap_mix(edition);
         let total: f64 = mix.iter().map(|(_, w)| w).sum();
         let mut pick = rng.next_f64() * total;
@@ -91,24 +124,33 @@ pub fn bootstrap_population(
             }
             pick -= w;
         }
-        let (slo_index, _) = catalog.by_name(name).expect("bootstrap SLO exists");
+        let (slo_index, slo) = catalog
+            .by_name(name)
+            .ok_or_else(|| BootstrapError::UnknownSlo {
+                name: name.to_string(),
+                edition,
+            })?;
         // Heavy-tailed relative size: exp(N(0, 1.1)).
         let z = {
             let u1 = rng.next_f64().max(1e-12);
             let u2 = rng.next_f64();
             (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
         };
-        Draft {
+        Ok(Draft {
             edition,
             slo_index,
+            slo_name: slo.name.clone(),
+            vcores: slo.vcores,
+            max_data_gb: slo.max_data_gb,
+            replica_count: slo.replica_count(),
             disk_weight: (1.1 * z).exp(),
-        }
+        })
     };
     for _ in 0..scenario.bootstrap_premium_bc {
-        drafts.push(draw(EditionKind::PremiumBc, &mut rng));
+        drafts.push(draw(EditionKind::PremiumBc, &mut rng)?);
     }
     for _ in 0..scenario.bootstrap_standard_gp {
-        drafts.push(draw(EditionKind::StandardGp, &mut rng));
+        drafts.push(draw(EditionKind::StandardGp, &mut rng)?);
     }
 
     // Scale BC disk weights to hit the target fill. GP databases carry
@@ -125,9 +167,8 @@ pub fn bootstrap_population(
     // of the scale, so a fixed point search converges on the target fill.
     let bc_target = (target_disk - gp_total).max(0.0);
     let capped_size = |d: &Draft, scale: f64| -> f64 {
-        let slo = catalog.get(d.slo_index).expect("exists");
         (d.disk_weight * scale)
-            .min(slo.max_data_gb)
+            .min(d.max_data_gb)
             .clamp(1.0, 1200.0)
     };
     let mut bc_scale = 400.0;
@@ -150,33 +191,31 @@ pub fn bootstrap_population(
     let disk_cap = scenario.disk_capacity_per_node();
     drafts.sort_by(|a, b| {
         let frac = |d: &Draft| {
-            let slo = catalog.get(d.slo_index).expect("exists");
             let disk_frac = if d.edition.is_local_store() {
                 capped_size(d, bc_scale) / disk_cap
             } else {
                 0.0
             };
-            (slo.vcores as f64 / cpu_cap).max(disk_frac)
+            (d.vcores as f64 / cpu_cap).max(disk_frac)
         };
-        frac(b).partial_cmp(&frac(a)).expect("finite fractions")
+        frac(b).total_cmp(&frac(a))
     });
 
     let mut services = Vec::new();
     let mut placement_failures = 0u32;
     for (i, draft) in drafts.iter().enumerate() {
-        let slo = catalog.get(draft.slo_index).expect("exists");
         let initial_disk = match draft.edition {
             EditionKind::StandardGp => gp_tempdb,
             EditionKind::PremiumBc => capped_size(draft, bc_scale),
         };
         let mut load = cluster.metrics().zero_load();
-        load[cpu] = slo.vcores as f64;
+        load[cpu] = draft.vcores as f64;
         load[memory] = 1.0;
         load[disk] = initial_disk;
         let spec = ServiceSpec {
-            name: format!("boot-{}-{i}", slo.name.to_lowercase()),
+            name: format!("boot-{}-{i}", draft.slo_name.to_lowercase()),
             tag: encode_tag(draft.edition, draft.slo_index),
-            replica_count: slo.replica_count(),
+            replica_count: draft.replica_count,
             default_load: load,
         };
         match plb.create_service(cluster, &spec, SimTime::ZERO) {
@@ -185,7 +224,7 @@ pub fn bootstrap_population(
                 #[cfg(test)]
                 eprintln!(
                     "bootstrap placement failure: {} cores={} disk={:.0} err={_e:?}",
-                    spec.name, slo.vcores, initial_disk
+                    spec.name, draft.vcores, initial_disk
                 );
                 placement_failures += 1;
             }
@@ -202,13 +241,13 @@ pub fn bootstrap_population(
 
     let reserved = cluster.total_load(cpu);
     let disk_used = cluster.total_load(disk);
-    BootstrapReport {
+    Ok(BootstrapReport {
         services,
         reserved_cores: reserved,
         free_cores: cluster.total_capacity(cpu) - reserved,
         disk_utilization: disk_used / cluster.total_capacity(disk),
         placement_failures,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +290,8 @@ mod tests {
             cpu,
             memory,
             disk,
-        );
+        )
+        .expect("bootstrap succeeds on the gen5 catalog");
         (report, cluster, cpu, disk, scenario)
     }
 
@@ -309,6 +349,48 @@ mod tests {
                 assert_eq!(*disk_gb, 2.0);
             }
         }
+    }
+
+    #[test]
+    fn unknown_slo_is_a_typed_error() {
+        let scenario = ScenarioSpec::gen5_stage_cluster(100);
+        let mut metrics = MetricRegistry::new();
+        let cpu = metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: scenario.cpu_capacity_per_node(),
+            balancing_weight: 1.0,
+        });
+        let memory = metrics.register(MetricDef {
+            name: "Memory".into(),
+            node_capacity: scenario.memory_per_node_gb * 0.9,
+            balancing_weight: 0.3,
+        });
+        let disk = metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: scenario.disk_capacity_per_node(),
+            balancing_weight: 1.0,
+        });
+        let mut cluster = Cluster::new(ClusterConfig {
+            node_count: scenario.node_count,
+            metrics,
+            fault_domains: scenario.fault_domains,
+        });
+        let mut plb = Plb::new(PlbConfig::default(), scenario.plb_seed);
+        // An empty catalog cannot resolve any mix entry.
+        let catalog = SloCatalog::new();
+        let err = bootstrap_population(
+            &mut cluster,
+            &mut plb,
+            &catalog,
+            &scenario,
+            cpu,
+            memory,
+            disk,
+        )
+        .unwrap_err();
+        let BootstrapError::UnknownSlo { edition, .. } = err;
+        assert_eq!(edition, EditionKind::PremiumBc);
+        assert!(err.to_string().contains("unknown SLO"));
     }
 
     #[test]

@@ -225,6 +225,8 @@ impl DensityExperiment {
         let catalog = SloCatalog::gen5();
 
         // --- Bootstrap ----------------------------------------------------
+        // The built-in mix and the gen5 catalog are compiled together, so
+        // a failure here is a programming error, not a runtime condition.
         let bootstrap = bootstrap_population(
             &mut cluster,
             &mut plb,
@@ -233,7 +235,8 @@ impl DensityExperiment {
             cpu,
             memory,
             disk,
-        );
+        )
+        .expect("bootstrap mix resolves against the gen5 catalog");
 
         // The experiment clock starts one week after the bootstrap epoch:
         // the initial population is pre-aged (its databases must not

@@ -377,6 +377,54 @@ impl Cluster {
         self.nodes[node.0 as usize].up = up;
     }
 
+    /// Non-panicking consistency check: node aggregates match the sum of
+    /// hosted replica loads, every service has exactly one primary, and no
+    /// service co-locates replicas. Intended for `debug_assert!` guards on
+    /// mutating entry points (lint rule R002); see [`Cluster::check_invariants`]
+    /// for the panicking variant with diagnostics.
+    pub fn invariants_ok(&self) -> bool {
+        for node in &self.nodes {
+            let mut expect = self.metrics.zero_load();
+            for rid in &node.replicas {
+                let Some(rep) = self.replicas.get(rid) else {
+                    return false;
+                };
+                if rep.node != node.id {
+                    return false;
+                }
+                expect.add(&rep.load);
+            }
+            for (mid, _) in self.metrics.iter() {
+                if (expect[mid] - node.load[mid]).abs() >= 1e-6 {
+                    return false;
+                }
+            }
+        }
+        for svc in self.services.values() {
+            let primaries = svc
+                .replicas
+                .iter()
+                .filter_map(|r| self.replicas.get(r))
+                .filter(|r| r.role == ReplicaRole::Primary)
+                .count();
+            if primaries != 1 {
+                return false;
+            }
+            let mut nodes: Vec<NodeId> = svc
+                .replicas
+                .iter()
+                .filter_map(|r| self.replicas.get(r))
+                .map(|r| r.node)
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            if nodes.len() != svc.replicas.len() {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Verify internal consistency; used by tests and property checks.
     /// Panics with a description on the first violated invariant.
     pub fn check_invariants(&self) {

@@ -69,8 +69,9 @@ mod tests {
 
     #[test]
     fn ids_are_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let mut s = HashSet::new();
+        // DetHashSet (not std HashSet) keeps even test iteration order
+        // reproducible, and exercises the Hash derive all the same.
+        let mut s = toto_simcore::collections::det_hash_set();
         s.insert(NodeId(1));
         s.insert(NodeId(1));
         s.insert(NodeId(2));

@@ -83,6 +83,13 @@ impl NamingService {
         existed
     }
 
+    /// True iff the key exists. Unlike [`NamingService::read`] this does
+    /// not count toward [`NamingStats`], so it is safe to call from
+    /// `debug_assert!` guards without perturbing reported traffic.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// Number of keys currently stored.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -202,11 +202,11 @@ impl Plb {
             });
         }
         // Greedy start: cheapest nodes by marginal cost, preferring nodes
-        // in fault domains not already used by this placement.
+        // in fault domains not already used by this placement. `total_cmp`
+        // gives a total order even for NaN, so the sort cannot panic.
         feasible.sort_by(|&a, &b| {
             Self::add_cost(cluster, a, &spec.default_load)
-                .partial_cmp(&Self::add_cost(cluster, b, &spec.default_load))
-                .expect("finite costs")
+                .total_cmp(&Self::add_cost(cluster, b, &spec.default_load))
                 .then(a.cmp(&b))
         });
         let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
@@ -263,8 +263,7 @@ impl Plb {
         // Primary on the cheapest of the chosen nodes.
         chosen.sort_by(|&a, &b| {
             Self::add_cost(cluster, a, &spec.default_load)
-                .partial_cmp(&Self::add_cost(cluster, b, &spec.default_load))
-                .expect("finite costs")
+                .total_cmp(&Self::add_cost(cluster, b, &spec.default_load))
                 .then(a.cmp(&b))
         });
         Ok(chosen)
@@ -278,7 +277,12 @@ impl Plb {
         now: SimTime,
     ) -> Result<ServiceId, PlacementError> {
         let placement = self.place_new_service(cluster, spec)?;
-        Ok(cluster.add_service(spec, &placement, now))
+        let id = cluster.add_service(spec, &placement, now);
+        debug_assert!(
+            cluster.invariants_ok(),
+            "create_service broke cluster invariants"
+        );
+        Ok(id)
     }
 
     /// Pick the replica to evict from a violating node: the cheapest
@@ -462,6 +466,10 @@ impl Plb {
                 break;
             }
         }
+        debug_assert!(
+            cluster.invariants_ok(),
+            "fix_violations broke cluster invariants"
+        );
         events
     }
 
@@ -482,7 +490,7 @@ impl Plb {
                 .iter()
                 .map(|&r| (cluster.replica(r).expect("exists").load[metric], r))
                 .collect();
-            replicas.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+            replicas.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
             let before = Self::node_cost(cluster, &cluster.node(hot).load);
             let mut moved = false;
             for (_, rid) in replicas {
@@ -512,6 +520,7 @@ impl Plb {
                 break;
             }
         }
+        debug_assert!(cluster.invariants_ok(), "balance broke cluster invariants");
         events
     }
 
@@ -564,6 +573,10 @@ impl Plb {
                 ));
             }
         }
+        debug_assert!(
+            cluster.invariants_ok(),
+            "drain_node broke cluster invariants"
+        );
         events
     }
 }
@@ -826,7 +839,7 @@ mod tests {
         // Equalise: all nodes empty, so every placement is cost-equal and
         // the annealing's random exploration decides.
         let s = spec(&c, 4.0, 10.0, 1);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..20 {
             let mut p = plb(seed);
             let placement = p.place_new_service(&c, &s).unwrap();

@@ -6,7 +6,13 @@
 //! environment has no `serde_json`, so this module hand-rolls the small
 //! subset the store needs:
 //!
-//! * object keys keep insertion order (no HashMap nondeterminism);
+//! * objects render with keys in **ascending sorted order**, whatever
+//!   order they were inserted in, so artifacts are canonical: two
+//!   logically equal values always serialize to identical bytes, and no
+//!   map-iteration or construction order can leak into an artifact;
+//! * [`Json::obj`] and [`Json::parse`] canonicalize (sort) object pairs
+//!   on construction, so `parse(render(x)) == x` for values built through
+//!   the public constructors;
 //! * unsigned integers are kept exact via [`Json::Uint`] — seeds are
 //!   full-width `u64` values that do not survive an `f64` round-trip;
 //! * floats print via Rust's shortest-round-trip `{:?}` formatting, so
@@ -29,14 +35,20 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object; insertion-ordered key/value pairs.
+    /// An object: key/value pairs, canonically in ascending key order.
+    /// (`render` sorts defensively even if a value was hand-built with
+    /// unsorted pairs.)
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    /// Build an object from pairs.
+    /// Build an object from pairs; keys are sorted (stably) so the value
+    /// is canonical regardless of the order the caller listed them in.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        let mut pairs: Vec<(String, Json)> =
+            pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(pairs)
     }
 
     /// Look up a key in an object.
@@ -128,8 +140,13 @@ impl Json {
                     out.push_str("{}");
                     return;
                 }
+                // Canonical order even for hand-built `Json::Obj` values:
+                // sort an index so duplicate keys keep their relative order.
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0).then(a.cmp(&b)));
                 out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
+                for (i, &p) in order.iter().enumerate() {
+                    let (key, value) = &pairs[p];
                     if i > 0 {
                         out.push(',');
                     }
@@ -148,7 +165,9 @@ impl Json {
 
     /// Parse a JSON document. Numbers without `.`, `e`, or a minus sign
     /// parse as [`Json::Uint`]; everything else numeric parses as
-    /// [`Json::Num`].
+    /// [`Json::Num`]. Object pairs are canonicalized (stably sorted by
+    /// key), so parsing a legacy insertion-ordered document yields the
+    /// same value as parsing its canonical re-render.
     pub fn parse(input: &str) -> Result<Json, String> {
         let bytes = input.as_bytes();
         let mut pos = 0;
@@ -245,6 +264,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     Some(b',') => *pos += 1,
                     Some(b'}') => {
                         *pos += 1;
+                        pairs.sort_by(|a: &(String, Json), b| a.0.cmp(&b.0));
                         return Ok(Json::Obj(pairs));
                     }
                     other => return Err(format!("expected ',' or '}}', got {other:?}")),
@@ -384,6 +404,55 @@ mod tests {
             let back = Json::parse(&Json::Num(x).render()).unwrap();
             assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits());
         }
+    }
+
+    #[test]
+    fn objects_render_in_sorted_key_order() {
+        // Same logical object, three construction orders (including a
+        // hand-built unsorted Json::Obj) — all render to identical bytes.
+        let a = Json::obj(vec![("zulu", Json::Uint(1)), ("alpha", Json::Uint(2))]);
+        let b = Json::obj(vec![("alpha", Json::Uint(2)), ("zulu", Json::Uint(1))]);
+        let c = Json::Obj(vec![
+            ("zulu".to_string(), Json::Uint(1)),
+            ("alpha".to_string(), Json::Uint(2)),
+        ]);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.render(), c.render());
+        let text = a.render();
+        let alpha = text.find("alpha").expect("alpha rendered");
+        let zulu = text.find("zulu").expect("zulu rendered");
+        assert!(alpha < zulu, "keys must render sorted:\n{text}");
+    }
+
+    #[test]
+    fn insertion_ordered_documents_parse_to_canonical_values() {
+        // A legacy (pre-canonicalization) artifact with unsorted keys
+        // round-trips to the same value and canonical bytes as its
+        // sorted twin.
+        let legacy = "{\n  \"b\": 2,\n  \"a\": 1\n}\n";
+        let sorted = "{\n  \"a\": 1,\n  \"b\": 2\n}\n";
+        let from_legacy = Json::parse(legacy).unwrap();
+        let from_sorted = Json::parse(sorted).unwrap();
+        assert_eq!(from_legacy, from_sorted);
+        assert_eq!(from_legacy.render(), sorted);
+    }
+
+    #[test]
+    fn nested_round_trip_is_canonical() {
+        let value = Json::obj(vec![
+            (
+                "outer",
+                Json::obj(vec![("z", Json::Bool(true)), ("a", Json::Null)]),
+            ),
+            (
+                "arr",
+                Json::Arr(vec![Json::obj(vec![("k", Json::Uint(9))])]),
+            ),
+        ]);
+        let text = value.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, value);
+        assert_eq!(back.render(), text);
     }
 
     #[test]

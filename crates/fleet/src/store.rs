@@ -32,8 +32,9 @@ use toto::experiment::ExperimentResult;
 use toto_telemetry::kpi::KpiSummary;
 use toto_telemetry::revenue::RevenueBreakdown;
 
-/// Current artifact schema version. Bump on any field change.
-pub const RUN_SCHEMA_VERSION: u64 = 1;
+/// Current artifact schema version. Bump on any field change (version 2:
+/// objects serialize with canonically sorted keys).
+pub const RUN_SCHEMA_VERSION: u64 = 2;
 
 /// The deterministic per-job artifact.
 #[derive(Clone, Debug, PartialEq)]

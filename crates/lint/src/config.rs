@@ -1,0 +1,433 @@
+//! Linter configuration, loaded from `lint.toml` at the workspace root.
+//!
+//! The build environment has no TOML crate, so this module parses the
+//! small TOML subset the config actually uses: `[section]` headers,
+//! `[[array-of-tables]]` headers, `key = "string"` and
+//! `key = ["a", "b"]` assignments, and `#` comments. Anything outside
+//! that subset is a hard configuration error — a linter that silently
+//! ignores half its config is worse than no linter.
+
+use std::collections::BTreeMap;
+
+/// Diagnostic severity / rule level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Rule disabled.
+    Off,
+    /// Report, but do not fail the run.
+    Warn,
+    /// Report and fail the run (exit code 1).
+    Error,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s {
+            "off" => Some(Level::Off),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name, as used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A vetted file-level exemption: all diagnostics of `rule` in `path`
+/// are dropped. Every entry must carry a one-line justification.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// The rule being exempted.
+    pub rule: String,
+    /// Path prefix (workspace-relative, forward slashes).
+    pub path: String,
+    /// Why the exemption is sound.
+    pub reason: String,
+}
+
+/// The full linter configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crate-path prefixes forming the deterministic simulation path
+    /// (D001 and R001 apply here).
+    pub sim_path: Vec<String>,
+    /// Per-rule levels; rules absent from the map use their default.
+    pub levels: BTreeMap<String, Level>,
+    /// Paths where wall-clock use is legitimate (D002 does not apply):
+    /// the fleet executor's progress reporting and bench harnesses.
+    pub d002_allowed_paths: Vec<String>,
+    /// Files whose `pub fn … &mut <state>` functions must carry a
+    /// `debug_assert!`-based invariant check (R002).
+    pub r002_paths: Vec<String>,
+    /// Type names treated as mutable cluster state by R002.
+    pub r002_mut_state_types: Vec<String>,
+    /// Path prefixes excluded from the workspace scan entirely (the
+    /// linter's own rule fixtures live here).
+    pub exclude: Vec<String>,
+    /// Vetted file-level exemptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// The rules this linter knows about, in report order. `L001`/`L002`
+/// police the suppression mechanism itself.
+pub const KNOWN_RULES: &[&str] = &["D001", "D002", "D003", "R001", "R002", "L001", "L002"];
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut levels = BTreeMap::new();
+        for rule in ["D001", "D002", "D003", "R001", "R002", "L001"] {
+            levels.insert(rule.to_string(), Level::Error);
+        }
+        levels.insert("L002".to_string(), Level::Warn);
+        Config {
+            sim_path: [
+                "crates/simcore",
+                "crates/fabric",
+                "crates/rgmanager",
+                "crates/models",
+                "crates/controlplane",
+                "crates/core",
+                "crates/stats",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            levels,
+            d002_allowed_paths: vec![
+                "crates/fleet/src/executor.rs".to_string(),
+                "crates/bench".to_string(),
+                "crates/fleet/benches".to_string(),
+            ],
+            r002_paths: vec![
+                "crates/fabric/src/plb.rs".to_string(),
+                "crates/rgmanager/src".to_string(),
+            ],
+            r002_mut_state_types: vec!["Cluster".to_string(), "NamingService".to_string()],
+            exclude: vec!["crates/lint/tests/fixtures".to_string()],
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// The effective level for a rule (default `Off` for unknown ids —
+    /// unknown ids are rejected earlier, at parse time).
+    pub fn level(&self, rule: &str) -> Level {
+        self.levels.get(rule).copied().unwrap_or(Level::Off)
+    }
+
+    /// Parse a `lint.toml` document. Unknown sections, keys, rules or
+    /// value shapes are errors.
+    pub fn from_toml_str(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        // Sections configured by the file replace the built-in defaults
+        // rather than appending to them.
+        let mut section = String::new();
+        let mut pending_allow: Option<BTreeMap<String, String>> = None;
+        let mut allows: Vec<AllowEntry> = Vec::new();
+
+        let flush_allow = |pending: &mut Option<BTreeMap<String, String>>,
+                           allows: &mut Vec<AllowEntry>|
+         -> Result<(), String> {
+            if let Some(map) = pending.take() {
+                let get = |k: &str| -> Result<String, String> {
+                    map.get(k)
+                        .cloned()
+                        .ok_or_else(|| format!("[[allow]] entry is missing `{k}`"))
+                };
+                let entry = AllowEntry {
+                    rule: get("rule")?,
+                    path: get("path")?,
+                    reason: get("reason")?,
+                };
+                if !KNOWN_RULES.contains(&entry.rule.as_str()) {
+                    return Err(format!("[[allow]] names unknown rule {:?}", entry.rule));
+                }
+                if entry.reason.trim().is_empty() {
+                    return Err(format!(
+                        "[[allow]] for {} in {} has an empty reason; every exemption \
+                         must be justified",
+                        entry.rule, entry.path
+                    ));
+                }
+                allows.push(entry);
+            }
+            Ok(())
+        };
+
+        for (lineno, line) in logical_lines(text) {
+            let line = line.as_str();
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if header.trim() != "allow" {
+                    return Err(format!("line {lineno}: unknown array table [[{header}]]"));
+                }
+                flush_allow(&mut pending_allow, &mut allows)?;
+                pending_allow = Some(BTreeMap::new());
+                section = "allow".to_string();
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                flush_allow(&mut pending_allow, &mut allows)?;
+                section = header.trim().to_string();
+                match section.as_str() {
+                    "scan" | "classes" | "levels" | "rules.D002" | "rules.R002" => {}
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = parse_value(value.trim())
+                .ok_or_else(|| format!("line {lineno}: malformed value for `{key}`"))?;
+            match (section.as_str(), key) {
+                ("scan", "exclude") => config.exclude = value.into_array(lineno, key)?,
+                ("classes", "sim_path") => config.sim_path = value.into_array(lineno, key)?,
+                ("levels", rule) => {
+                    if !KNOWN_RULES.contains(&rule) {
+                        return Err(format!("line {lineno}: unknown rule `{rule}` in [levels]"));
+                    }
+                    let s = value.into_string(lineno, key)?;
+                    let level = Level::parse(&s).ok_or_else(|| {
+                        format!("line {lineno}: level for {rule} must be off|warn|error")
+                    })?;
+                    config.levels.insert(rule.to_string(), level);
+                }
+                ("rules.D002", "allowed_paths") => {
+                    config.d002_allowed_paths = value.into_array(lineno, key)?
+                }
+                ("rules.R002", "paths") => config.r002_paths = value.into_array(lineno, key)?,
+                ("rules.R002", "mut_state_types") => {
+                    config.r002_mut_state_types = value.into_array(lineno, key)?
+                }
+                ("allow", k @ ("rule" | "path" | "reason")) => {
+                    let map = pending_allow
+                        .as_mut()
+                        .ok_or_else(|| format!("line {lineno}: key outside [[allow]] entry"))?;
+                    map.insert(k.to_string(), value.into_string(lineno, key)?);
+                }
+                _ => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{key}` in section [{section}]"
+                    ));
+                }
+            }
+        }
+        flush_allow(&mut pending_allow, &mut allows)?;
+        config.allow = allows;
+        Ok(config)
+    }
+}
+
+enum Value {
+    Str(String),
+    Arr(Vec<String>),
+}
+
+impl Value {
+    fn into_string(self, lineno: usize, key: &str) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Arr(_) => Err(format!("line {lineno}: `{key}` must be a string")),
+        }
+    }
+
+    fn into_array(self, lineno: usize, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            Value::Str(_) => Err(format!("line {lineno}: `{key}` must be an array")),
+        }
+    }
+}
+
+/// Net `[`-minus-`]` count outside quoted strings, for multi-line arrays.
+fn bracket_balance(line: &str) -> i32 {
+    let mut in_str = false;
+    let mut balance = 0;
+    for b in line.bytes() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => balance += 1,
+            b']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Fold the document into logical `(lineno, text)` lines: comments
+/// stripped, blanks dropped, and a `key = [` array spliced together with
+/// its continuation lines until the brackets balance. Section headers are
+/// bracketed too, so the fold only engages when a `=` is present.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut open = 0i32;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if open > 0 {
+            let (_, buf) = out.last_mut().expect("continuation follows an opener");
+            buf.push(' ');
+            buf.push_str(line);
+            open += bracket_balance(line);
+            continue;
+        }
+        out.push((idx + 1, line.to_string()));
+        if line.contains('=') {
+            open = bracket_balance(line).max(0);
+        }
+    }
+    out
+}
+
+/// Strip a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(Value::Arr(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(item)?);
+        }
+        return Some(Value::Arr(items));
+    }
+    parse_string(text).map(Value::Str)
+}
+
+fn parse_string(text: &str) -> Option<String> {
+    text.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(|s| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_rules() {
+        let c = Config::default();
+        for rule in KNOWN_RULES {
+            assert_ne!(c.level(rule), Level::Off, "{rule} should be on by default");
+        }
+        assert_eq!(c.level("L002"), Level::Warn);
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let c = Config::from_toml_str(
+            "[classes]\nsim_path = [\n    \"crates/a\", # trailing comment\n    \"crates/b\",\n]\n",
+        )
+        .expect("multi-line array parses");
+        assert_eq!(c.sim_path, vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn parses_a_full_document() {
+        let c = Config::from_toml_str(
+            r#"
+# comment
+[scan]
+exclude = ["a/b", "c"]
+
+[classes]
+sim_path = ["crates/x"]
+
+[levels]
+D001 = "error"
+R001 = "warn"
+D003 = "off"
+
+[rules.D002]
+allowed_paths = ["crates/y/src/clock.rs"]
+
+[rules.R002]
+paths = ["crates/x/src/state.rs"]
+mut_state_types = ["World"]
+
+[[allow]]
+rule = "R001"
+path = "crates/x/src/hot.rs"
+reason = "expects guard internal invariants"
+
+[[allow]]
+rule = "D001" # trailing comment
+path = "crates/x/src/wrap.rs"
+reason = "defines the deterministic wrapper itself"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(c.exclude, vec!["a/b", "c"]);
+        assert_eq!(c.sim_path, vec!["crates/x"]);
+        assert_eq!(c.level("R001"), Level::Warn);
+        assert_eq!(c.level("D003"), Level::Off);
+        assert_eq!(c.level("D002"), Level::Error); // default retained
+        assert_eq!(c.d002_allowed_paths, vec!["crates/y/src/clock.rs"]);
+        assert_eq!(c.r002_mut_state_types, vec!["World"]);
+        assert_eq!(c.allow.len(), 2);
+        assert_eq!(c.allow[1].rule, "D001");
+    }
+
+    #[test]
+    fn unknown_rule_in_levels_is_rejected() {
+        let err = Config::from_toml_str("[levels]\nD9 = \"error\"\n").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn unknown_section_is_rejected() {
+        let err = Config::from_toml_str("[mystery]\nx = \"1\"\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let err =
+            Config::from_toml_str("[[allow]]\nrule = \"R001\"\npath = \"x\"\nreason = \" \"\n")
+                .unwrap_err();
+        assert!(err.contains("justified"), "{err}");
+    }
+
+    #[test]
+    fn allow_missing_key_is_rejected() {
+        let err = Config::from_toml_str("[[allow]]\nrule = \"R001\"\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_rejected() {
+        let err = Config::from_toml_str(
+            "[[allow]]\nrule = \"Z001\"\npath = \"x\"\nreason = \"because\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+}

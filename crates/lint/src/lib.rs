@@ -1,0 +1,123 @@
+//! toto-lint: a workspace determinism & robustness linter.
+//!
+//! The Toto reproduction promises byte-identical artifacts for identical
+//! `(spec, seed)` pairs. That promise is easy to break silently: one
+//! `HashMap` iteration feeding an event queue, one `Instant::now()` in a
+//! model, one `thread_rng()` in a placement tie-break. toto-lint encodes
+//! the contract as lexical rules over the workspace source so violations
+//! fail CI instead of corrupting experiments.
+//!
+//! The analyzer is deliberately dependency-free: a hand-rolled Rust lexer
+//! (`lexer`), a TOML-subset config loader (`config`), and token-sequence
+//! rule matchers (`rules`). See `DESIGN.md` § "Determinism contract" for
+//! the rule catalogue and the rationale behind each rule.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::{Config, Level};
+pub use rules::scan_file;
+
+/// One lint finding, span-accurate to the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: String,
+    pub level: Level,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based.
+    pub col: usize,
+    pub message: String,
+    /// The full source line the diagnostic points into.
+    pub snippet: String,
+}
+
+/// Result of linting a whole workspace tree.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warn)
+            .count()
+    }
+}
+
+/// Collect the `.rs` files under `dir` (recursively), as workspace-relative
+/// forward-slash paths, sorted for deterministic output.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(root, &p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = p.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Lint every Rust source under the workspace root: `crates/*/{src,tests,
+/// examples,benches}` plus the root package's `src`, `tests`, and
+/// `examples`. `vendor/` and `target/` are never scanned; `config.exclude`
+/// prefixes (e.g. the lint fixtures, which contain deliberate violations)
+/// are dropped after collection.
+pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            for sub in ["src", "tests", "examples", "benches"] {
+                collect_rs_files(root, &member.join(sub), &mut files);
+            }
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        collect_rs_files(root, &root.join(sub), &mut files);
+    }
+    files.sort();
+    files.dedup();
+    files.retain(|f| {
+        !f.starts_with("vendor/")
+            && !f.starts_with("target/")
+            && !config.exclude.iter().any(|p| rules::path_has_prefix(f, p))
+    });
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(scan_file(rel, &source, config));
+    }
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}

@@ -1,0 +1,150 @@
+//! CLI driver: `cargo run -p toto-lint -- [--root DIR] [--config FILE]
+//! [--format human|json]`.
+//!
+//! Exit codes: 0 = clean or warnings only, 1 = error-severity findings,
+//! 2 = configuration or usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use toto_fleet::json::Json;
+use toto_lint::config::Config;
+use toto_lint::{scan_workspace, Report};
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> String {
+    "usage: toto-lint [--root DIR] [--config FILE] [--format human|json]".to_string()
+}
+
+fn run() -> Result<u8, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Human;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        format!("--root needs a value\n{}", usage())
+                    })?));
+            }
+            "--config" => {
+                config_path =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        format!("--config needs a value\n{}", usage())
+                    })?));
+            }
+            "--format" => {
+                format = match args
+                    .next()
+                    .ok_or_else(|| format!("--format needs a value\n{}", usage()))?
+                    .as_str()
+                {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}\n{}", usage())),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+
+    // Default root: the workspace that contains this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    if !root.is_dir() {
+        return Err(format!("root {} is not a directory", root.display()));
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    let config = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        Config::from_toml_str(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else {
+        Config::default()
+    };
+
+    let report = scan_workspace(&root, &config).map_err(|e| format!("scan failed: {e}"))?;
+
+    match format {
+        Format::Human => print_human(&report),
+        Format::Json => println!("{}", render_json(&report)),
+    }
+
+    Ok(if report.errors() > 0 { 1 } else { 0 })
+}
+
+fn print_human(report: &Report) {
+    for d in &report.diagnostics {
+        println!(
+            "{}:{}:{}: {}[{}]: {}",
+            d.file,
+            d.line,
+            d.col,
+            d.level.name(),
+            d.rule,
+            d.message
+        );
+        if !d.snippet.is_empty() {
+            println!("    {}", d.snippet);
+        }
+    }
+    println!(
+        "toto-lint: {} file(s) scanned, {} error(s), {} warning(s)",
+        report.files_scanned,
+        report.errors(),
+        report.warnings()
+    );
+}
+
+fn render_json(report: &Report) -> String {
+    let diagnostics: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("rule", Json::Str(d.rule.clone())),
+                ("severity", Json::Str(d.level.name().to_string())),
+                ("file", Json::Str(d.file.clone())),
+                ("line", Json::Uint(d.line as u64)),
+                ("col", Json::Uint(d.col as u64)),
+                ("message", Json::Str(d.message.clone())),
+                ("snippet", Json::Str(d.snippet.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("tool", Json::Str("toto-lint".to_string())),
+        ("version", Json::Uint(1)),
+        ("files_scanned", Json::Uint(report.files_scanned as u64)),
+        ("errors", Json::Uint(report.errors() as u64)),
+        ("warnings", Json::Uint(report.warnings() as u64)),
+        ("diagnostics", Json::Arr(diagnostics)),
+    ])
+    .render()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("toto-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

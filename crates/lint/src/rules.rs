@@ -1,0 +1,499 @@
+//! The rule engine: token-sequence matchers for D001–D003, R001–R002,
+//! plus the suppression-policing meta rules L001/L002.
+//!
+//! | Rule | Contract it enforces |
+//! |------|----------------------|
+//! | D001 | No `std::collections::HashMap`/`HashSet` in sim-path crates — iteration order is randomized per process, so any map iteration that reaches an artifact breaks byte-identical reproduction. Use `BTreeMap`/`BTreeSet` or `toto_simcore::collections::DetHashMap`. |
+//! | D002 | No wall-clock (`Instant::now`, `SystemTime`, `chrono`) outside the fleet executor and bench harnesses — simulation code must read `SimTime` only. |
+//! | D003 | No ambient RNG (`thread_rng`, `rand::random`, `from_entropy`) — every stream must derive from `toto_simcore::rng` seeds. |
+//! | R001 | No `.unwrap()` / `.expect("…")` in non-test library code of sim-path crates; vetted invariant expects are exempted via `lint.toml` `[[allow]]` entries. |
+//! | R002 | Every `pub fn` in the configured files that takes `&mut` cluster state must contain a `debug_assert!`-based invariant check. |
+//! | L001 | A suppression comment naming an unknown rule is an error (a typo would otherwise silently disable nothing). |
+//! | L002 | A suppression comment that suppresses nothing is reported (stale allows accumulate otherwise). |
+
+use crate::config::{Config, Level, KNOWN_RULES};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Diagnostic;
+
+/// True if `path` equals `prefix` or sits below it.
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    match path.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/') || prefix.ends_with('/'),
+        None => false,
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// `tokens[i..]` starts with `::`.
+fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    i + 1 < tokens.len() && is_punct(&tokens[i], ":") && is_punct(&tokens[i + 1], ":")
+}
+
+/// Flag every token index inside a `#[cfg(test)]`-guarded item (the
+/// attribute itself included). Detection is lexical: the attribute is
+/// matched token-for-token and the guarded item extends to the end of
+/// its first brace-balanced block — which covers the `mod tests { … }`
+/// idiom this workspace uses everywhere.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = i + 6 < tokens.len()
+            && is_punct(&tokens[i], "#")
+            && is_punct(&tokens[i + 1], "[")
+            && is_ident(&tokens[i + 2], "cfg")
+            && is_punct(&tokens[i + 3], "(")
+            && is_ident(&tokens[i + 4], "test")
+            && is_punct(&tokens[i + 5], ")")
+            && is_punct(&tokens[i + 6], "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        while j < tokens.len() && !is_punct(&tokens[j], "{") {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if is_punct(&tokens[j], "{") {
+                depth += 1;
+            } else if is_punct(&tokens[j], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len().saturating_sub(1));
+        for flag in flags.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// A raw finding before severity/suppression processing.
+struct Finding {
+    rule: &'static str,
+    line: usize,
+    col: usize,
+    message: String,
+}
+
+impl Finding {
+    fn at(rule: &'static str, t: &Token, message: String) -> Finding {
+        Finding {
+            rule,
+            line: t.line,
+            col: t.col,
+            message,
+        }
+    }
+}
+
+/// After a `<head> :: <seg> ::` path prefix, report every target ident —
+/// either directly (`…::HashMap`) or inside a use-group (`…::{…}`).
+fn flag_path_targets(
+    tokens: &[Token],
+    after: usize,
+    targets: &[&str],
+    mut report: impl FnMut(&Token),
+) {
+    if after >= tokens.len() {
+        return;
+    }
+    if tokens[after].kind == TokenKind::Ident {
+        if targets.contains(&tokens[after].text.as_str()) {
+            report(&tokens[after]);
+        }
+    } else if is_punct(&tokens[after], "{") {
+        let mut depth = 1usize;
+        let mut j = after + 1;
+        while j < tokens.len() && depth > 0 {
+            if is_punct(&tokens[j], "{") {
+                depth += 1;
+            } else if is_punct(&tokens[j], "}") {
+                depth -= 1;
+            } else if tokens[j].kind == TokenKind::Ident
+                && targets.contains(&tokens[j].text.as_str())
+            {
+                report(&tokens[j]);
+            }
+            j += 1;
+        }
+    }
+}
+
+fn rule_d001(tokens: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if is_ident(&tokens[i], "std")
+            && is_path_sep(tokens, i + 1)
+            && i + 3 < tokens.len()
+            && is_ident(&tokens[i + 3], "collections")
+            && is_path_sep(tokens, i + 4)
+        {
+            flag_path_targets(tokens, i + 6, &["HashMap", "HashSet"], |t| {
+                findings.push(Finding::at(
+                    "D001",
+                    t,
+                    format!(
+                        "std::collections::{} iterates in a process-randomized order; \
+                         use BTreeMap/BTreeSet or toto_simcore::collections::Det{}",
+                        t.text, t.text
+                    ),
+                ));
+            });
+        }
+    }
+}
+
+fn rule_d002(tokens: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        // `Instant::now(…)` / `SystemTime::now(…)` anywhere.
+        if (is_ident(t, "Instant") || is_ident(t, "SystemTime"))
+            && is_path_sep(tokens, i + 1)
+            && i + 3 < tokens.len()
+            && is_ident(&tokens[i + 3], "now")
+        {
+            findings.push(Finding::at(
+                "D002",
+                t,
+                format!(
+                    "{}::now() reads the wall clock; simulation code must use SimTime \
+                     (wall-clock is allowed only in the fleet executor and benches)",
+                    t.text
+                ),
+            ));
+        }
+        // `std::time::{Instant, SystemTime}` imports or inline paths.
+        if is_ident(t, "std")
+            && is_path_sep(tokens, i + 1)
+            && i + 3 < tokens.len()
+            && is_ident(&tokens[i + 3], "time")
+            && is_path_sep(tokens, i + 4)
+        {
+            flag_path_targets(tokens, i + 6, &["Instant", "SystemTime"], |t| {
+                findings.push(Finding::at(
+                    "D002",
+                    t,
+                    format!(
+                        "std::time::{} is wall-clock state; simulation code must use SimTime",
+                        t.text
+                    ),
+                ));
+            });
+        }
+        // Any chrono usage.
+        if is_ident(t, "chrono") {
+            findings.push(Finding::at(
+                "D002",
+                t,
+                "chrono reads wall-clock/calendar state; simulation code must use SimTime"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn rule_d003(tokens: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if is_ident(t, "thread_rng") || is_ident(t, "from_entropy") {
+            findings.push(Finding::at(
+                "D003",
+                t,
+                format!(
+                    "{}() draws OS entropy; all randomness must derive from \
+                     toto_simcore::rng seed trees",
+                    t.text
+                ),
+            ));
+        }
+        if is_ident(t, "rand")
+            && is_path_sep(tokens, i + 1)
+            && i + 3 < tokens.len()
+            && is_ident(&tokens[i + 3], "random")
+        {
+            findings.push(Finding::at(
+                "D003",
+                t,
+                "rand::random() draws from the ambient thread RNG; all randomness \
+                 must derive from toto_simcore::rng seed trees"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn rule_r001(tokens: &[Token], in_test: &[bool], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if in_test[i] || !is_punct(&tokens[i], ".") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else {
+            continue;
+        };
+        if is_ident(name, "unwrap")
+            && tokens.get(i + 2).is_some_and(|t| is_punct(t, "("))
+            && tokens.get(i + 3).is_some_and(|t| is_punct(t, ")"))
+        {
+            findings.push(Finding::at(
+                "R001",
+                name,
+                ".unwrap() panics without context in sim-path library code; return a \
+                 typed error or add a vetted [[allow]] entry to lint.toml"
+                    .to_string(),
+            ));
+        }
+        // Only `.expect(` with a string-literal argument is Option/Result
+        // expect; `self.expect_byte(b'=')`-style parser methods are not.
+        if is_ident(name, "expect")
+            && tokens.get(i + 2).is_some_and(|t| is_punct(t, "("))
+            && tokens.get(i + 3).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            findings.push(Finding::at(
+                "R001",
+                name,
+                ".expect(\"…\") panics in sim-path library code; return a typed error \
+                 or add a vetted [[allow]] entry to lint.toml"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn rule_r002(tokens: &[Token], in_test: &[bool], config: &Config, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_test[i] || !is_ident(&tokens[i], "pub") {
+            i += 1;
+            continue;
+        }
+        // Skip an optional visibility argument: `pub(crate)`, `pub(super)`.
+        let mut j = i + 1;
+        if j < tokens.len() && is_punct(&tokens[j], "(") {
+            let mut depth = 1usize;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                if is_punct(&tokens[j], "(") {
+                    depth += 1;
+                } else if is_punct(&tokens[j], ")") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        if j >= tokens.len() || !is_ident(&tokens[j], "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(j + 1) else {
+            break;
+        };
+        // Find the parameter list (skipping generics on the fn name).
+        let mut k = j + 2;
+        while k < tokens.len() && !is_punct(&tokens[k], "(") {
+            if is_punct(&tokens[k], "{") || is_punct(&tokens[k], ";") {
+                break;
+            }
+            k += 1;
+        }
+        if k >= tokens.len() || !is_punct(&tokens[k], "(") {
+            i = j + 1;
+            continue;
+        }
+        let params_start = k;
+        let mut depth = 1usize;
+        k += 1;
+        while k < tokens.len() && depth > 0 {
+            if is_punct(&tokens[k], "(") {
+                depth += 1;
+            } else if is_punct(&tokens[k], ")") {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        let params_end = k; // one past the closing `)`
+        let takes_mut_state = (params_start..params_end.saturating_sub(1)).any(|p| {
+            is_punct(&tokens[p], "&")
+                && tokens.get(p + 1).is_some_and(|t| is_ident(t, "mut"))
+                && tokens.get(p + 2).is_some_and(|t| {
+                    t.kind == TokenKind::Ident && config.r002_mut_state_types.contains(&t.text)
+                })
+        });
+        // Find the body: the next `{` before any `;` (a `;` means a trait
+        // method declaration with no body).
+        let mut b = params_end;
+        while b < tokens.len() && !is_punct(&tokens[b], "{") && !is_punct(&tokens[b], ";") {
+            b += 1;
+        }
+        if !takes_mut_state || b >= tokens.len() || is_punct(&tokens[b], ";") {
+            i = params_end;
+            continue;
+        }
+        let body_start = b;
+        let mut depth = 0usize;
+        let mut has_invariant_check = false;
+        while b < tokens.len() {
+            if is_punct(&tokens[b], "{") {
+                depth += 1;
+            } else if is_punct(&tokens[b], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[b].kind == TokenKind::Ident
+                && tokens[b].text.starts_with("debug_assert")
+            {
+                has_invariant_check = true;
+            }
+            b += 1;
+        }
+        if !has_invariant_check {
+            let types = config.r002_mut_state_types.join("/");
+            findings.push(Finding::at(
+                "R002",
+                name,
+                format!(
+                    "pub fn {} mutates {types} state but contains no debug_assert!-based \
+                     invariant check; add one or a vetted allow",
+                    name.text
+                ),
+            ));
+        }
+        i = body_start + 1;
+    }
+}
+
+/// Lint one file's source. `path` is the workspace-relative path (forward
+/// slashes) used for crate-class decisions and in diagnostics.
+pub fn scan_file(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let in_test = mark_test_regions(&lexed.tokens);
+    let lines: Vec<&str> = source.lines().collect();
+
+    let sim_path = config.sim_path.iter().any(|p| path_has_prefix(path, p));
+    let test_file = ["tests", "examples", "benches"]
+        .iter()
+        .any(|d| path.starts_with(&format!("{d}/")) || path.contains(&format!("/{d}/")));
+    let lib_code = !test_file
+        && (path.starts_with("src/") || path.contains("/src/"))
+        && !path.contains("/bin/")
+        && !path.ends_with("/main.rs")
+        && !path.ends_with("build.rs");
+
+    let mut findings = Vec::new();
+    let on = |rule: &str| config.level(rule) != Level::Off;
+    if sim_path && on("D001") {
+        rule_d001(&lexed.tokens, &mut findings);
+    }
+    if on("D002")
+        && !config
+            .d002_allowed_paths
+            .iter()
+            .any(|p| path_has_prefix(path, p))
+    {
+        rule_d002(&lexed.tokens, &mut findings);
+    }
+    if on("D003") {
+        rule_d003(&lexed.tokens, &mut findings);
+    }
+    if sim_path && lib_code && on("R001") {
+        rule_r001(&lexed.tokens, &in_test, &mut findings);
+    }
+    if on("R002") && config.r002_paths.iter().any(|p| path_has_prefix(path, p)) {
+        rule_r002(&lexed.tokens, &in_test, config, &mut findings);
+    }
+
+    // File-level exemptions from lint.toml.
+    findings.retain(|f| {
+        !config
+            .allow
+            .iter()
+            .any(|a| a.rule == f.rule && path_has_prefix(path, &a.path))
+    });
+
+    // Inline suppressions: an allow comment covers diagnostics on its own
+    // line and on the line directly below it.
+    let mut used = vec![false; lexed.allows.len()];
+    findings.retain(|f| {
+        let mut suppressed = false;
+        for (idx, a) in lexed.allows.iter().enumerate() {
+            if (a.line == f.line || a.line + 1 == f.line) && a.rules.iter().any(|r| r == f.rule) {
+                used[idx] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    // L001: unknown rule named in a suppression. L002: suppression that
+    // suppressed nothing (only reported when all its rules are known —
+    // unknown ids are already an L001).
+    for (idx, a) in lexed.allows.iter().enumerate() {
+        let unknown: Vec<&String> = a
+            .rules
+            .iter()
+            .filter(|r| !KNOWN_RULES.contains(&r.as_str()))
+            .collect();
+        if !unknown.is_empty() {
+            if config.level("L001") != Level::Off {
+                findings.push(Finding {
+                    rule: "L001",
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "suppression names unknown rule{} {}; known rules: {}",
+                        if unknown.len() > 1 { "s" } else { "" },
+                        unknown
+                            .iter()
+                            .map(|r| format!("{r:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        KNOWN_RULES.join(", ")
+                    ),
+                });
+            }
+        } else if !used[idx] && config.level("L002") != Level::Off {
+            findings.push(Finding {
+                rule: "L002",
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "suppression allow({}) matches no diagnostic; remove it",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = findings
+        .into_iter()
+        .map(|f| Diagnostic {
+            rule: f.rule.to_string(),
+            level: config.level(f.rule),
+            file: path.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            snippet: lines
+                .get(f.line.saturating_sub(1))
+                .map(|l| l.trim_end().to_string())
+                .unwrap_or_default(),
+        })
+        .collect();
+    diagnostics
+        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    diagnostics
+}

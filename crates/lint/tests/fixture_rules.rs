@@ -1,0 +1,207 @@
+//! Fixture-driven rule tests: every rule has at least one positive case
+//! (the violation is caught, at the right span) and one negative case
+//! (idiomatic code stays clean). The fixture files live under
+//! `tests/fixtures/` and are excluded from workspace scans — they exist
+//! to be lexed by these tests, never compiled.
+
+use toto_lint::config::{Config, Level};
+use toto_lint::{scan_file, Diagnostic};
+
+/// Lint a fixture as if it lived at `path` inside the workspace.
+fn lint(path: &str, source: &str) -> Vec<Diagnostic> {
+    scan_file(path, source, &Config::default())
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+const SIM_LIB: &str = "crates/fabric/src/sample.rs";
+
+#[test]
+fn d001_flags_randomized_containers_in_sim_path() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d001_bad.rs"));
+    let d001: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "D001").collect();
+    // Two imports (one inside a use-group) plus the inline return type and
+    // the two constructor-adjacent uses resolved through full paths.
+    assert!(d001.len() >= 3, "expected >=3 D001 findings, got {diags:?}");
+    assert!(d001.iter().all(|d| d.level == Level::Error));
+    // Span points at the offending identifier, not the line start.
+    let first = d001[0];
+    assert_eq!((first.line, first.col), (2, 23), "span should hit HashMap");
+    assert!(first.snippet.contains("use std::collections::HashMap;"));
+    // BTreeMap inside the same use-group is not flagged.
+    assert!(!diags
+        .iter()
+        .any(|d| d.snippet.contains("BTreeMap") && d.col == 25));
+}
+
+#[test]
+fn d001_ignores_ordered_containers() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d001_good.rs"));
+    assert!(diags.is_empty(), "clean fixture produced {diags:?}");
+}
+
+#[test]
+fn d001_does_not_apply_outside_sim_path_crates() {
+    let diags = lint(
+        "crates/fleet/src/sample.rs",
+        include_str!("fixtures/d001_bad.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "D001"),
+        "fleet is not a sim-path crate: {diags:?}"
+    );
+}
+
+#[test]
+fn d002_flags_wall_clock_reads() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d002_bad.rs"));
+    let d002 = rules(&diags).iter().filter(|r| **r == "D002").count();
+    // Instant import, SystemTime in a use-group, Instant::now, SystemTime::now.
+    assert!(d002 >= 4, "expected >=4 D002 findings, got {diags:?}");
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == "D002" && d.message.contains("Instant::now()")));
+}
+
+#[test]
+fn d002_permits_duration_spans() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d002_good.rs"));
+    assert!(diags.is_empty(), "Duration-only fixture produced {diags:?}");
+}
+
+#[test]
+fn d002_exempts_the_fleet_executor() {
+    let diags = lint(
+        "crates/fleet/src/executor.rs",
+        include_str!("fixtures/d002_bad.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "D002"),
+        "executor is wall-clock-exempt: {diags:?}"
+    );
+}
+
+#[test]
+fn d003_flags_ambient_rng() {
+    // D003 applies workspace-wide, sim-path or not.
+    let diags = lint(
+        "crates/telemetry/src/sample.rs",
+        include_str!("fixtures/d003_bad.rs"),
+    );
+    let d003 = rules(&diags).iter().filter(|r| **r == "D003").count();
+    assert_eq!(
+        d003, 3,
+        "thread_rng + rand::random + from_entropy: {diags:?}"
+    );
+}
+
+#[test]
+fn d003_ignores_seeded_generators() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d003_good.rs"));
+    assert!(diags.is_empty(), "seeded fixture produced {diags:?}");
+}
+
+#[test]
+fn r001_flags_unwrap_and_expect_outside_tests() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/r001_bad.rs"));
+    let r001: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "R001").collect();
+    assert_eq!(r001.len(), 2, "one unwrap + one expect: {diags:?}");
+    // The #[cfg(test)] module's unwrap/expect must not be flagged: both
+    // findings sit in the first ten lines, before the test module.
+    assert!(
+        r001.iter().all(|d| d.line < 10),
+        "test-module code flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn r001_ignores_typed_errors_and_parser_expect_methods() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/r001_good.rs"));
+    assert!(diags.is_empty(), "clean fixture produced {diags:?}");
+}
+
+#[test]
+fn r001_does_not_apply_to_test_files() {
+    let diags = lint(
+        "crates/fabric/tests/sample.rs",
+        include_str!("fixtures/r001_bad.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "R001"),
+        "integration tests may unwrap: {diags:?}"
+    );
+}
+
+#[test]
+fn r002_flags_unguarded_state_mutators() {
+    let diags = lint(
+        "crates/rgmanager/src/sample.rs",
+        include_str!("fixtures/r002_bad.rs"),
+    );
+    let r002: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "R002").collect();
+    assert_eq!(r002.len(), 2, "pub + pub(crate) mutators: {diags:?}");
+    assert!(r002[0].message.contains("rebalance"));
+    assert!(r002[1].message.contains("rename"));
+}
+
+#[test]
+fn r002_accepts_guarded_mutators_and_skips_declarations() {
+    let diags = lint(
+        "crates/rgmanager/src/sample.rs",
+        include_str!("fixtures/r002_good.rs"),
+    );
+    assert!(diags.is_empty(), "guarded fixture produced {diags:?}");
+}
+
+#[test]
+fn r002_only_applies_to_configured_paths() {
+    let diags = lint(
+        "crates/models/src/sample.rs",
+        include_str!("fixtures/r002_bad.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "R002"),
+        "models/ is not under the R002 contract: {diags:?}"
+    );
+}
+
+#[test]
+fn inline_suppression_silences_both_placements() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/suppressed.rs"));
+    // Both D001 sites are suppressed (line-above and same-line forms) and
+    // both allows are used, so no L002 either.
+    assert!(diags.is_empty(), "suppressed fixture produced {diags:?}");
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_an_error() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/unknown_rule.rs"));
+    assert_eq!(rules(&diags), vec!["L001"], "{diags:?}");
+    assert_eq!(diags[0].level, Level::Error);
+    assert!(diags[0].message.contains("D999"));
+}
+
+#[test]
+fn unused_suppression_is_reported() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/unused_allow.rs"));
+    assert_eq!(rules(&diags), vec!["L002"], "{diags:?}");
+    assert_eq!(diags[0].level, Level::Warn);
+}
+
+#[test]
+fn file_level_allow_entries_drop_findings() {
+    let toml = r#"
+[[allow]]
+rule = "R001"
+path = "crates/fabric/src/sample.rs"
+reason = "fixture test: vetted invariant expects"
+"#;
+    let config = Config::from_toml_str(toml).expect("valid config");
+    let diags = scan_file(SIM_LIB, include_str!("fixtures/r001_bad.rs"), &config);
+    assert!(
+        !diags.iter().any(|d| d.rule == "R001"),
+        "allowlisted file still flagged: {diags:?}"
+    );
+}

@@ -1,0 +1,9 @@
+// Fixture: D001 positive — randomized-order containers in sim-path code.
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn build() -> std::collections::HashMap<u32, f64> {
+    let _set: HashSet<u32> = HashSet::new();
+    let _ok: BTreeMap<u32, u32> = BTreeMap::new();
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+// Fixture: D001 negative — ordered containers only.
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+pub fn build() -> BTreeMap<u32, f64> {
+    let _set: BTreeSet<u32> = BTreeSet::new();
+    let _queue: VecDeque<u32> = VecDeque::new();
+    BTreeMap::new()
+}

@@ -1,0 +1,9 @@
+// Fixture: D002 positive — wall-clock reads in simulation code.
+use std::time::Instant;
+use std::time::{Duration, SystemTime};
+
+pub fn stamp() -> Duration {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed()
+}

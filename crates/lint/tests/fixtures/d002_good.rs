@@ -1,0 +1,7 @@
+// Fixture: D002 negative — simulated time only. `Duration` alone is fine:
+// it is a span, not a clock read.
+use std::time::Duration;
+
+pub fn advance(now_us: u64, step: Duration) -> u64 {
+    now_us + step.as_micros() as u64
+}

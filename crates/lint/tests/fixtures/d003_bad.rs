@@ -1,0 +1,7 @@
+// Fixture: D003 positive — ambient OS entropy.
+pub fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _also_bad: u8 = rand::random();
+    let _seeded_from_os = SmallRng::from_entropy();
+    rng.gen()
+}

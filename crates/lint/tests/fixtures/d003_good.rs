@@ -1,0 +1,5 @@
+// Fixture: D003 negative — all randomness flows from an explicit seed.
+pub fn draw(seed: u64) -> f64 {
+    let mut rng = toto_simcore::rng::SplitMix64::new(seed);
+    rng.next_f64()
+}

@@ -1,0 +1,18 @@
+// Fixture: R001 positive — panicking extraction in library code.
+pub fn load(map: &std::collections::BTreeMap<u32, f64>) -> f64 {
+    let a = map.get(&1).unwrap();
+    let b = map.get(&2).expect("key 2 present");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely; this must NOT be flagged.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Option<u32> = Some(2);
+        assert_eq!(w.expect("present"), 2);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: R001 negative — typed errors instead of panics, and a parser
+// method that happens to be named `expect` (non-string argument; not the
+// Option/Result combinator).
+pub fn load(map: &std::collections::BTreeMap<u32, f64>) -> Result<f64, String> {
+    let a = map.get(&1).ok_or_else(|| "missing key 1".to_string())?;
+    Ok(*a)
+}
+
+pub fn parse(p: &mut Parser) {
+    p.expect(b'<');
+}

@@ -1,0 +1,10 @@
+// Fixture: R002 positive — a public mutator of cluster state with no
+// invariant check.
+pub fn rebalance(cluster: &mut Cluster, load: f64) -> u32 {
+    cluster.shift(load);
+    cluster.node_count()
+}
+
+pub(crate) fn rename(naming: &mut NamingService, key: &str) {
+    naming.touch(key);
+}

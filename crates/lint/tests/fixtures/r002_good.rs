@@ -1,0 +1,15 @@
+// Fixture: R002 negative — the mutator asserts its invariants, read-only
+// borrows need no check, and bodiless trait methods are skipped.
+pub fn rebalance(cluster: &mut Cluster, load: f64) -> u32 {
+    cluster.shift(load);
+    debug_assert!(cluster.invariants_ok(), "rebalance broke cluster invariants");
+    cluster.node_count()
+}
+
+pub fn inspect(cluster: &Cluster) -> u32 {
+    cluster.node_count()
+}
+
+pub trait Mutator {
+    fn apply(&self, cluster: &mut Cluster);
+}

@@ -1,0 +1,8 @@
+// Fixture: inline suppression — both placement forms must silence the
+// diagnostic and count as used.
+// toto-lint: allow(D001)
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, f64> {
+    std::collections::HashMap::new() // toto-lint: allow(D001)
+}

@@ -1,0 +1,4 @@
+// Fixture: a suppression naming a rule that does not exist must be an
+// L001 error, not a silent no-op.
+// toto-lint: allow(D999)
+pub fn noop() {}

@@ -1,0 +1,6 @@
+// Fixture: a suppression that suppresses nothing must be reported (L002)
+// so stale allows do not accumulate.
+// toto-lint: allow(D001)
+pub fn clean() -> u32 {
+    42
+}

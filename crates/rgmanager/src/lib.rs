@@ -27,7 +27,7 @@
 
 pub mod governance;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use toto_fabric::naming::NamingService;
 use toto_models::compiled::{CompiledModelSet, ReplicaRoleKind, SampleContext};
 use toto_simcore::time::SimTime;
@@ -72,8 +72,10 @@ pub struct RgManager {
     models: Option<CompiledModelSet>,
     last_version: Option<u64>,
     /// Previous reported values for non-persisted metrics, per (replica,
-    /// resource). Lives and dies with this RgManager instance.
-    mem_state: HashMap<(u64, ResourceKind), f64>,
+    /// resource). Lives and dies with this RgManager instance. Ordered
+    /// container: iteration must be deterministic so identically-seeded
+    /// runs stay byte-identical (D001).
+    mem_state: BTreeMap<(u64, ResourceKind), f64>,
     refresh_count: u64,
 }
 
@@ -84,7 +86,7 @@ impl RgManager {
             node,
             models: None,
             last_version: None,
-            mem_state: HashMap::new(),
+            mem_state: BTreeMap::new(),
             refresh_count: 0,
         }
     }
@@ -121,6 +123,10 @@ impl RgManager {
         }
         self.models = Some(CompiledModelSet::compile(&spec));
         self.last_version = Some(spec.version);
+        debug_assert!(
+            self.models.is_some() && self.last_version == Some(spec.version),
+            "refresh_models left models and version out of sync"
+        );
         true
     }
 
@@ -155,6 +161,11 @@ impl RgManager {
                 prev,
             };
             let value = model.next_value(&ctx);
+            debug_assert!(
+                value.is_finite(),
+                "model produced non-finite persisted report for {:?}",
+                req.resource
+            );
             if req.role == ReplicaRoleKind::Primary {
                 // "only the primary replica executes the model and
                 // persists the load" (§3.3.2).
@@ -173,6 +184,11 @@ impl RgManager {
                 prev,
             };
             let value = model.next_value(&ctx);
+            debug_assert!(
+                value.is_finite(),
+                "model produced non-finite in-memory report for {:?}",
+                req.resource
+            );
             self.mem_state.insert(slot, value);
             value
         }
@@ -184,6 +200,12 @@ impl RgManager {
         for resource in ResourceKind::ALL {
             naming.delete(&persisted_state_key(resource, service_raw));
         }
+        debug_assert!(
+            ResourceKind::ALL
+                .iter()
+                .all(|r| !naming.contains_key(&persisted_state_key(*r, service_raw))),
+            "clear_persisted_state left residual keys for svc-{service_raw}"
+        );
     }
 }
 

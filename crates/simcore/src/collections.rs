@@ -1,0 +1,140 @@
+//! Deterministic hash collections.
+//!
+//! `std::collections::HashMap` seeds SipHash with per-process random keys,
+//! so iteration order differs between runs even for identical insertion
+//! sequences — exactly the kind of silent nondeterminism the simulator's
+//! reproducibility contract (and the `toto-lint` D001 rule) forbids in
+//! sim-path code. These wrappers pin the hasher to FNV-1a with fixed
+//! constants: for the same key set and insertion sequence, iteration
+//! order is identical in every process on every platform.
+//!
+//! The order is still *arbitrary* (neither sorted nor insertion order),
+//! so prefer `BTreeMap`/`BTreeSet` when ordered iteration is meaningful;
+//! reach for [`DetHashMap`]/[`DetHashSet`] when keys are not `Ord` or the
+//! map is hot enough that O(1) lookups matter.
+
+// The whole point of this module is to wrap the std hash containers with
+// a fixed hasher, so the D001 import ban does not apply to it.
+use std::collections::{HashMap, HashSet}; // toto-lint: allow(D001)
+use std::hash::{BuildHasher, Hasher};
+
+/// 64-bit FNV-1a with the standard offset basis and prime. Stable across
+/// processes, platforms and compiler versions — never randomized.
+#[derive(Clone, Copy, Debug)]
+pub struct DetHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for DetHasher {
+    fn default() -> Self {
+        DetHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// `BuildHasher` producing [`DetHasher`]s with no per-process state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetBuildHasher;
+
+impl BuildHasher for DetBuildHasher {
+    type Hasher = DetHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher::default()
+    }
+}
+
+/// A `HashMap` whose iteration order is reproducible across runs for
+/// identical insertion sequences.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// A `HashSet` whose iteration order is reproducible across runs for
+/// identical insertion sequences.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+/// Construct an empty [`DetHashMap`] (`HashMap::new` is not available for
+/// custom hashers).
+pub fn det_hash_map<K, V>() -> DetHashMap<K, V> {
+    DetHashMap::with_hasher(DetBuildHasher)
+}
+
+/// Construct an empty [`DetHashSet`].
+pub fn det_hash_set<T>() -> DetHashSet<T> {
+    DetHashSet::with_hasher(DetBuildHasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut h = DetHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn hash_values_are_pinned_constants() {
+        // These constants pin cross-process stability: if the hasher ever
+        // picks up per-process state (or the algorithm changes), the test
+        // fails rather than silently reordering every DetHashMap.
+        assert_eq!(hash_one(&42u64), 0xFF3A_DD6B_3789_DAEF);
+        assert_eq!(hash_one(&"plb"), 0xA5F3_DD0D_B71E_A29A);
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = |keys: &[u64]| {
+            let mut m = det_hash_map();
+            for &k in keys {
+                m.insert(k, k * 2);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        let keys: Vec<u64> = (0..500).map(|i| i * 0x9E37_79B9 % 10_007).collect();
+        assert_eq!(build(&keys), build(&keys));
+    }
+
+    #[test]
+    fn set_order_is_reproducible() {
+        let build = |n: u64| {
+            let mut s = det_hash_set();
+            for i in 0..n {
+                s.insert(i.wrapping_mul(0xDEAD_BEEF));
+            }
+            s.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(300), build(300));
+    }
+
+    #[test]
+    fn behaves_like_a_map() {
+        let mut m = det_hash_map();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        m.insert("a", 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("a"), Some(&3));
+        assert_eq!(m.remove("b"), Some(2));
+        assert!(!m.contains_key("b"));
+    }
+}

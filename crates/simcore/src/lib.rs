@@ -12,6 +12,8 @@
 //!   component (Population Manager, each node's RgManager, the PLB) gets an
 //!   independent, reproducible stream, mirroring the paper's explicit
 //!   seeding discipline (§5.2).
+//! * [`collections`] — hash map/set wrappers with a fixed (never
+//!   randomized) hasher, for sim-path code whose keys are not `Ord`.
 //! * [`event`] — a classic discrete-event queue with stable FIFO ordering
 //!   among simultaneous events.
 //!
@@ -34,10 +36,12 @@
 //! assert_eq!(*sim.state(), 25);
 //! ```
 
+pub mod collections;
 pub mod event;
 pub mod rng;
 pub mod time;
 
+pub use collections::{det_hash_map, det_hash_set, DetBuildHasher, DetHashMap, DetHashSet};
 pub use event::{Scheduler, Simulation};
 pub use rng::{DetRng, SeedTree};
 pub use time::{DayKind, SimDuration, SimTime};

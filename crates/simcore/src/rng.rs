@@ -215,7 +215,7 @@ impl RngCore for DetRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use crate::collections::det_hash_set;
 
     #[test]
     fn same_seed_same_stream() {
@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn seed_tree_node_streams_are_distinct() {
         let root = SeedTree::new(99);
-        let mut seen = HashSet::new();
+        let mut seen = det_hash_set();
         for node in 0..200 {
             assert!(seen.insert(root.child("rgmanager", node).seed()));
         }

@@ -307,7 +307,7 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -326,7 +326,7 @@ impl<'a> Parser<'a> {
             }
             let key = self.parse_name()?;
             self.skip_ws();
-            self.expect(b'=')?;
+            self.expect_byte(b'=')?;
             self.skip_ws();
             let quote = match self.peek() {
                 Some(q @ (b'"' | b'\'')) => q,
@@ -349,7 +349,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<XmlElement, ParseError> {
-        self.expect(b'<')?;
+        self.expect_byte(b'<')?;
         let name = self.parse_name()?;
         let attrs = self.parse_attrs()?;
         let mut el = XmlElement {
@@ -363,7 +363,7 @@ impl<'a> Parser<'a> {
             self.pos += 2;
             return Ok(el);
         }
-        self.expect(b'>')?;
+        self.expect_byte(b'>')?;
         loop {
             // Text run up to the next markup.
             let start = self.pos;
@@ -394,7 +394,7 @@ impl<'a> Parser<'a> {
                     )));
                 }
                 self.skip_ws();
-                self.expect(b'>')?;
+                self.expect_byte(b'>')?;
                 return Ok(el);
             }
             el.children.push(self.parse_element()?);

@@ -25,7 +25,7 @@ impl EqualProbabilityBins {
             return None;
         }
         let mut v = xs.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in binning input"));
+        v.sort_by(f64::total_cmp);
         let mut edges = Vec::with_capacity(k + 1);
         for i in 0..=k {
             let q = i as f64 / k as f64;

@@ -59,7 +59,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Linear-interpolated quantile of an unsorted slice (allocates a copy).
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(f64::total_cmp);
     quantile_sorted(&v, q)
 }
 
@@ -92,7 +92,7 @@ pub struct FiveNumberSummary {
 pub fn five_number_summary(xs: &[f64]) -> FiveNumberSummary {
     assert!(!xs.is_empty(), "summary of empty slice");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+    v.sort_by(f64::total_cmp);
     let q1 = quantile_sorted(&v, 0.25);
     let med = quantile_sorted(&v, 0.5);
     let q3 = quantile_sorted(&v, 0.75);

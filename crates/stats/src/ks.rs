@@ -63,7 +63,7 @@ pub fn ks_test_with_cdf(xs: &[f64], cdf: impl Fn(f64) -> f64) -> Option<KsResult
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in K-S input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     let nf = n as f64;
     let mut d: f64 = 0.0;
@@ -195,8 +195,8 @@ pub fn ks_test_two_sample(xs: &[f64], ys: &[f64]) -> Option<KsResult> {
     }
     let mut a = xs.to_vec();
     let mut b = ys.to_vec();
-    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in K-S input"));
-    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN in K-S input"));
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
     let (n, m) = (a.len(), b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;

@@ -49,7 +49,7 @@ pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Option<WilcoxonResult> {
     }
 
     // Rank |d| with average ranks for ties.
-    diffs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("NaN in wilcoxon"));
+    diffs.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
     let mut ranks = vec![0.0f64; n];
     let mut tie_correction = 0.0f64;
     let mut i = 0;
