@@ -1,0 +1,109 @@
+//! Tracing overhead on the full-experiment-step hot path.
+//!
+//! One iteration runs a whole short density experiment (bootstrap plus
+//! one simulated hour of metric reports, PLB passes and population
+//! churn) under four sink configurations:
+//!
+//! - `baseline`: no trace session installed at all,
+//! - `null`: a [`toto_trace::NullSink`] session (the disabled fast path
+//!   every production run pays: one thread-local flag load per callsite),
+//! - `ring`: a bounded in-memory flight recorder,
+//! - `file`: the streaming binary encoder writing to a temp file.
+//!
+//! The summary line at the end records each variant's overhead relative
+//! to the baseline; the reproducibility contract requires the `null`
+//! variant to stay within 1 % of baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_spec::ScenarioSpec;
+use toto_trace::{FileSink, NullSink, RingSink, SessionGuard};
+
+/// One full experiment step: small-but-real bootstrap, one simulated
+/// hour of event-loop work. Identical across variants (fixed seeds).
+fn run_once() -> f64 {
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(110);
+    scenario.duration_hours = 1;
+    scenario.bootstrap_standard_gp = 40;
+    scenario.bootstrap_premium_bc = 8;
+    let result = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
+    result.final_reserved_cores
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    c.bench_function("trace_overhead/baseline", |b| {
+        b.iter(|| black_box(run_once()))
+    });
+    c.bench_function("trace_overhead/null", |b| {
+        b.iter(|| {
+            let _guard = SessionGuard::install(Box::new(NullSink));
+            black_box(run_once())
+        })
+    });
+    c.bench_function("trace_overhead/ring", |b| {
+        b.iter(|| {
+            let _guard = SessionGuard::install(Box::new(RingSink::new(64 * 1024)));
+            black_box(run_once())
+        })
+    });
+    let path = std::env::temp_dir().join(format!("toto-trace-bench-{}.trace", std::process::id()));
+    c.bench_function("trace_overhead/file", |b| {
+        b.iter(|| {
+            let sink = FileSink::create(&path).expect("create bench trace file");
+            let _guard = SessionGuard::install(Box::new(sink));
+            black_box(run_once())
+        })
+    });
+
+    // Contract check. The criterion passes above run each variant in a
+    // separate multi-second block, which exposes the comparison to CPU
+    // frequency drift larger than the effect being measured. Interleave
+    // the variants round-robin instead — drift hits all four equally —
+    // and compare medians.
+    const ROUNDS: usize = 15;
+    let mut samples: [Vec<f64>; 4] = [const { Vec::new() }; 4];
+    for _ in 0..ROUNDS {
+        let t = std::time::Instant::now();
+        black_box(run_once());
+        samples[0].push(t.elapsed().as_secs_f64());
+
+        let t = std::time::Instant::now();
+        let guard = SessionGuard::install(Box::new(NullSink));
+        black_box(run_once());
+        drop(guard);
+        samples[1].push(t.elapsed().as_secs_f64());
+
+        let t = std::time::Instant::now();
+        let guard = SessionGuard::install(Box::new(RingSink::new(64 * 1024)));
+        black_box(run_once());
+        drop(guard);
+        samples[2].push(t.elapsed().as_secs_f64());
+
+        let t = std::time::Instant::now();
+        let sink = FileSink::create(&path).expect("create bench trace file");
+        let guard = SessionGuard::install(Box::new(sink));
+        black_box(run_once());
+        drop(guard);
+        samples[3].push(t.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_file(&path);
+    // Minimum, not mean: scheduler preemption and interrupts only ever
+    // add time, so the per-variant minimum is the least-contaminated
+    // estimate of the true cost.
+    let best = |xs: &mut Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[0]
+    };
+    let [base, null, ring, file] = samples.each_mut().map(best);
+    let pct = |v: f64| (v / base - 1.0) * 100.0;
+    println!(
+        "trace_overhead vs baseline (interleaved best-of-{ROUNDS}): \
+         null {:+.2}%  ring {:+.2}%  file {:+.2}%  (contract: null <= +1%)",
+        pct(null),
+        pct(ring),
+        pct(file)
+    );
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

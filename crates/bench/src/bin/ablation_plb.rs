@@ -71,10 +71,11 @@ fn main() {
         if i == 3 {
             println!("\nmodel refresh period sensitivity (same PLB):\n");
         }
-        let r = job
+        let r = &job
             .outcome
             .output()
-            .unwrap_or_else(|| panic!("{} did not complete", job.label));
+            .unwrap_or_else(|| panic!("{} did not complete", job.label))
+            .result;
         println!(
             "{:<30} reserved {:>5.0} | {:>3} redirects | {:>3} failovers | adjusted ${:>8.0}",
             job.label,

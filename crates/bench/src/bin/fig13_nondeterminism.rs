@@ -34,7 +34,7 @@ fn main() {
     let mut runs = Vec::new();
     for (i, job) in report.jobs.into_iter().enumerate() {
         let r = match job.outcome {
-            toto_fleet::JobOutcome::Completed(r) => r,
+            toto_fleet::JobOutcome::Completed(out) => out.result,
             other => panic!("{} did not complete: {}", job.label, other.status()),
         };
         println!(

@@ -79,7 +79,7 @@ fn main() {
         .jobs
         .into_iter()
         .map(|job| match job.outcome {
-            toto_fleet::JobOutcome::Completed(r) => r,
+            toto_fleet::JobOutcome::Completed(out) => out.result,
             other => panic!("{} did not complete: {}", job.label, other.status()),
         })
         .collect();

@@ -135,7 +135,7 @@ pub fn run_density_study_on(duration_hours: Option<u64>, threads: usize) -> Vec<
         .jobs
         .into_iter()
         .map(|job| match job.outcome {
-            toto_fleet::JobOutcome::Completed(result) => result,
+            toto_fleet::JobOutcome::Completed(out) => out.result,
             other => panic!(
                 "density job {} did not complete: {}",
                 job.label,

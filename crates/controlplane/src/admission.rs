@@ -118,17 +118,35 @@ impl AdmissionController {
             requested_cores: requested,
             remaining_cores: remaining,
         };
+        let trace_redirect = || {
+            toto_trace::emit(toto_trace::EventKind::AdmissionRedirected, || {
+                toto_trace::EventBody::AdmissionRedirected {
+                    cores: requested,
+                    available: remaining,
+                }
+            });
+        };
         if requested > remaining {
             let ev = redirect(remaining);
             self.redirects.push(ev.clone());
+            trace_redirect();
             return AdmissionOutcome::Redirected(ev);
         }
         let spec = self.service_spec(cluster, slo, req.slo_index, req);
         match plb.create_service(cluster, &spec, now) {
-            Ok(id) => AdmissionOutcome::Admitted(id),
+            Ok(id) => {
+                toto_trace::emit(toto_trace::EventKind::AdmissionAdmitted, || {
+                    toto_trace::EventBody::AdmissionAdmitted {
+                        service: id.raw(),
+                        cores: requested,
+                    }
+                });
+                AdmissionOutcome::Admitted(id)
+            }
             Err(_) => {
                 let ev = redirect(remaining);
                 self.redirects.push(ev.clone());
+                trace_redirect();
                 AdmissionOutcome::Redirected(ev)
             }
         }

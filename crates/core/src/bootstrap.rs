@@ -220,12 +220,17 @@ pub fn bootstrap_population(
         };
         match plb.create_service(cluster, &spec, SimTime::ZERO) {
             Ok(id) => services.push((id, draft.edition, draft.slo_index, initial_disk)),
-            Err(_e) => {
-                #[cfg(test)]
-                eprintln!(
-                    "bootstrap placement failure: {} cores={} disk={:.0} err={_e:?}",
-                    spec.name, draft.vcores, initial_disk
-                );
+            Err(_) => {
+                // A failure here means the scenario over-fills the ring; it
+                // is surfaced both in the flight recorder and as the
+                // `placement_failures` counter in the report/KPIs.
+                toto_trace::emit(toto_trace::EventKind::BootstrapPlacementFailed, || {
+                    toto_trace::EventBody::BootstrapPlacementFailed {
+                        draft: i as u64,
+                        vcores: u64::from(draft.vcores),
+                        disk_gb: initial_disk,
+                    }
+                });
                 placement_failures += 1;
             }
         }

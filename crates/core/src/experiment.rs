@@ -227,6 +227,11 @@ impl DensityExperiment {
         // --- Bootstrap ----------------------------------------------------
         // The built-in mix and the gen5 catalog are compiled together, so
         // a failure here is a programming error, not a runtime condition.
+        toto_trace::emit(toto_trace::EventKind::Phase, || {
+            toto_trace::EventBody::Phase {
+                label: "bootstrap".to_string(),
+            }
+        });
         let bootstrap = bootstrap_population(
             &mut cluster,
             &mut plb,
@@ -296,6 +301,9 @@ impl DensityExperiment {
             .unwrap_or_else(|| defaults::gen5_population_model(scenario.population_seed));
         let popmgr = PopulationManager::new(&population_spec, &catalog);
 
+        let mut telemetry = Telemetry::new();
+        telemetry.bootstrap_placement_failures = u64::from(bootstrap.placement_failures);
+
         let end = start + SimDuration::from_hours(scenario.duration_hours);
         let state = ExperimentState {
             report_period: SimDuration::from_secs(scenario.report_period_secs),
@@ -316,7 +324,7 @@ impl DensityExperiment {
             admission: AdmissionController::new(cpu, memory, disk),
             catalog,
             popmgr,
-            telemetry: Telemetry::new(),
+            telemetry,
             billing,
             cpu,
             memory,
@@ -365,9 +373,19 @@ impl DensityExperiment {
                 }
             }
         }
+        toto_trace::emit(toto_trace::EventKind::Phase, || {
+            toto_trace::EventBody::Phase {
+                label: "run".to_string(),
+            }
+        });
         sim.run_until(end);
 
         // --- Score ---------------------------------------------------------
+        toto_trace::emit(toto_trace::EventKind::Phase, || {
+            toto_trace::EventBody::Phase {
+                label: "score".to_string(),
+            }
+        });
         let state = sim.into_state();
         let params = overrides.revenue.unwrap_or_else(|| RevenueParams {
             // Credits are assessed against the experiment's billing window
@@ -658,6 +676,13 @@ fn create_database(state: &mut ExperimentState, edition: EditionKind, now: SimTi
         .try_admit(&mut state.cluster, &mut state.plb, &slo, &req, now)
     {
         AdmissionOutcome::Admitted(id) => {
+            toto_trace::emit(toto_trace::EventKind::DbCreate, || {
+                toto_trace::EventBody::DbCreate {
+                    service: id.raw(),
+                    edition: edition.index() as u64,
+                    slo: slo_index as u64,
+                }
+            });
             let identity = toto_simcore::rng::stable_id(&req.name);
             state.identities.insert(id.raw(), identity);
             if edition.disk_is_persisted() {
@@ -712,6 +737,12 @@ fn drop_database(state: &mut ExperimentState, edition: EditionKind, now: SimTime
         .map(|s| s.replicas.iter().map(|r| r.raw()).collect())
         .unwrap_or_default();
     if state.cluster.remove_service(victim).is_some() {
+        toto_trace::emit(toto_trace::EventKind::DbDrop, || {
+            toto_trace::EventBody::DbDrop {
+                service: victim.raw(),
+                edition: edition.index() as u64,
+            }
+        });
         for (node, rid) in nodes.into_iter().zip(replica_ids) {
             state.rgmanagers[node as usize].forget_replica(rid);
         }

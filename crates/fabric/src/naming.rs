@@ -57,6 +57,12 @@ impl NamingService {
                 version,
             },
         );
+        toto_trace::emit(toto_trace::EventKind::NamingWrite, || {
+            toto_trace::EventBody::NamingWrite {
+                key: key.to_string(),
+                version,
+            }
+        });
         version
     }
 

@@ -196,9 +196,16 @@ impl Plb {
             .map(|n| n.id)
             .collect();
         if feasible.len() < k {
+            let found = feasible.len() as u32;
+            toto_trace::emit(toto_trace::EventKind::PlacementRejected, || {
+                toto_trace::EventBody::PlacementRejected {
+                    needed: u64::from(spec.replica_count),
+                    feasible: u64::from(found),
+                }
+            });
             return Err(PlacementError::NotEnoughNodes {
                 needed: spec.replica_count,
-                feasible: feasible.len() as u32,
+                feasible: found,
             });
         }
         // Greedy start: cheapest nodes by marginal cost, preferring nodes
@@ -238,6 +245,7 @@ impl Plb {
                 .iter()
                 .map(|&n| Self::add_cost(cluster, n, &spec.default_load))
                 .sum();
+            let mut accepted: u64 = 0;
             for _ in 0..self.config.anneal_iterations {
                 let slot = self.rng.next_below(k as u64) as usize;
                 let alt = *self.rng.choose(&feasible);
@@ -255,10 +263,22 @@ impl Plb {
                 if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
                     chosen[slot] = alt;
                     cost += delta;
+                    accepted += 1;
                 }
                 temperature *= self.config.cooling;
             }
             debug_assert!(cost.is_finite());
+            // A per-decision summary, not one event per iteration: the
+            // anneal runs hundreds of iterations per placement and the
+            // accept count is what diverging seeds actually perturb. The
+            // service id does not exist yet at placement time.
+            toto_trace::emit(toto_trace::EventKind::AnnealSummary, || {
+                toto_trace::EventBody::AnnealSummary {
+                    service: u64::MAX,
+                    iterations: u64::from(self.config.anneal_iterations),
+                    accepted,
+                }
+            });
         }
         // Primary on the cheapest of the chosen nodes.
         chosen.sort_by(|&a, &b| {
@@ -282,6 +302,13 @@ impl Plb {
             cluster.invariants_ok(),
             "create_service broke cluster invariants"
         );
+        toto_trace::emit(toto_trace::EventKind::Placement, || {
+            toto_trace::EventBody::Placement {
+                service: id.raw(),
+                replicas: placement.len() as u64,
+                primary_node: u64::from(placement[0].raw()),
+            }
+        });
         Ok(id)
     }
 
@@ -410,6 +437,23 @@ impl Plb {
             }
         }
         cluster.move_replica(replica, to);
+        toto_trace::emit(toto_trace::EventKind::Failover, || {
+            toto_trace::EventBody::Failover {
+                service: rep.service.raw(),
+                replica: replica.raw(),
+                from: u64::from(rep.node.raw()),
+                to: u64::from(to.raw()),
+                primary: rep.role == ReplicaRole::Primary,
+                reason: match reason {
+                    FailoverReason::CapacityViolation(m) => {
+                        format!("capacity_violation:{m}")
+                    }
+                    FailoverReason::Balancing => "balancing".to_string(),
+                    FailoverReason::NodeDrain => "node_drain".to_string(),
+                },
+                promoted: promoted.map_or(u64::MAX, |p| p.raw()),
+            }
+        });
         FailoverEvent {
             time: now,
             service: rep.service,
@@ -446,10 +490,20 @@ impl Plb {
                 if cluster.node(node).load[metric] <= def {
                     continue;
                 }
+                let unresolved = || {
+                    toto_trace::emit(toto_trace::EventKind::ViolationUnresolved, || {
+                        toto_trace::EventBody::ViolationUnresolved {
+                            node: u64::from(node.raw()),
+                            resource: u64::from(metric.raw()),
+                        }
+                    });
+                };
                 let Some(victim) = Self::pick_eviction(cluster, node, metric) else {
+                    unresolved();
                     continue;
                 };
                 let Some(target) = self.pick_target(cluster, victim) else {
+                    unresolved();
                     continue;
                 };
                 events.push(self.execute_move(

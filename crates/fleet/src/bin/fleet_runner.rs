@@ -2,7 +2,7 @@
 //! persist run artifacts.
 //!
 //! ```text
-//! fleet_runner [--jobs N] [--threads T] [--hours H] [--seed S] [--out DIR]
+//! fleet_runner [--jobs N] [--threads T] [--hours H] [--seed S] [--out DIR] [--trace]
 //! ```
 //!
 //! Jobs cycle through the paper's density levels (100, 110, 120, 140 %;
@@ -25,6 +25,7 @@ struct Args {
     hours: u64,
     seed: u64,
     out: String,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
         hours: 144,
         seed: 42,
         out: "results".to_string(),
+        trace: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -47,10 +49,11 @@ fn parse_args() -> Args {
             "--hours" => args.hours = value("--hours").parse().expect("--hours: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--out" => args.out = value("--out"),
+            "--trace" => args.trace = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fleet_runner [--jobs N] [--threads T] [--hours H] \
-                     [--seed S] [--out DIR]"
+                     [--seed S] [--out DIR] [--trace]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +86,10 @@ fn main() {
         }
     }
 
+    if args.trace {
+        plan.trace_all();
+    }
+
     eprintln!(
         "[fleet_runner] {} jobs on {} threads, {}h each, root seed {}",
         plan.jobs().len(),
@@ -96,7 +103,7 @@ fn main() {
 
     let records: Vec<RunRecord> = report
         .completed()
-        .map(|(job, result)| RunRecord::from_result(&job.label, job.seed, result))
+        .map(|(job, out)| RunRecord::from_result(&job.label, job.seed, &out.result))
         .collect();
     let manifest = FleetManifest {
         schema_version: RUN_SCHEMA_VERSION,
@@ -119,6 +126,13 @@ fn main() {
     let dir = store
         .save_fleet(&manifest, &records)
         .expect("write run artifacts");
+    for (job, out) in report.completed() {
+        if let Some(trace) = &out.trace {
+            store
+                .save_trace(&manifest.fleet, &job.label, trace)
+                .expect("write trace sidecar");
+        }
+    }
     store
         .append_bench_entries(&[toto_fleet::BenchEntry {
             name: "fleet_runner/jobs_per_sec".to_string(),
@@ -133,12 +147,12 @@ fn main() {
     );
     for job in &report.jobs {
         match job.outcome.output() {
-            Some(result) => println!(
+            Some(out) => println!(
                 "{:<24} {:>10} {:>14.2} {:>10} {:>10}",
                 job.label,
-                result.telemetry.failover_count(None),
-                result.revenue.adjusted(),
-                result.redirect_count,
+                out.result.telemetry.failover_count(None),
+                out.result.revenue.adjusted(),
+                out.result.redirect_count,
                 job.outcome.status()
             ),
             None => println!(

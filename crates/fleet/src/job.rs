@@ -52,17 +52,31 @@ pub struct FleetJob {
     pub scenario: ScenarioSpec,
     /// Experiment knobs.
     pub overrides: ExperimentOverrides,
+    /// Record a full structured trace of the run (opt-in: traces are
+    /// orders of magnitude larger than run records). The encoded bytes
+    /// come back in [`JobOutput::trace`] and are stored as a
+    /// `<label>.trace` sidecar next to the run record.
+    pub trace: bool,
+}
+
+/// What one fleet job produces: the experiment result plus, when the job
+/// opted in via [`FleetJob::trace`], the encoded `toto-trace` stream.
+pub struct JobOutput {
+    /// The experiment's full result.
+    pub result: ExperimentResult,
+    /// Encoded trace bytes (the `trace_tool` file format), if requested.
+    pub trace: Option<Vec<u8>>,
 }
 
 impl FleetJob {
-    /// Run the experiment this job describes.
+    /// Run the experiment this job describes, without tracing.
     pub fn execute(&self) -> ExperimentResult {
         DensityExperiment::new(self.scenario.clone(), self.overrides.clone()).run()
     }
 }
 
 impl FleetTask for FleetJob {
-    type Output = ExperimentResult;
+    type Output = JobOutput;
 
     fn label(&self) -> String {
         self.label.clone()
@@ -72,8 +86,24 @@ impl FleetTask for FleetJob {
         self.seed
     }
 
-    fn run(&self) -> ExperimentResult {
-        self.execute()
+    fn run(&self) -> JobOutput {
+        if !self.trace {
+            return JobOutput {
+                result: self.execute(),
+                trace: None,
+            };
+        }
+        // Each worker thread installs its own session, so per-job traces
+        // stay isolated no matter how jobs are scheduled; the trace is a
+        // pure function of (scenario, seeds), exactly like the record.
+        let sink = toto_trace::Shared::new(toto_trace::BufferSink::new());
+        let guard = toto_trace::SessionGuard::install(Box::new(sink.clone()));
+        let result = self.execute();
+        drop(guard);
+        JobOutput {
+            result,
+            trace: Some(sink.with(|b| b.bytes().to_vec())),
+        }
     }
 }
 
@@ -120,6 +150,7 @@ impl FleetPlan {
             seed,
             scenario,
             overrides,
+            trace: false,
         });
         self
     }
@@ -142,7 +173,16 @@ impl FleetPlan {
             seed,
             scenario,
             overrides,
+            trace: false,
         });
+        self
+    }
+
+    /// Enable trace recording on every job added so far.
+    pub fn trace_all(&mut self) -> &mut Self {
+        for job in &mut self.jobs {
+            job.trace = true;
+        }
         self
     }
 

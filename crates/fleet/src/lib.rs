@@ -37,6 +37,6 @@ pub use executor::{
     CancelToken, FleetExecutor, FleetObserver, FleetReport, JobOutcome, JobProgress, JobReport,
     NullObserver, StderrProgress,
 };
-pub use job::{density_fleet, FleetJob, FleetPlan, FleetTask};
+pub use job::{density_fleet, FleetJob, FleetPlan, FleetTask, JobOutput};
 pub use json::Json;
 pub use store::{BenchEntry, FleetManifest, ManifestJob, RunRecord, RunStore, RUN_SCHEMA_VERSION};

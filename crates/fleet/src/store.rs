@@ -33,8 +33,10 @@ use toto_telemetry::kpi::KpiSummary;
 use toto_telemetry::revenue::RevenueBreakdown;
 
 /// Current artifact schema version. Bump on any field change (version 2:
-/// objects serialize with canonically sorted keys).
-pub const RUN_SCHEMA_VERSION: u64 = 2;
+/// objects serialize with canonically sorted keys; version 3: kpis gained
+/// `bootstrap_placement_failures`, and jobs may carry a `<label>.trace`
+/// flight-recorder sidecar).
+pub const RUN_SCHEMA_VERSION: u64 = 3;
 
 /// The deterministic per-job artifact.
 #[derive(Clone, Debug, PartialEq)]
@@ -102,6 +104,10 @@ impl RunRecord {
                     ),
                     ("kpi_samples", Json::Uint(k.kpi_samples)),
                     ("node_snapshot_count", Json::Uint(k.node_snapshot_count)),
+                    (
+                        "bootstrap_placement_failures",
+                        Json::Uint(k.bootstrap_placement_failures),
+                    ),
                 ]),
             ),
             (
@@ -165,6 +171,10 @@ impl RunRecord {
                 contended_governance_passes: uint_field(kpis_json, "contended_governance_passes")?,
                 kpi_samples: uint_field(kpis_json, "kpi_samples")?,
                 node_snapshot_count: uint_field(kpis_json, "node_snapshot_count")?,
+                bootstrap_placement_failures: uint_field(
+                    kpis_json,
+                    "bootstrap_placement_failures",
+                )?,
             },
             revenue: RevenueBreakdown {
                 compute: num_field(revenue_json, "compute")?,
@@ -381,6 +391,23 @@ impl RunStore {
         Ok(dir)
     }
 
+    /// Write one job's encoded trace stream as a `<label>.trace` sidecar
+    /// next to its run record. Traces are opt-in (see `FleetJob::trace`)
+    /// and, like records, are pure functions of the job descriptor — two
+    /// runs of the same job write byte-identical sidecars.
+    pub fn save_trace(&self, fleet: &str, label: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+        let dir = self.fleet_dir(fleet);
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{label}.trace"));
+        fs::write(&path, bytes)?;
+        Ok(path)
+    }
+
+    /// Load one job's trace sidecar bytes (decode with `toto-trace`).
+    pub fn trace_bytes(&self, fleet: &str, label: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.fleet_dir(fleet).join(format!("{label}.trace")))
+    }
+
     /// Load one job's record from a saved fleet.
     pub fn load_record(&self, fleet: &str, label: &str) -> io::Result<RunRecord> {
         let path = self.fleet_dir(fleet).join(format!("{label}.json"));
@@ -471,6 +498,7 @@ mod tests {
                 contended_governance_passes: 11,
                 kpi_samples: 144,
                 node_snapshot_count: 2016,
+                bootstrap_placement_failures: 0,
             },
             revenue: RevenueBreakdown {
                 compute: 100.5,

@@ -127,6 +127,12 @@ impl RgManager {
             self.models.is_some() && self.last_version == Some(spec.version),
             "refresh_models left models and version out of sync"
         );
+        toto_trace::emit(toto_trace::EventKind::ModelRefresh, || {
+            toto_trace::EventBody::ModelRefresh {
+                node: u64::from(self.node),
+                version: spec.version,
+            }
+        });
         true
     }
 
@@ -140,6 +146,25 @@ impl RgManager {
     /// Handle a metric report RPC: returns the value the replica should
     /// report to the PLB.
     pub fn compute_report(&mut self, naming: &mut NamingService, req: &ReportRequest) -> f64 {
+        let value = self.compute_report_value(naming, req);
+        debug_assert!(
+            value.is_finite(),
+            "metric report for {:?} must be finite before it reaches the PLB",
+            req.resource
+        );
+        toto_trace::emit(toto_trace::EventKind::MetricReport, || {
+            toto_trace::EventBody::MetricReport {
+                service: req.service,
+                replica: req.replica,
+                node: u64::from(self.node),
+                resource: req.resource.to_string(),
+                value,
+            }
+        });
+        value
+    }
+
+    fn compute_report_value(&mut self, naming: &mut NamingService, req: &ReportRequest) -> f64 {
         let Some(models) = &self.models else {
             return req.actual_load;
         };

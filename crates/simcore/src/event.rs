@@ -138,6 +138,12 @@ impl<S> Simulation<S> {
             Some(ev) => {
                 debug_assert!(ev.at >= self.scheduler.now, "time went backwards");
                 self.scheduler.now = ev.at;
+                if toto_trace::is_active() {
+                    toto_trace::set_now_secs(ev.at.as_secs());
+                    toto_trace::emit(toto_trace::EventKind::Dispatch, || {
+                        toto_trace::EventBody::Dispatch { queue_seq: ev.seq }
+                    });
+                }
                 (ev.run)(&mut self.state, &mut self.scheduler);
                 true
             }
@@ -156,6 +162,7 @@ impl<S> Simulation<S> {
         }
         if self.scheduler.now < end {
             self.scheduler.now = end;
+            toto_trace::set_now_secs(end.as_secs());
         }
     }
 

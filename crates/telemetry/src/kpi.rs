@@ -111,6 +111,10 @@ pub struct Telemetry {
     pub cpu_throttling: TimeSeries,
     /// Governance passes that hit contention, cluster-wide.
     pub contended_governance_passes: u64,
+    /// Databases the bootstrap phase could not place (should be zero;
+    /// non-zero means the scenario over-fills the ring before the
+    /// experiment even starts).
+    pub bootstrap_placement_failures: u64,
 }
 
 impl Telemetry {
@@ -171,6 +175,7 @@ impl Telemetry {
             contended_governance_passes: self.contended_governance_passes,
             kpi_samples: self.reserved_cores.len() as u64,
             node_snapshot_count: self.node_snapshots.len() as u64,
+            bootstrap_placement_failures: self.bootstrap_placement_failures,
         }
     }
 }
@@ -205,6 +210,8 @@ pub struct KpiSummary {
     pub kpi_samples: u64,
     /// Number of node-level snapshots taken.
     pub node_snapshot_count: u64,
+    /// Databases the bootstrap phase could not place.
+    pub bootstrap_placement_failures: u64,
 }
 
 #[cfg(test)]

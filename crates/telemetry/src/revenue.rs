@@ -269,4 +269,67 @@ mod tests {
         assert_eq!(p.credit_fraction(0.98), 0.25);
         assert_eq!(p.credit_fraction(0.90), 1.0);
     }
+
+    #[test]
+    fn credit_tiers_are_exclusive_at_their_floors() {
+        // Tier floors use strict `<`: availability exactly AT a floor is
+        // not below it, so each exact edge lands in the milder tier.
+        let p = RevenueParams::default();
+        assert_eq!(p.credit_fraction(0.9999), 0.0, "exactly 99.99%: no credit");
+        assert_eq!(p.credit_fraction(0.99), 0.10, "exactly 99%: the 10% tier");
+        assert_eq!(p.credit_fraction(0.95), 0.25, "exactly 95%: the 25% tier");
+        // One ulp-ish step below each floor escalates to the next tier.
+        assert_eq!(p.credit_fraction(0.9999 - 1e-12), 0.10);
+        assert_eq!(p.credit_fraction(0.99 - 1e-12), 0.25);
+        assert_eq!(p.credit_fraction(0.95 - 1e-12), 1.0);
+    }
+
+    #[test]
+    fn score_at_exact_sla_boundaries() {
+        let params = RevenueParams::default();
+        // 100 h = 360 000 s lifetime. Downtime of exactly 36 s puts the
+        // downtime fraction exactly at the 0.01 % threshold (>= fires)
+        // but availability exactly at 99.99 % — at the floor, not below
+        // it, so the owed credit is still zero.
+        let b = params.score(&record(36.0, 100), SimTime::from_secs(u64::MAX / 2));
+        assert_eq!(b.penalty, 0.0);
+        // Exactly 1 % downtime: availability exactly 99 % -> 10 % tier
+        // (dropped before window end, so capped at the actual bill).
+        let b = params.score(
+            &record(0.01 * 360_000.0, 100),
+            SimTime::from_secs(u64::MAX / 2),
+        );
+        assert!((b.penalty - 0.10 * 38.0).abs() < 1e-9);
+        // Exactly 5 % downtime: availability exactly 95 % -> 25 % tier,
+        // not the full-credit tier.
+        let b = params.score(
+            &record(0.05 * 360_000.0, 100),
+            SimTime::from_secs(u64::MAX / 2),
+        );
+        assert!((b.penalty - 0.25 * 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lifetime_service_with_downtime_is_still_zero() {
+        // A create-then-immediately-dropped database must not divide by
+        // its zero lifetime even when it somehow accrued downtime.
+        let params = RevenueParams::default();
+        let mut r = record(500.0, 0);
+        r.dropped_at = Some(SimTime::ZERO);
+        let b = params.score(&r, SimTime::from_secs(3600));
+        assert_eq!(b, RevenueBreakdown::default());
+        assert_eq!(b.adjusted(), 0.0);
+    }
+
+    #[test]
+    fn service_created_at_experiment_end_is_zero() {
+        // Lifetime clamps to the window: a database created at (or after)
+        // the end instant has nothing billable and no penalty.
+        let params = RevenueParams::default();
+        let end = SimTime::from_secs(7200);
+        let mut r = record(100.0, 10);
+        r.created_at = end;
+        r.dropped_at = None;
+        assert_eq!(params.score(&r, end), RevenueBreakdown::default());
+    }
 }

@@ -1,0 +1,129 @@
+//! trace_tool — inspect and compare toto trace files.
+//!
+//! ```text
+//! trace_tool dump <trace> [--kind NAME] [--service ID] [--node ID]
+//!                         [--from SECS] [--to SECS]
+//! trace_tool summary <trace>
+//! trace_tool diff <trace-a> <trace-b> [--context N]
+//! ```
+//!
+//! `diff` exits 0 when the traces are identical, 1 on divergence (printing
+//! the first divergent event with its context window), 2 on usage or I/O
+//! errors — so CI can assert "two seeded runs, zero divergence" directly.
+
+use std::io::Write;
+use std::process::ExitCode;
+use toto_trace::codec::{decode, TraceFile};
+use toto_trace::diff::{diff_traces, render_report};
+use toto_trace::report::{dump, render_summary, summarize, Filter};
+
+const USAGE: &str = "usage:
+  trace_tool dump <trace> [--kind NAME] [--service ID] [--node ID] [--from SECS] [--to SECS]
+  trace_tool summary <trace>
+  trace_tool diff <trace-a> <trace-b> [--context N]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_tool: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<TraceFile, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write `text` to stdout. A closed pipe (`trace_tool dump … | head`)
+/// is not an error — the downstream reader got what it wanted; exit
+/// codes must keep reflecting the command's own verdict, not the pipe.
+fn emit_stdout(text: &str) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("cannot write to stdout: {e}")),
+    }
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<u64>()
+        .map_err(|_| format!("{flag} expects an unsigned integer, got {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return fail("missing subcommand");
+    };
+    let result = match command.as_str() {
+        "dump" => cmd_dump(args),
+        "summary" => cmd_summary(args),
+        "diff" => return cmd_diff(args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn cmd_dump(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let path = args.next().ok_or("dump needs a trace file")?;
+    let mut filter = Filter::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--kind" => filter.kind = Some(args.next().ok_or("--kind needs a value")?),
+            "--service" => filter.service = Some(parse_u64("--service", args.next())?),
+            "--node" => filter.node = Some(parse_u64("--node", args.next())?),
+            "--from" => filter.from_secs = Some(parse_u64("--from", args.next())?),
+            "--to" => filter.to_secs = Some(parse_u64("--to", args.next())?),
+            other => return Err(format!("unknown dump flag {other:?}")),
+        }
+    }
+    let file = load(&path)?;
+    let lines = dump(&file, &filter);
+    let mut text = String::new();
+    for line in &lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    emit_stdout(&text)?;
+    eprintln!("{} of {} events matched", lines.len(), file.events.len());
+    Ok(())
+}
+
+fn cmd_summary(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let path = args.next().ok_or("summary needs a trace file")?;
+    let file = load(&path)?;
+    emit_stdout(&render_summary(&summarize(&file)))
+}
+
+fn cmd_diff(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(path_a), Some(path_b)) = (args.next(), args.next()) else {
+        return fail("diff needs two trace files");
+    };
+    let mut context = 5usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--context" => match parse_u64("--context", args.next()) {
+                Ok(v) => context = v as usize,
+                Err(msg) => return fail(&msg),
+            },
+            other => return fail(&format!("unknown diff flag {other:?}")),
+        }
+    }
+    let (a, b) = match (load(&path_a), load(&path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let report = diff_traces(&a, &b);
+    if let Err(e) = emit_stdout(&render_report(&a, &b, &report, context)) {
+        return fail(&e);
+    }
+    if report.identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,174 @@
+//! Divergence bisection between two traces of nominally identical runs.
+//!
+//! Two runs of the same `(spec, seed)` pair must produce identical event
+//! streams; when they do not, the first divergent event localizes the bug
+//! far better than a failed end-of-run KPI comparison. Events compare by
+//! `(time, seq, kind, payload)` with `f64` fields compared bit-for-bit.
+
+use crate::codec::{DecodedEvent, TraceFile};
+
+/// Where and how two traces first disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The embedded schemas differ (traces from different writers).
+    Schema,
+    /// Events at `index` differ.
+    Event { index: usize },
+    /// One trace is a strict prefix of the other; `index` is the length
+    /// of the shorter trace.
+    Length { index: usize },
+}
+
+/// Outcome of a trace comparison, with context for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    pub divergence: Option<Divergence>,
+    pub len_a: usize,
+    pub len_b: usize,
+}
+
+impl DiffReport {
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+fn events_equal(a: &DecodedEvent, b: &DecodedEvent) -> bool {
+    a.time_secs == b.time_secs && a.seq == b.seq && a.kind == b.kind && a.values == b.values
+}
+
+/// Compare two decoded traces; returns the first divergence, if any.
+pub fn diff_traces(a: &TraceFile, b: &TraceFile) -> DiffReport {
+    let report = |divergence| DiffReport {
+        divergence,
+        len_a: a.events.len(),
+        len_b: b.events.len(),
+    };
+    if a.kinds != b.kinds || a.format_version != b.format_version {
+        return report(Some(Divergence::Schema));
+    }
+    let shared = a.events.len().min(b.events.len());
+    for i in 0..shared {
+        if !events_equal(&a.events[i], &b.events[i]) {
+            return report(Some(Divergence::Event { index: i }));
+        }
+    }
+    if a.events.len() != b.events.len() {
+        return report(Some(Divergence::Length { index: shared }));
+    }
+    report(None)
+}
+
+/// Render a human-readable divergence report: the verdict line, then a
+/// context window of `context` events before the divergence point and the
+/// disagreeing events themselves from both traces.
+pub fn render_report(a: &TraceFile, b: &TraceFile, report: &DiffReport, context: usize) -> String {
+    let mut out = String::new();
+    match &report.divergence {
+        None => {
+            out.push_str(&format!(
+                "traces identical: {} events, no divergence\n",
+                report.len_a
+            ));
+        }
+        Some(Divergence::Schema) => {
+            out.push_str("traces diverge before any event: embedded schemas differ\n");
+            out.push_str(&format!(
+                "  trace A: format v{}, {} kinds; trace B: format v{}, {} kinds\n",
+                a.format_version,
+                a.kinds.len(),
+                b.format_version,
+                b.kinds.len()
+            ));
+        }
+        Some(Divergence::Event { index }) => {
+            out.push_str(&format!(
+                "first divergent event at index {index} (of {} / {})\n",
+                report.len_a, report.len_b
+            ));
+            push_context(&mut out, a, b, *index, context);
+            out.push_str(&format!("  A> {}\n", a.render(&a.events[*index])));
+            out.push_str(&format!("  B> {}\n", b.render(&b.events[*index])));
+        }
+        Some(Divergence::Length { index }) => {
+            out.push_str(&format!(
+                "traces agree for {index} events, then lengths diverge ({} vs {})\n",
+                report.len_a, report.len_b
+            ));
+            push_context(&mut out, a, b, *index, context);
+            match (a.events.get(*index), b.events.get(*index)) {
+                (Some(ev), None) => {
+                    out.push_str(&format!("  A> {}\n  B> <end of trace>\n", a.render(ev)))
+                }
+                (None, Some(ev)) => {
+                    out.push_str(&format!("  A> <end of trace>\n  B> {}\n", b.render(ev)))
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Shared context: the last `context` events before `index` (identical in
+/// both traces by construction, so they are printed once, from A).
+fn push_context(out: &mut String, a: &TraceFile, _b: &TraceFile, index: usize, context: usize) {
+    let start = index.saturating_sub(context);
+    if start < index {
+        out.push_str(&format!("  shared context (events {start}..{index}):\n"));
+    }
+    for ev in a.events.iter().take(index).skip(start) {
+        out.push_str(&format!("     {}\n", a.render(ev)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode_all};
+    use crate::event::{EventBody, TraceEvent};
+
+    fn trace_of(values: &[u64]) -> TraceFile {
+        let events: Vec<TraceEvent> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| TraceEvent {
+                time_secs: i as u64 * 60,
+                seq: i as u64,
+                body: EventBody::Dispatch { queue_seq: *v },
+            })
+            .collect();
+        decode(&encode_all(&events)).expect("round trip")
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = trace_of(&[1, 2, 3]);
+        let b = trace_of(&[1, 2, 3]);
+        let report = diff_traces(&a, &b);
+        assert!(report.identical());
+        assert!(render_report(&a, &b, &report, 3).contains("identical"));
+    }
+
+    #[test]
+    fn first_divergent_event_is_located() {
+        let a = trace_of(&[1, 2, 3, 4]);
+        let b = trace_of(&[1, 2, 9, 4]);
+        let report = diff_traces(&a, &b);
+        assert_eq!(report.divergence, Some(Divergence::Event { index: 2 }));
+        let rendered = render_report(&a, &b, &report, 2);
+        assert!(rendered.contains("index 2"), "{rendered}");
+        assert!(rendered.contains("queue_seq=3"), "{rendered}");
+        assert!(rendered.contains("queue_seq=9"), "{rendered}");
+    }
+
+    #[test]
+    fn prefix_divergence_is_reported_as_length() {
+        let a = trace_of(&[1, 2, 3]);
+        let b = trace_of(&[1, 2]);
+        let report = diff_traces(&a, &b);
+        assert_eq!(report.divergence, Some(Divergence::Length { index: 2 }));
+        let rendered = render_report(&a, &b, &report, 1);
+        assert!(rendered.contains("<end of trace>"), "{rendered}");
+    }
+}

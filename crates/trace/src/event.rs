@@ -1,0 +1,602 @@
+//! The trace event model.
+//!
+//! Every event carries only simulated time and a monotonic sequence
+//! number — never a wall clock — so two runs of the same `(spec, seed)`
+//! pair produce identical event streams. Payloads are flat scalar/string
+//! tuples described by a static per-kind schema; the schema is embedded
+//! in every trace file so decoders never need this crate's source to be
+//! in sync with the writer (self-describing format).
+
+/// Discriminant for every traceable decision in the sim path.
+///
+/// The numeric value is the on-disk kind id; append-only — never renumber
+/// an existing kind, or old traces become unreadable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Experiment lifecycle marker (bootstrap / run / score …).
+    Phase = 0,
+    /// One event-loop dispatch in `toto-simcore`.
+    Dispatch = 1,
+    /// PLB placed a new service.
+    Placement = 2,
+    /// PLB could not place a new service (not enough feasible nodes).
+    PlacementRejected = 3,
+    /// Summary of one simulated-annealing refinement pass.
+    AnnealSummary = 4,
+    /// A capacity violation the PLB could not resolve this pass.
+    ViolationUnresolved = 5,
+    /// A replica moved between nodes (violation fix, balance, drain…).
+    Failover = 6,
+    /// A write against the naming service.
+    NamingWrite = 7,
+    /// RG manager interposed on a replica metric report.
+    MetricReport = 8,
+    /// RG manager refreshed its create/drop model snapshot.
+    ModelRefresh = 9,
+    /// Control plane admitted a create request.
+    AdmissionAdmitted = 10,
+    /// Control plane redirected a create request away from the cluster.
+    AdmissionRedirected = 11,
+    /// Population manager created a database.
+    DbCreate = 12,
+    /// Population manager dropped a database.
+    DbDrop = 13,
+    /// Bootstrap could not place one of the initial-population drafts.
+    BootstrapPlacementFailed = 14,
+}
+
+/// Number of defined event kinds (kind ids are `0..COUNT`).
+pub const KIND_COUNT: usize = 15;
+
+/// All kinds, in kind-id order.
+pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
+    EventKind::Phase,
+    EventKind::Dispatch,
+    EventKind::Placement,
+    EventKind::PlacementRejected,
+    EventKind::AnnealSummary,
+    EventKind::ViolationUnresolved,
+    EventKind::Failover,
+    EventKind::NamingWrite,
+    EventKind::MetricReport,
+    EventKind::ModelRefresh,
+    EventKind::AdmissionAdmitted,
+    EventKind::AdmissionRedirected,
+    EventKind::DbCreate,
+    EventKind::DbDrop,
+    EventKind::BootstrapPlacementFailed,
+];
+
+/// Bit masks for selecting which kinds a sink records.
+pub mod mask {
+    /// Record every kind.
+    pub const ALL: u64 = (1u64 << super::KIND_COUNT) - 1;
+    /// Record nothing (disabled tracing).
+    pub const NONE: u64 = 0;
+}
+
+impl EventKind {
+    /// The bit for this kind in a sink's kind mask.
+    #[inline]
+    pub fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+
+    /// Stable on-disk kind id.
+    #[inline]
+    pub fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Kind for a raw on-disk id, if defined.
+    pub fn from_id(id: u8) -> Option<EventKind> {
+        ALL_KINDS.get(id as usize).copied()
+    }
+
+    /// Human-readable kind name (also the on-disk schema name).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Phase => "phase",
+            EventKind::Dispatch => "dispatch",
+            EventKind::Placement => "placement",
+            EventKind::PlacementRejected => "placement_rejected",
+            EventKind::AnnealSummary => "anneal_summary",
+            EventKind::ViolationUnresolved => "violation_unresolved",
+            EventKind::Failover => "failover",
+            EventKind::NamingWrite => "naming_write",
+            EventKind::MetricReport => "metric_report",
+            EventKind::ModelRefresh => "model_refresh",
+            EventKind::AdmissionAdmitted => "admission_admitted",
+            EventKind::AdmissionRedirected => "admission_redirected",
+            EventKind::DbCreate => "db_create",
+            EventKind::DbDrop => "db_drop",
+            EventKind::BootstrapPlacementFailed => "bootstrap_placement_failed",
+        }
+    }
+
+    /// Look a kind up by its schema name.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Field schema for this kind, in payload order.
+    pub fn fields(self) -> &'static [FieldDef] {
+        const PHASE: &[FieldDef] = &[FieldDef::str("label")];
+        const DISPATCH: &[FieldDef] = &[FieldDef::u64("queue_seq")];
+        const PLACEMENT: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("replicas"),
+            FieldDef::u64("primary_node"),
+        ];
+        const PLACEMENT_REJECTED: &[FieldDef] =
+            &[FieldDef::u64("needed"), FieldDef::u64("feasible")];
+        const ANNEAL_SUMMARY: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("iterations"),
+            FieldDef::u64("accepted"),
+        ];
+        const VIOLATION_UNRESOLVED: &[FieldDef] =
+            &[FieldDef::u64("node"), FieldDef::u64("resource")];
+        const FAILOVER: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("replica"),
+            FieldDef::u64("from"),
+            FieldDef::u64("to"),
+            FieldDef::u64("primary"),
+            FieldDef::str("reason"),
+            FieldDef::u64("promoted"),
+        ];
+        const NAMING_WRITE: &[FieldDef] = &[FieldDef::str("key"), FieldDef::u64("version")];
+        const METRIC_REPORT: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("replica"),
+            FieldDef::u64("node"),
+            FieldDef::str("resource"),
+            FieldDef::f64("value"),
+        ];
+        const MODEL_REFRESH: &[FieldDef] = &[FieldDef::u64("node"), FieldDef::u64("version")];
+        const ADMISSION_ADMITTED: &[FieldDef] = &[FieldDef::u64("service"), FieldDef::f64("cores")];
+        const ADMISSION_REDIRECTED: &[FieldDef] =
+            &[FieldDef::f64("cores"), FieldDef::f64("available")];
+        const DB_CREATE: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("edition"),
+            FieldDef::u64("slo"),
+        ];
+        const DB_DROP: &[FieldDef] = &[FieldDef::u64("service"), FieldDef::u64("edition")];
+        const BOOTSTRAP_PLACEMENT_FAILED: &[FieldDef] = &[
+            FieldDef::u64("draft"),
+            FieldDef::u64("vcores"),
+            FieldDef::f64("disk_gb"),
+        ];
+        match self {
+            EventKind::Phase => PHASE,
+            EventKind::Dispatch => DISPATCH,
+            EventKind::Placement => PLACEMENT,
+            EventKind::PlacementRejected => PLACEMENT_REJECTED,
+            EventKind::AnnealSummary => ANNEAL_SUMMARY,
+            EventKind::ViolationUnresolved => VIOLATION_UNRESOLVED,
+            EventKind::Failover => FAILOVER,
+            EventKind::NamingWrite => NAMING_WRITE,
+            EventKind::MetricReport => METRIC_REPORT,
+            EventKind::ModelRefresh => MODEL_REFRESH,
+            EventKind::AdmissionAdmitted => ADMISSION_ADMITTED,
+            EventKind::AdmissionRedirected => ADMISSION_REDIRECTED,
+            EventKind::DbCreate => DB_CREATE,
+            EventKind::DbDrop => DB_DROP,
+            EventKind::BootstrapPlacementFailed => BOOTSTRAP_PLACEMENT_FAILED,
+        }
+    }
+}
+
+/// Wire type of one payload field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FieldType {
+    U64 = 0,
+    F64 = 1,
+    Str = 2,
+}
+
+impl FieldType {
+    pub fn from_id(id: u8) -> Option<FieldType> {
+        match id {
+            0 => Some(FieldType::U64),
+            1 => Some(FieldType::F64),
+            2 => Some(FieldType::Str),
+            _ => None,
+        }
+    }
+}
+
+/// One field in a kind's payload schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: &'static str,
+    pub ty: FieldType,
+}
+
+impl FieldDef {
+    const fn u64(name: &'static str) -> FieldDef {
+        FieldDef {
+            name,
+            ty: FieldType::U64,
+        }
+    }
+    const fn f64(name: &'static str) -> FieldDef {
+        FieldDef {
+            name,
+            ty: FieldType::F64,
+        }
+    }
+    const fn str(name: &'static str) -> FieldDef {
+        FieldDef {
+            name,
+            ty: FieldType::Str,
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) payload field value.
+///
+/// Equality compares `F64` by bit pattern so NaNs and signed zeros cannot
+/// mask a real divergence between two traces.
+#[derive(Debug, Clone)]
+pub enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+impl Eq for Value {}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Structured payload of one trace event.
+///
+/// Variant field order must match [`EventKind::fields`]; `values()` is the
+/// single bridge between the typed enum and the generic wire encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventBody {
+    Phase {
+        label: String,
+    },
+    Dispatch {
+        queue_seq: u64,
+    },
+    Placement {
+        service: u64,
+        replicas: u64,
+        primary_node: u64,
+    },
+    PlacementRejected {
+        needed: u64,
+        feasible: u64,
+    },
+    AnnealSummary {
+        service: u64,
+        iterations: u64,
+        accepted: u64,
+    },
+    ViolationUnresolved {
+        node: u64,
+        resource: u64,
+    },
+    Failover {
+        service: u64,
+        replica: u64,
+        from: u64,
+        to: u64,
+        primary: bool,
+        reason: String,
+        /// Replica id promoted to primary as a result, or `u64::MAX`.
+        promoted: u64,
+    },
+    NamingWrite {
+        key: String,
+        version: u64,
+    },
+    MetricReport {
+        service: u64,
+        replica: u64,
+        node: u64,
+        resource: String,
+        value: f64,
+    },
+    ModelRefresh {
+        node: u64,
+        version: u64,
+    },
+    AdmissionAdmitted {
+        service: u64,
+        cores: f64,
+    },
+    AdmissionRedirected {
+        cores: f64,
+        available: f64,
+    },
+    DbCreate {
+        service: u64,
+        edition: u64,
+        slo: u64,
+    },
+    DbDrop {
+        service: u64,
+        edition: u64,
+    },
+    BootstrapPlacementFailed {
+        draft: u64,
+        vcores: u64,
+        disk_gb: f64,
+    },
+}
+
+impl EventBody {
+    /// The kind this payload belongs to.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            EventBody::Phase { .. } => EventKind::Phase,
+            EventBody::Dispatch { .. } => EventKind::Dispatch,
+            EventBody::Placement { .. } => EventKind::Placement,
+            EventBody::PlacementRejected { .. } => EventKind::PlacementRejected,
+            EventBody::AnnealSummary { .. } => EventKind::AnnealSummary,
+            EventBody::ViolationUnresolved { .. } => EventKind::ViolationUnresolved,
+            EventBody::Failover { .. } => EventKind::Failover,
+            EventBody::NamingWrite { .. } => EventKind::NamingWrite,
+            EventBody::MetricReport { .. } => EventKind::MetricReport,
+            EventBody::ModelRefresh { .. } => EventKind::ModelRefresh,
+            EventBody::AdmissionAdmitted { .. } => EventKind::AdmissionAdmitted,
+            EventBody::AdmissionRedirected { .. } => EventKind::AdmissionRedirected,
+            EventBody::DbCreate { .. } => EventKind::DbCreate,
+            EventBody::DbDrop { .. } => EventKind::DbDrop,
+            EventBody::BootstrapPlacementFailed { .. } => EventKind::BootstrapPlacementFailed,
+        }
+    }
+
+    /// Payload fields in schema order, as generic wire values.
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            EventBody::Phase { label } => vec![Value::Str(label.clone())],
+            EventBody::Dispatch { queue_seq } => vec![Value::U64(*queue_seq)],
+            EventBody::Placement {
+                service,
+                replicas,
+                primary_node,
+            } => vec![
+                Value::U64(*service),
+                Value::U64(*replicas),
+                Value::U64(*primary_node),
+            ],
+            EventBody::PlacementRejected { needed, feasible } => {
+                vec![Value::U64(*needed), Value::U64(*feasible)]
+            }
+            EventBody::AnnealSummary {
+                service,
+                iterations,
+                accepted,
+            } => vec![
+                Value::U64(*service),
+                Value::U64(*iterations),
+                Value::U64(*accepted),
+            ],
+            EventBody::ViolationUnresolved { node, resource } => {
+                vec![Value::U64(*node), Value::U64(*resource)]
+            }
+            EventBody::Failover {
+                service,
+                replica,
+                from,
+                to,
+                primary,
+                reason,
+                promoted,
+            } => vec![
+                Value::U64(*service),
+                Value::U64(*replica),
+                Value::U64(*from),
+                Value::U64(*to),
+                Value::U64(u64::from(*primary)),
+                Value::Str(reason.clone()),
+                Value::U64(*promoted),
+            ],
+            EventBody::NamingWrite { key, version } => {
+                vec![Value::Str(key.clone()), Value::U64(*version)]
+            }
+            EventBody::MetricReport {
+                service,
+                replica,
+                node,
+                resource,
+                value,
+            } => vec![
+                Value::U64(*service),
+                Value::U64(*replica),
+                Value::U64(*node),
+                Value::Str(resource.clone()),
+                Value::F64(*value),
+            ],
+            EventBody::ModelRefresh { node, version } => {
+                vec![Value::U64(*node), Value::U64(*version)]
+            }
+            EventBody::AdmissionAdmitted { service, cores } => {
+                vec![Value::U64(*service), Value::F64(*cores)]
+            }
+            EventBody::AdmissionRedirected { cores, available } => {
+                vec![Value::F64(*cores), Value::F64(*available)]
+            }
+            EventBody::DbCreate {
+                service,
+                edition,
+                slo,
+            } => vec![Value::U64(*service), Value::U64(*edition), Value::U64(*slo)],
+            EventBody::DbDrop { service, edition } => {
+                vec![Value::U64(*service), Value::U64(*edition)]
+            }
+            EventBody::BootstrapPlacementFailed {
+                draft,
+                vcores,
+                disk_gb,
+            } => vec![
+                Value::U64(*draft),
+                Value::U64(*vcores),
+                Value::F64(*disk_gb),
+            ],
+        }
+    }
+}
+
+/// One recorded event: simulated time, a per-session monotonic sequence
+/// number, and the structured payload. No wall clock anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub time_secs: u64,
+    pub seq: u64,
+    pub body: EventBody,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = self.body.kind();
+        write!(
+            f,
+            "[{:>8}s #{:>6}] {}",
+            self.time_secs,
+            self.seq,
+            kind.name()
+        )?;
+        for (def, val) in kind.fields().iter().zip(self.body.values()) {
+            write!(f, " {}={}", def.name, val)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_ids_round_trip() {
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(k.id() as usize, i);
+            assert_eq!(EventKind::from_id(k.id()), Some(*k));
+            assert_eq!(EventKind::from_name(k.name()), Some(*k));
+        }
+        assert_eq!(EventKind::from_id(KIND_COUNT as u8), None);
+        assert_eq!(EventKind::from_name("no_such_kind"), None);
+    }
+
+    #[test]
+    fn body_values_match_schema() {
+        let bodies = vec![
+            EventBody::Phase {
+                label: "run".into(),
+            },
+            EventBody::Dispatch { queue_seq: 7 },
+            EventBody::Placement {
+                service: 1,
+                replicas: 2,
+                primary_node: 3,
+            },
+            EventBody::PlacementRejected {
+                needed: 4,
+                feasible: 1,
+            },
+            EventBody::AnnealSummary {
+                service: 1,
+                iterations: 200,
+                accepted: 12,
+            },
+            EventBody::ViolationUnresolved {
+                node: 5,
+                resource: 0,
+            },
+            EventBody::Failover {
+                service: 9,
+                replica: 1,
+                from: 2,
+                to: 3,
+                primary: true,
+                reason: "capacity_violation".into(),
+                promoted: u64::MAX,
+            },
+            EventBody::NamingWrite {
+                key: "toto/models".into(),
+                version: 3,
+            },
+            EventBody::MetricReport {
+                service: 9,
+                replica: 0,
+                node: 2,
+                resource: "cpu".into(),
+                value: 0.25,
+            },
+            EventBody::ModelRefresh {
+                node: 2,
+                version: 4,
+            },
+            EventBody::AdmissionAdmitted {
+                service: 10,
+                cores: 4.0,
+            },
+            EventBody::AdmissionRedirected {
+                cores: 8.0,
+                available: 2.5,
+            },
+            EventBody::DbCreate {
+                service: 10,
+                edition: 1,
+                slo: 42,
+            },
+            EventBody::DbDrop {
+                service: 10,
+                edition: 1,
+            },
+            EventBody::BootstrapPlacementFailed {
+                draft: 3,
+                vcores: 16,
+                disk_gb: 1024.0,
+            },
+        ];
+        assert_eq!(bodies.len(), KIND_COUNT);
+        for body in bodies {
+            let kind = body.kind();
+            let values = body.values();
+            assert_eq!(values.len(), kind.fields().len(), "kind {}", kind.name());
+            for (def, val) in kind.fields().iter().zip(&values) {
+                let ok = matches!(
+                    (def.ty, val),
+                    (FieldType::U64, Value::U64(_))
+                        | (FieldType::F64, Value::F64(_))
+                        | (FieldType::Str, Value::Str(_))
+                );
+                assert!(ok, "field {} of {} has wrong type", def.name, kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn f64_values_compare_by_bits() {
+        assert_ne!(Value::F64(0.0), Value::F64(-0.0));
+        assert_eq!(Value::F64(f64::NAN), Value::F64(f64::NAN));
+    }
+}

@@ -1,0 +1,227 @@
+//! Read-side reporting over decoded traces: filtered dumps and summary
+//! histograms. Shared between `trace_tool` and tests.
+
+use crate::codec::{DecodedEvent, TraceFile};
+use crate::event::Value;
+use std::collections::BTreeMap;
+
+/// Filter for [`dump`]; `None` fields match everything.
+#[derive(Debug, Default, Clone)]
+pub struct Filter {
+    /// Kind name as written in the schema (e.g. `failover`).
+    pub kind: Option<String>,
+    /// Matches events whose `service` field equals this id.
+    pub service: Option<u64>,
+    /// Matches events with a `node`, `from`, `to`, or `primary_node`
+    /// field equal to this id.
+    pub node: Option<u64>,
+    /// Inclusive lower bound on simulated seconds.
+    pub from_secs: Option<u64>,
+    /// Inclusive upper bound on simulated seconds.
+    pub to_secs: Option<u64>,
+}
+
+const NODE_FIELDS: [&str; 4] = ["node", "from", "to", "primary_node"];
+
+impl Filter {
+    pub fn matches(&self, file: &TraceFile, ev: &DecodedEvent) -> bool {
+        if let Some(from) = self.from_secs {
+            if ev.time_secs < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_secs {
+            if ev.time_secs > to {
+                return false;
+            }
+        }
+        if let Some(kind) = &self.kind {
+            if file.kind_name(ev.kind) != *kind {
+                return false;
+            }
+        }
+        if let Some(service) = self.service {
+            match file.field(ev, "service") {
+                Some(Value::U64(v)) if *v == service => {}
+                _ => return false,
+            }
+        }
+        if let Some(node) = self.node {
+            let hit = NODE_FIELDS
+                .iter()
+                .any(|name| matches!(file.field(ev, name), Some(Value::U64(v)) if *v == node));
+            if !hit {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Render every event matching `filter`, one line each.
+pub fn dump(file: &TraceFile, filter: &Filter) -> Vec<String> {
+    file.events
+        .iter()
+        .filter(|ev| filter.matches(file, ev))
+        .map(|ev| file.render(ev))
+        .collect()
+}
+
+/// Aggregate statistics over one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    pub total: usize,
+    pub first_secs: u64,
+    pub last_secs: u64,
+    /// Event count per kind name.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Event count per node id (union of node-bearing fields).
+    pub by_node: BTreeMap<u64, u64>,
+}
+
+/// Count events per kind and per node, and the covered time span.
+pub fn summarize(file: &TraceFile) -> Summary {
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_node: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut first_secs = u64::MAX;
+    let mut last_secs = 0;
+    for ev in &file.events {
+        first_secs = first_secs.min(ev.time_secs);
+        last_secs = last_secs.max(ev.time_secs);
+        *by_kind.entry(file.kind_name(ev.kind)).or_insert(0) += 1;
+        for name in NODE_FIELDS {
+            if let Some(Value::U64(node)) = file.field(ev, name) {
+                *by_node.entry(*node).or_insert(0) += 1;
+            }
+        }
+    }
+    if file.events.is_empty() {
+        first_secs = 0;
+    }
+    Summary {
+        total: file.events.len(),
+        first_secs,
+        last_secs,
+        by_kind,
+        by_node,
+    }
+}
+
+/// Render a [`Summary`] as stable human-readable text.
+pub fn render_summary(s: &Summary) -> String {
+    let mut out = format!(
+        "{} events over [{}s, {}s]\n\nby kind:\n",
+        s.total, s.first_secs, s.last_secs
+    );
+    for (kind, count) in &s.by_kind {
+        out.push_str(&format!("  {kind:<28} {count:>8}\n"));
+    }
+    if !s.by_node.is_empty() {
+        out.push_str("\nby node (node/from/to fields):\n");
+        for (node, count) in &s.by_node {
+            out.push_str(&format!("  node {node:<4} {count:>8}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode_all};
+    use crate::event::{EventBody, TraceEvent};
+
+    fn sample() -> TraceFile {
+        let events = vec![
+            TraceEvent {
+                time_secs: 0,
+                seq: 0,
+                body: EventBody::Phase {
+                    label: "bootstrap".into(),
+                },
+            },
+            TraceEvent {
+                time_secs: 600,
+                seq: 1,
+                body: EventBody::Failover {
+                    service: 7,
+                    replica: 0,
+                    from: 2,
+                    to: 5,
+                    primary: false,
+                    reason: "balance".into(),
+                    promoted: u64::MAX,
+                },
+            },
+            TraceEvent {
+                time_secs: 1200,
+                seq: 2,
+                body: EventBody::MetricReport {
+                    service: 7,
+                    replica: 0,
+                    node: 5,
+                    resource: "cpu".into(),
+                    value: 0.5,
+                },
+            },
+        ];
+        decode(&encode_all(&events)).expect("round trip")
+    }
+
+    #[test]
+    fn dump_filters_by_kind_node_service_time() {
+        let file = sample();
+        let all = dump(&file, &Filter::default());
+        assert_eq!(all.len(), 3);
+
+        let by_kind = dump(
+            &file,
+            &Filter {
+                kind: Some("failover".into()),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(by_kind.len(), 1);
+        assert!(by_kind[0].contains("failover"));
+
+        let by_node = dump(
+            &file,
+            &Filter {
+                node: Some(5),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(by_node.len(), 2, "failover(to=5) and metric_report(node=5)");
+
+        let by_service = dump(
+            &file,
+            &Filter {
+                service: Some(7),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(by_service.len(), 2);
+
+        let windowed = dump(
+            &file,
+            &Filter {
+                from_secs: Some(1),
+                to_secs: Some(700),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(windowed.len(), 1);
+    }
+
+    #[test]
+    fn summary_counts_kinds_and_nodes() {
+        let s = summarize(&sample());
+        assert_eq!(s.total, 3);
+        assert_eq!((s.first_secs, s.last_secs), (0, 1200));
+        assert_eq!(s.by_kind.get("failover"), Some(&1));
+        assert_eq!(s.by_kind.get("metric_report"), Some(&1));
+        assert_eq!(s.by_node.get(&5), Some(&2));
+        assert_eq!(s.by_node.get(&2), Some(&1));
+        assert!(render_summary(&s).contains("metric_report"));
+    }
+}

@@ -17,8 +17,14 @@ use toto::defaults::gen5_model_set;
 use toto::experiment::{DensityExperiment, ExperimentOverrides};
 use toto_spec::model::InitialCreationSpec;
 use toto_spec::{EditionKind, ResourceKind, ScenarioSpec, TargetPopulation};
+use toto_trace::{mask, EventKind, RingSink, SessionGuard, Shared, TraceEvent};
 
-fn run(label: &str, initial: Option<InitialCreationSpec>) {
+/// How many flight-recorder events to show before each failover.
+const CONTEXT: usize = 4;
+/// How many failovers to dump in detail.
+const MAX_DUMPED: usize = 3;
+
+fn run(label: &str, initial: Option<InitialCreationSpec>, flight_recorder: bool) {
     let mut scenario = ScenarioSpec::gen5_stage_cluster(120);
     scenario.duration_hours = 36;
     let mut models = gen5_model_set(scenario.model_seed, scenario.report_period_secs);
@@ -33,7 +39,17 @@ fn run(label: &str, initial: Option<InitialCreationSpec>) {
         models: Some(models),
         ..ExperimentOverrides::default()
     };
+    // A bounded in-memory flight recorder, exactly as a production ring
+    // would run it: chatty per-report kinds masked out so the buffer's
+    // window holds the control-plane story around each incident.
+    let recorder_mask = mask::ALL
+        & !(EventKind::Dispatch.bit()
+            | EventKind::MetricReport.bit()
+            | EventKind::NamingWrite.bit());
+    let sink = Shared::new(RingSink::new(4096).with_mask(recorder_mask));
+    let guard = flight_recorder.then(|| SessionGuard::install(Box::new(sink.clone())));
     let r = DensityExperiment::new(scenario, overrides).run();
+    drop(guard);
     println!(
         "{label:<34} disk {:>6.1} TB | {:>2} failovers ({:>4.0} cores) | {:>2} redirects | penalty ${:>7.2}",
         r.final_disk_gb / 1024.0,
@@ -42,11 +58,42 @@ fn run(label: &str, initial: Option<InitialCreationSpec>) {
         r.redirect_count,
         r.revenue.penalty,
     );
+    if flight_recorder {
+        dump_failover_windows(&sink.with(|ring| ring.snapshot()));
+    }
+}
+
+/// For each failover in the recorder window, print the events leading up
+/// to it — the "what was the cluster doing right before" view a repro
+/// session starts from.
+fn dump_failover_windows(events: &[TraceEvent]) {
+    let failovers: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.body.kind() == EventKind::Failover)
+        .map(|(i, _)| i)
+        .collect();
+    if failovers.is_empty() {
+        println!("    (flight recorder: no failovers in the window)");
+        return;
+    }
+    println!(
+        "\n    flight recorder: {} failover(s) in the last {} events; dumping first {}:",
+        failovers.len(),
+        events.len(),
+        failovers.len().min(MAX_DUMPED)
+    );
+    for &at in failovers.iter().take(MAX_DUMPED) {
+        println!("    --- failover at recorder index {at} ---");
+        for ev in &events[at.saturating_sub(CONTEXT)..=at] {
+            println!("    {ev}");
+        }
+    }
 }
 
 fn main() {
     println!("repro: the §5.3.2 1.3-TB initial-growth incident, at 120% density, 36h\n");
-    run("baseline (no initial growth)", None);
+    run("baseline (no initial growth)", None, false);
     run(
         "incident repro (every BC grows 1.3TB)",
         Some(InitialCreationSpec {
@@ -54,6 +101,7 @@ fn main() {
             duration_secs: 30 * 60,
             bin_edges: vec![1300.0, 1300.0],
         }),
+        true,
     );
     println!("\nthe repro run shows the incident's signature: a handful of admitted BC");
     println!("databases adds terabytes within half an hour of creation, breaching node");

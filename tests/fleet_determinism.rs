@@ -38,7 +38,7 @@ fn run_and_store(dir: &PathBuf, threads: usize) -> RunStore {
 
     let records: Vec<RunRecord> = report
         .completed()
-        .map(|(job, result)| RunRecord::from_result(&job.label, job.seed, result))
+        .map(|(job, out)| RunRecord::from_result(&job.label, job.seed, &out.result))
         .collect();
     let manifest = FleetManifest {
         schema_version: RUN_SCHEMA_VERSION,
@@ -121,8 +121,8 @@ fn rerunning_a_plan_reproduces_stored_artifacts() {
     let plan = density_fleet(ROOT_SEED, &DENSITIES, HOURS);
     let report = FleetExecutor::new(2).run(plan.jobs(), &NullObserver);
     assert!(report.all_completed());
-    for ((job, result), stored_bytes) in report.completed().zip(&stored) {
-        let regenerated = RunRecord::from_result(&job.label, job.seed, result)
+    for ((job, out), stored_bytes) in report.completed().zip(&stored) {
+        let regenerated = RunRecord::from_result(&job.label, job.seed, &out.result)
             .to_json()
             .render();
         assert!(
