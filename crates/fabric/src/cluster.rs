@@ -77,8 +77,20 @@ pub struct Node {
     pub load: LoadVec,
     /// Replicas hosted here, in deterministic order.
     pub replicas: Vec<ReplicaId>,
+    /// Owning service of each hosted replica, parallel to `replicas`.
+    /// Denormalized so the PLB's "does this node already host a sibling?"
+    /// check — run per candidate node per failover decision — is a linear
+    /// scan of this vector instead of a replica-map lookup per replica.
+    pub replica_services: Vec<ServiceId>,
     /// False while the node is drained for maintenance.
     pub up: bool,
+}
+
+impl Node {
+    /// True iff this node hosts a replica of `service`.
+    pub fn hosts_service(&self, service: ServiceId) -> bool {
+        self.replica_services.contains(&service)
+    }
 }
 
 /// Static cluster configuration: homogeneous nodes (SQL DB rings "can also
@@ -114,9 +126,20 @@ pub struct Cluster {
     metrics: MetricRegistry,
     nodes: Vec<Node>,
     services: BTreeMap<ServiceId, Service>,
-    replicas: BTreeMap<ReplicaId, Replica>,
+    /// Slot map indexed by raw replica id: ids are allocated sequentially
+    /// and never reused, so lookups are O(1) and iteration (skipping the
+    /// `None` slots of dropped replicas) visits replicas in id order —
+    /// exactly the order the previous `BTreeMap` storage produced.
+    replicas: Vec<Option<Replica>>,
     next_service: u64,
     next_replica: u64,
+    /// Cached [`MetricRegistry::cost_of`] of each node's aggregate load,
+    /// indexed by raw node id. Refreshed by every load-mutating method, so
+    /// reads are O(1) and always bit-identical to a from-scratch recompute
+    /// (verified by [`Cluster::invariants_ok`]). This is the PLB's
+    /// hot-path base cost: placement evaluates it once per candidate node
+    /// per decision instead of once per comparator call.
+    node_costs: Vec<f64>,
 }
 
 impl Cluster {
@@ -137,17 +160,28 @@ impl Cluster {
                 fault_domain: i % config.fault_domains,
                 load: config.metrics.zero_load(),
                 replicas: Vec::new(),
+                replica_services: Vec::new(),
                 up: true,
             })
             .collect();
+        let node_costs = vec![0.0; config.node_count as usize];
         Cluster {
             metrics: config.metrics,
             nodes,
             services: BTreeMap::new(),
-            replicas: BTreeMap::new(),
+            replicas: Vec::new(),
             next_service: 0,
             next_replica: 0,
+            node_costs,
         }
+    }
+
+    /// Recompute one node's cached cost from its current aggregate load.
+    /// Called by every mutation that touches the node's load, keeping the
+    /// cache exact (not incrementally drifted): the stored value is always
+    /// `cost_of` applied to the present load bits.
+    fn refresh_node_cost(&mut self, node: NodeId) {
+        self.node_costs[node.0 as usize] = self.metrics.cost_of(&self.nodes[node.0 as usize].load);
     }
 
     /// The metric registry.
@@ -170,6 +204,13 @@ impl Cluster {
         self.nodes.len()
     }
 
+    /// Cached balancing cost ([`MetricRegistry::cost_of`]) of a node's
+    /// current aggregate load. O(1); bit-identical to recomputing from the
+    /// node's load vector.
+    pub fn node_cost(&self, id: NodeId) -> f64 {
+        self.node_costs[id.0 as usize]
+    }
+
     /// All services in id order.
     pub fn services(&self) -> impl Iterator<Item = &Service> {
         self.services.values()
@@ -187,12 +228,16 @@ impl Cluster {
 
     /// One replica.
     pub fn replica(&self, id: ReplicaId) -> Option<&Replica> {
-        self.replicas.get(&id)
+        self.replicas.get(id.0 as usize)?.as_ref()
+    }
+
+    fn replica_mut(&mut self, id: ReplicaId) -> Option<&mut Replica> {
+        self.replicas.get_mut(id.0 as usize)?.as_mut()
     }
 
     /// All replicas in id order.
     pub fn replicas(&self) -> impl Iterator<Item = &Replica> {
-        self.replicas.values()
+        self.replicas.iter().filter_map(|r| r.as_ref())
     }
 
     /// The primary replica of a service.
@@ -200,7 +245,7 @@ impl Cluster {
         let svc = self.services.get(&service)?;
         svc.replicas
             .iter()
-            .filter_map(|r| self.replicas.get(r))
+            .filter_map(|r| self.replica(*r))
             .find(|r| r.role == ReplicaRole::Primary)
     }
 
@@ -247,6 +292,7 @@ impl Cluster {
         for (i, &node) in placement.iter().enumerate() {
             let replica_id = ReplicaId(self.next_replica);
             self.next_replica += 1;
+            debug_assert_eq!(replica_id.0 as usize, self.replicas.len());
             let role = if i == 0 {
                 ReplicaRole::Primary
             } else {
@@ -261,7 +307,11 @@ impl Cluster {
             };
             self.nodes[node.0 as usize].load.add(&replica.load);
             self.nodes[node.0 as usize].replicas.push(replica_id);
-            self.replicas.insert(replica_id, replica);
+            self.nodes[node.0 as usize]
+                .replica_services
+                .push(service_id);
+            self.replicas.push(Some(replica));
+            self.refresh_node_cost(node);
             replica_ids.push(replica_id);
         }
         self.services.insert(
@@ -282,10 +332,14 @@ impl Cluster {
     pub fn remove_service(&mut self, id: ServiceId) -> Option<Service> {
         let svc = self.services.remove(&id)?;
         for rid in &svc.replicas {
-            if let Some(rep) = self.replicas.remove(rid) {
+            if let Some(rep) = self.replicas.get_mut(rid.0 as usize).and_then(Option::take) {
                 let node = &mut self.nodes[rep.node.0 as usize];
                 node.load.sub_clamped(&rep.load);
-                node.replicas.retain(|r| r != rid);
+                if let Some(pos) = node.replicas.iter().position(|r| r == rid) {
+                    node.replicas.remove(pos);
+                    node.replica_services.remove(pos);
+                }
+                self.refresh_node_cost(rep.node);
             }
         }
         Some(svc)
@@ -295,13 +349,14 @@ impl Cluster {
     /// follow. Returns the previous value. Panics on unknown replica.
     pub fn report_load(&mut self, replica: ReplicaId, metric: MetricId, value: f64) -> f64 {
         let rep = self
-            .replicas
-            .get_mut(&replica)
+            .replica_mut(replica)
             .unwrap_or_else(|| panic!("report_load: unknown replica {replica}"));
         let prev = rep.load[metric];
         rep.load[metric] = value;
-        let node = &mut self.nodes[rep.node.0 as usize];
+        let node_id = rep.node;
+        let node = &mut self.nodes[node_id.0 as usize];
         node.load[metric] = (node.load[metric] - prev + value).max(0.0);
+        self.refresh_node_cost(node_id);
         prev
     }
 
@@ -309,37 +364,37 @@ impl Cluster {
     /// Panics if the destination already hosts a replica of the service.
     pub fn move_replica(&mut self, replica: ReplicaId, to: NodeId) {
         let rep = self
-            .replicas
-            .get(&replica)
+            .replica(replica)
             .unwrap_or_else(|| panic!("move_replica: unknown replica {replica}"));
         let service = rep.service;
         let from = rep.node;
         assert_ne!(from, to, "move_replica to the same node");
-        let sibling_on_target = self.nodes[to.0 as usize]
-            .replicas
-            .iter()
-            .any(|r| self.replicas[r].service == service);
         assert!(
-            !sibling_on_target,
+            !self.nodes[to.0 as usize].hosts_service(service),
             "destination {to} already hosts a replica of {service}"
         );
-        let rep = self.replicas.get_mut(&replica).expect("checked above");
+        let rep = self.replica_mut(replica).expect("checked above");
         rep.node = to;
         let load = rep.load.clone();
         let from_node = &mut self.nodes[from.0 as usize];
         from_node.load.sub_clamped(&load);
-        from_node.replicas.retain(|r| *r != replica);
+        if let Some(pos) = from_node.replicas.iter().position(|r| *r == replica) {
+            from_node.replicas.remove(pos);
+            from_node.replica_services.remove(pos);
+        }
         let to_node = &mut self.nodes[to.0 as usize];
         to_node.load.add(&load);
         to_node.replicas.push(replica);
+        to_node.replica_services.push(service);
+        self.refresh_node_cost(from);
+        self.refresh_node_cost(to);
     }
 
     /// Promote a secondary to primary, demoting the current primary.
     /// Panics if the replica is unknown; a no-op if it is already primary.
     pub fn promote(&mut self, replica: ReplicaId) {
         let service = self
-            .replicas
-            .get(&replica)
+            .replica(replica)
             .unwrap_or_else(|| panic!("promote: unknown replica {replica}"))
             .service;
         let svc = self
@@ -348,7 +403,7 @@ impl Cluster {
             .expect("replica's service exists");
         let replica_ids = svc.replicas.clone();
         for rid in replica_ids {
-            let rep = self.replicas.get_mut(&rid).expect("service replica exists");
+            let rep = self.replica_mut(rid).expect("service replica exists");
             rep.role = if rid == replica {
                 ReplicaRole::Primary
             } else {
@@ -385,11 +440,14 @@ impl Cluster {
     pub fn invariants_ok(&self) -> bool {
         for node in &self.nodes {
             let mut expect = self.metrics.zero_load();
-            for rid in &node.replicas {
-                let Some(rep) = self.replicas.get(rid) else {
+            if node.replica_services.len() != node.replicas.len() {
+                return false;
+            }
+            for (rid, svc) in node.replicas.iter().zip(&node.replica_services) {
+                let Some(rep) = self.replica(*rid) else {
                     return false;
                 };
-                if rep.node != node.id {
+                if rep.node != node.id || rep.service != *svc {
                     return false;
                 }
                 expect.add(&rep.load);
@@ -399,12 +457,22 @@ impl Cluster {
                     return false;
                 }
             }
+            // The cost cache must match a full recompute *bitwise*: the
+            // cache is refreshed (not incrementally adjusted) on every
+            // load mutation, so even float dust counts as corruption.
+            // Bit comparison also treats NaN == NaN, so a NaN load report
+            // is diagnosed as the aggregate mismatch it is, not as a
+            // spurious cache failure.
+            let recomputed = self.metrics.cost_of(&node.load);
+            if self.node_costs[node.id.0 as usize].to_bits() != recomputed.to_bits() {
+                return false;
+            }
         }
         for svc in self.services.values() {
             let primaries = svc
                 .replicas
                 .iter()
-                .filter_map(|r| self.replicas.get(r))
+                .filter_map(|r| self.replica(*r))
                 .filter(|r| r.role == ReplicaRole::Primary)
                 .count();
             if primaries != 1 {
@@ -413,7 +481,7 @@ impl Cluster {
             let mut nodes: Vec<NodeId> = svc
                 .replicas
                 .iter()
-                .filter_map(|r| self.replicas.get(r))
+                .filter_map(|r| self.replica(*r))
                 .map(|r| r.node)
                 .collect();
             nodes.sort_unstable();
@@ -430,9 +498,16 @@ impl Cluster {
     pub fn check_invariants(&self) {
         for node in &self.nodes {
             let mut expect = self.metrics.zero_load();
-            for rid in &node.replicas {
-                let rep = &self.replicas[rid];
+            assert_eq!(
+                node.replica_services.len(),
+                node.replicas.len(),
+                "{}: replica_services out of sync",
+                node.id
+            );
+            for (rid, svc) in node.replicas.iter().zip(&node.replica_services) {
+                let rep = self.replica(*rid).expect("node lists a live replica");
                 assert_eq!(rep.node, node.id, "{rid} host mismatch");
+                assert_eq!(rep.service, *svc, "{rid} service mismatch on {}", node.id);
                 expect.add(&rep.load);
             }
             for (mid, _) in self.metrics.iter() {
@@ -445,16 +520,28 @@ impl Cluster {
                     expect[mid]
                 );
             }
+            let recomputed = self.metrics.cost_of(&node.load);
+            assert!(
+                self.node_costs[node.id.0 as usize].to_bits() == recomputed.to_bits(),
+                "{}: cached cost {} != recomputed {recomputed}",
+                node.id,
+                self.node_costs[node.id.0 as usize]
+            );
         }
         for svc in self.services.values() {
             let primaries = svc
                 .replicas
                 .iter()
-                .filter(|r| self.replicas[*r].role == ReplicaRole::Primary)
+                .filter(|r| {
+                    self.replica(**r).expect("service replica exists").role == ReplicaRole::Primary
+                })
                 .count();
             assert_eq!(primaries, 1, "{} must have exactly one primary", svc.id);
-            let mut nodes: Vec<NodeId> =
-                svc.replicas.iter().map(|r| self.replicas[r].node).collect();
+            let mut nodes: Vec<NodeId> = svc
+                .replicas
+                .iter()
+                .map(|r| self.replica(*r).expect("service replica exists").node)
+                .collect();
             nodes.sort_unstable();
             nodes.dedup();
             assert_eq!(
@@ -555,6 +642,33 @@ mod tests {
         assert_eq!(c.node(NodeId(2)).load[cpu], 6.0);
         assert_eq!(c.replica(rid).unwrap().node, NodeId(2));
         c.check_invariants();
+    }
+
+    #[test]
+    fn node_cost_cache_tracks_every_mutation() {
+        let (mut c, _, disk) = two_metric_cluster(3);
+        let verify = |c: &Cluster| {
+            for n in c.nodes() {
+                assert_eq!(
+                    c.node_cost(n.id).to_bits(),
+                    c.metrics().cost_of(&n.load).to_bits(),
+                    "stale cost cache on {}",
+                    n.id
+                );
+            }
+        };
+        verify(&c);
+        let s = spec(&c, 6.0, 120.0, 2);
+        let id = c.add_service(&s, &[NodeId(0), NodeId(2)], SimTime::ZERO);
+        verify(&c);
+        let rid = c.service(id).unwrap().replicas[0];
+        c.report_load(rid, disk, 480.0);
+        verify(&c);
+        c.move_replica(rid, NodeId(1));
+        verify(&c);
+        c.remove_service(id);
+        verify(&c);
+        assert_eq!(c.node_cost(NodeId(1)), 0.0);
     }
 
     #[test]

@@ -90,6 +90,48 @@ impl MetricRegistry {
             values: vec![0.0; self.defs.len()],
         }
     }
+
+    /// Weighted squared-utilization cost of a load vector — the PLB's
+    /// per-node balancing objective. Summation order is the registration
+    /// order, so the result is bit-identical however often it is
+    /// recomputed for the same load.
+    pub fn cost_of(&self, load: &LoadVec) -> f64 {
+        debug_assert_eq!(load.values.len(), self.defs.len());
+        let mut cost = 0.0;
+        for (def, &value) in self.defs.iter().zip(&load.values) {
+            let util = value / def.node_capacity;
+            cost += def.balancing_weight * util * util;
+        }
+        cost
+    }
+
+    /// [`cost_of`](Self::cost_of) of `load + extra`, computed without
+    /// materialising the sum. Bit-identical to cloning `load`, calling
+    /// [`LoadVec::add`] and costing the result.
+    pub fn cost_with(&self, load: &LoadVec, extra: &LoadVec) -> f64 {
+        debug_assert_eq!(load.values.len(), self.defs.len());
+        debug_assert_eq!(extra.values.len(), self.defs.len());
+        let mut cost = 0.0;
+        for ((def, &a), &b) in self.defs.iter().zip(&load.values).zip(&extra.values) {
+            let util = (a + b) / def.node_capacity;
+            cost += def.balancing_weight * util * util;
+        }
+        cost
+    }
+
+    /// [`cost_of`](Self::cost_of) of `load - extra`, clamped at zero per
+    /// component exactly like [`LoadVec::sub_clamped`], computed without
+    /// materialising the difference.
+    pub fn cost_without(&self, load: &LoadVec, extra: &LoadVec) -> f64 {
+        debug_assert_eq!(load.values.len(), self.defs.len());
+        debug_assert_eq!(extra.values.len(), self.defs.len());
+        let mut cost = 0.0;
+        for ((def, &a), &b) in self.defs.iter().zip(&load.values).zip(&extra.values) {
+            let util = (a - b).max(0.0) / def.node_capacity;
+            cost += def.balancing_weight * util * util;
+        }
+        cost
+    }
 }
 
 /// A per-metric load vector (replica-reported loads or node aggregates).
@@ -226,5 +268,49 @@ mod tests {
         assert_eq!(a[cpu], 2.0);
         // Clamped: 250 - 150 - 150 -> 0, not -50.
         assert_eq!(a[disk], 0.0);
+    }
+
+    #[test]
+    fn cost_with_and_without_match_materialised_vectors_bitwise() {
+        let r = registry();
+        let cpu = r.by_name("Cpu").unwrap();
+        let disk = r.by_name("Disk").unwrap();
+        let mut load = r.zero_load();
+        load[cpu] = 37.3;
+        load[disk] = 4111.25;
+        let mut extra = r.zero_load();
+        extra[cpu] = 8.1;
+        extra[disk] = 350.7;
+
+        let mut sum = load.clone();
+        sum.add(&extra);
+        assert_eq!(
+            r.cost_with(&load, &extra).to_bits(),
+            r.cost_of(&sum).to_bits()
+        );
+
+        let mut diff = load.clone();
+        diff.sub_clamped(&extra);
+        assert_eq!(
+            r.cost_without(&load, &extra).to_bits(),
+            r.cost_of(&diff).to_bits()
+        );
+
+        // Clamping also matches when the subtrahend dominates.
+        let mut big = r.zero_load();
+        big[cpu] = 90.0;
+        big[disk] = 9000.0;
+        let mut clamped = load.clone();
+        clamped.sub_clamped(&big);
+        assert_eq!(
+            r.cost_without(&load, &big).to_bits(),
+            r.cost_of(&clamped).to_bits()
+        );
+    }
+
+    #[test]
+    fn cost_of_zero_load_is_zero() {
+        let r = registry();
+        assert_eq!(r.cost_of(&r.zero_load()), 0.0);
     }
 }

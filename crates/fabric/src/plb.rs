@@ -109,11 +109,36 @@ pub struct FailoverEvent {
     pub promoted: Option<ReplicaId>,
 }
 
+/// Reusable scratch buffers for the PLB's decision hot paths. Placement
+/// and failover targeting run hundreds of thousands of times per density
+/// study; keeping their working vectors here means each decision is
+/// allocation-free after the first call (buffers are cleared, never
+/// shrunk). Holding them on the `Plb` never aliases cluster state: every
+/// decision method rebuilds the buffers it uses from the cluster it is
+/// handed before reading them.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// `(marginal cost, node)` pairs ranked ascending for placement.
+    ranked: Vec<(f64, NodeId)>,
+    /// Marginal placement cost per node, indexed by raw node id; stale
+    /// entries are overwritten before each use.
+    marginal: Vec<f64>,
+    /// Candidate nodes for the current decision, in evaluation order.
+    candidates: Vec<NodeId>,
+    /// Memoized per-candidate target costs, parallel to `candidates`.
+    costs: Vec<f64>,
+    /// Fault-domain working set for collision counting.
+    domains: Vec<u32>,
+    /// Sibling fault domains of the replica being retargeted.
+    sibling_domains: Vec<u32>,
+}
+
 /// The Placement and Load Balancer.
 #[derive(Clone, Debug)]
 pub struct Plb {
     config: PlbConfig,
     rng: DetRng,
+    scratch: Scratch,
 }
 
 impl Plb {
@@ -124,6 +149,7 @@ impl Plb {
         Plb {
             config,
             rng: DetRng::seed_from_u64(seed),
+            scratch: Scratch::default(),
         }
     }
 
@@ -132,22 +158,12 @@ impl Plb {
         &self.config
     }
 
-    /// Weighted squared-utilization cost of a hypothetical node load.
-    fn node_cost(cluster: &Cluster, load: &LoadVec) -> f64 {
-        let mut cost = 0.0;
-        for (mid, def) in cluster.metrics().iter() {
-            let util = load[mid] / def.node_capacity;
-            cost += def.balancing_weight * util * util;
-        }
-        cost
-    }
-
     /// Cost delta of adding `extra` to node `n`'s current load.
+    /// Allocation-free: the hypothetical cost iterates metric pairs
+    /// directly and the base cost is the cluster's cached per-node value,
+    /// both bit-identical to the clone-and-recompute they replace.
     fn add_cost(cluster: &Cluster, n: NodeId, extra: &LoadVec) -> f64 {
-        let node = cluster.node(n);
-        let mut with = node.load.clone();
-        with.add(extra);
-        Self::node_cost(cluster, &with) - Self::node_cost(cluster, &node.load)
+        cluster.metrics().cost_with(&cluster.node(n).load, extra) - cluster.node_cost(n)
     }
 
     /// Cost penalty per fault-domain collision within one service's
@@ -157,14 +173,13 @@ impl Plb {
     const DOMAIN_COLLISION_PENALTY: f64 = 10.0;
 
     /// Number of same-domain pairs collapsed to `n - distinct_domains`.
-    fn domain_collisions(cluster: &Cluster, nodes: &[NodeId]) -> f64 {
-        let mut domains: Vec<u32> = nodes
-            .iter()
-            .map(|n| cluster.node(*n).fault_domain)
-            .collect();
-        domains.sort_unstable();
-        domains.dedup();
-        (nodes.len() - domains.len()) as f64
+    /// `scratch` is a reusable working buffer (cleared on entry).
+    fn domain_collisions(cluster: &Cluster, nodes: &[NodeId], scratch: &mut Vec<u32>) -> f64 {
+        scratch.clear();
+        scratch.extend(nodes.iter().map(|n| cluster.node(*n).fault_domain));
+        scratch.sort_unstable();
+        scratch.dedup();
+        (nodes.len() - scratch.len()) as f64
     }
 
     /// True iff `extra` fits on node `n` within `headroom × capacity`.
@@ -181,6 +196,13 @@ impl Plb {
 
     /// Decide a placement for a new service: `replica_count` distinct
     /// nodes, primary first. Does not mutate the cluster.
+    ///
+    /// The marginal cost of each feasible node is computed exactly once
+    /// per decision, before sorting; the greedy sort, the annealing loop
+    /// and the final primary sort all read the precomputed table. With a
+    /// cached per-node base cost this makes a placement decision
+    /// O(nodes × metrics + n log n + iterations) instead of
+    /// O(n log n × metrics) cost evaluations with an allocation each.
     pub fn place_new_service(
         &mut self,
         cluster: &Cluster,
@@ -189,14 +211,18 @@ impl Plb {
         let k = spec.replica_count as usize;
         assert!(k >= 1, "services need at least one replica");
         let headroom = self.config.placement_headroom;
-        let mut feasible: Vec<NodeId> = cluster
-            .nodes()
-            .iter()
-            .filter(|n| Self::fits(cluster, n.id, &spec.default_load, headroom))
-            .map(|n| n.id)
-            .collect();
-        if feasible.len() < k {
-            let found = feasible.len() as u32;
+        // Rank feasible nodes by marginal cost (computed once per node —
+        // the comparator only reads precomputed keys). `total_cmp` gives
+        // a total order even for NaN, so the sort cannot panic.
+        let ranked = &mut self.scratch.ranked;
+        ranked.clear();
+        for n in cluster.nodes() {
+            if Self::fits(cluster, n.id, &spec.default_load, headroom) {
+                ranked.push((Self::add_cost(cluster, n.id, &spec.default_load), n.id));
+            }
+        }
+        if ranked.len() < k {
+            let found = ranked.len() as u32;
             toto_trace::emit(toto_trace::EventKind::PlacementRejected, || {
                 toto_trace::EventBody::PlacementRejected {
                     needed: u64::from(spec.replica_count),
@@ -208,17 +234,23 @@ impl Plb {
                 feasible: found,
             });
         }
-        // Greedy start: cheapest nodes by marginal cost, preferring nodes
-        // in fault domains not already used by this placement. `total_cmp`
-        // gives a total order even for NaN, so the sort cannot panic.
-        feasible.sort_by(|&a, &b| {
-            Self::add_cost(cluster, a, &spec.default_load)
-                .total_cmp(&Self::add_cost(cluster, b, &spec.default_load))
-                .then(a.cmp(&b))
-        });
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Marginal-cost lookup table for the anneal, indexed by raw node
+        // id, plus the feasible set in rank order.
+        let marginal = &mut self.scratch.marginal;
+        marginal.clear();
+        marginal.resize(cluster.node_count(), f64::INFINITY);
+        for &(cost, n) in ranked.iter() {
+            marginal[n.0 as usize] = cost;
+        }
+        let feasible = &mut self.scratch.candidates;
+        feasible.clear();
+        feasible.extend(ranked.iter().map(|&(_, n)| n));
+        // Greedy start: cheapest nodes first, preferring fault domains not
+        // already used by this placement.
         let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
         let mut used_domains: Vec<u32> = Vec::with_capacity(k);
-        for &n in &feasible {
+        for &n in feasible.iter() {
             if chosen.len() == k {
                 break;
             }
@@ -229,7 +261,7 @@ impl Plb {
             }
         }
         // Fewer domains than replicas: fill with the cheapest remaining.
-        for &n in &feasible {
+        for &n in feasible.iter() {
             if chosen.len() == k {
                 break;
             }
@@ -239,31 +271,73 @@ impl Plb {
         }
         if feasible.len() > k {
             // Simulated-annealing refinement: try swapping a chosen node
-            // for an unchosen feasible one.
-            let mut temperature = self.config.initial_temperature;
-            let mut cost: f64 = chosen
+            // for an unchosen feasible one. The candidate slot is mutated
+            // in place and reverted on rejection, so the loop allocates
+            // nothing; the collision count is maintained in O(1) per swap
+            // from per-domain membership counts (`collisions = k −
+            // distinct domains`) instead of re-sorted every iteration.
+            let counts = &mut self.scratch.domains;
+            counts.clear();
+            let max_domain = cluster
+                .nodes()
                 .iter()
-                .map(|&n| Self::add_cost(cluster, n, &spec.default_load))
-                .sum();
+                .map(|n| n.fault_domain)
+                .max()
+                .unwrap_or(0);
+            counts.resize(max_domain as usize + 1, 0);
+            let mut distinct: usize = 0;
+            for &n in chosen.iter() {
+                let d = cluster.node(n).fault_domain as usize;
+                if counts[d] == 0 {
+                    distinct += 1;
+                }
+                counts[d] += 1;
+            }
+            let mut temperature = self.config.initial_temperature;
+            let mut cost: f64 = chosen.iter().map(|&n| marginal[n.0 as usize]).sum();
+            let mut cur_collisions = (k - distinct) as f64;
             let mut accepted: u64 = 0;
             for _ in 0..self.config.anneal_iterations {
                 let slot = self.rng.next_below(k as u64) as usize;
-                let alt = *self.rng.choose(&feasible);
+                let alt = feasible[self.rng.next_below(feasible.len() as u64) as usize];
                 if chosen.contains(&alt) {
                     temperature *= self.config.cooling;
                     continue;
                 }
-                let mut with_alt = chosen.clone();
-                with_alt[slot] = alt;
-                let delta = Self::add_cost(cluster, alt, &spec.default_load)
-                    - Self::add_cost(cluster, chosen[slot], &spec.default_load)
-                    + Self::DOMAIN_COLLISION_PENALTY
-                        * (Self::domain_collisions(cluster, &with_alt)
-                            - Self::domain_collisions(cluster, &chosen));
+                let prev = chosen[slot];
+                chosen[slot] = alt;
+                let dp = cluster.node(prev).fault_domain as usize;
+                let da = cluster.node(alt).fault_domain as usize;
+                counts[dp] -= 1;
+                if counts[dp] == 0 {
+                    distinct -= 1;
+                }
+                if counts[da] == 0 {
+                    distinct += 1;
+                }
+                counts[da] += 1;
+                let alt_collisions = (k - distinct) as f64;
+                debug_assert_eq!(
+                    alt_collisions,
+                    Self::domain_collisions(cluster, &chosen, &mut Vec::new()),
+                    "incremental collision count diverged from recount"
+                );
+                let delta = marginal[alt.0 as usize] - marginal[prev.0 as usize]
+                    + Self::DOMAIN_COLLISION_PENALTY * (alt_collisions - cur_collisions);
                 if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
-                    chosen[slot] = alt;
                     cost += delta;
+                    cur_collisions = alt_collisions;
                     accepted += 1;
+                } else {
+                    chosen[slot] = prev;
+                    counts[da] -= 1;
+                    if counts[da] == 0 {
+                        distinct -= 1;
+                    }
+                    if counts[dp] == 0 {
+                        distinct += 1;
+                    }
+                    counts[dp] += 1;
                 }
                 temperature *= self.config.cooling;
             }
@@ -282,8 +356,8 @@ impl Plb {
         }
         // Primary on the cheapest of the chosen nodes.
         chosen.sort_by(|&a, &b| {
-            Self::add_cost(cluster, a, &spec.default_load)
-                .total_cmp(&Self::add_cost(cluster, b, &spec.default_load))
+            marginal[a.0 as usize]
+                .total_cmp(&marginal[b.0 as usize])
                 .then(a.cmp(&b))
         });
         Ok(chosen)
@@ -350,52 +424,55 @@ impl Plb {
 
     /// Anneal-select a feasible target node for moving `replica` off its
     /// current node. Returns `None` when no node can absorb it.
+    ///
+    /// Per-candidate target costs are memoized once before the anneal
+    /// loop — the cluster cannot change mid-decision, so every iteration
+    /// is a table lookup instead of a fresh cost evaluation.
     fn pick_target(&mut self, cluster: &Cluster, replica: ReplicaId) -> Option<NodeId> {
         let rep = cluster.replica(replica)?;
         let service = rep.service;
-        let load = rep.load.clone();
+        let load = &rep.load;
         let from = rep.node;
-        let candidates: Vec<NodeId> = cluster
-            .nodes()
-            .iter()
-            .filter(|n| n.id != from)
-            .filter(|n| {
-                !n.replicas
-                    .iter()
-                    .any(|r| cluster.replica(*r).expect("exists").service == service)
-            })
-            .filter(|n| Self::fits(cluster, n.id, &load, 1.0))
-            .map(|n| n.id)
-            .collect();
+        let candidates = &mut self.scratch.candidates;
+        candidates.clear();
+        for n in cluster.nodes() {
+            if n.id == from || n.hosts_service(service) {
+                continue;
+            }
+            if Self::fits(cluster, n.id, load, 1.0) {
+                candidates.push(n.id);
+            }
+        }
         if candidates.is_empty() {
             return None;
         }
         // Domains already hosting a sibling replica are penalised so the
         // spread survives failovers where possible.
-        let sibling_domains: Vec<u32> = cluster
-            .service(service)
-            .map(|svc| {
+        let sibling_domains = &mut self.scratch.sibling_domains;
+        sibling_domains.clear();
+        if let Some(svc) = cluster.service(service) {
+            sibling_domains.extend(
                 svc.replicas
                     .iter()
                     .filter(|r| **r != replica)
                     .filter_map(|r| cluster.replica(*r))
-                    .map(|r| cluster.node(r.node).fault_domain)
-                    .collect()
-            })
-            .unwrap_or_default();
-        let target_cost = |c: NodeId| {
-            let mut cost = Self::add_cost(cluster, c, &load);
+                    .map(|r| cluster.node(r.node).fault_domain),
+            );
+        }
+        let costs = &mut self.scratch.costs;
+        costs.clear();
+        for &c in candidates.iter() {
+            let mut cost = Self::add_cost(cluster, c, load);
             if sibling_domains.contains(&cluster.node(c).fault_domain) {
                 cost += Self::DOMAIN_COLLISION_PENALTY;
             }
-            cost
-        };
+            costs.push(cost);
+        }
         // Greedy best with annealing-style random exploration among the
         // near-best alternatives.
         let mut best = candidates[0];
-        let mut best_cost = target_cost(best);
-        for &c in &candidates[1..] {
-            let cost = target_cost(c);
+        let mut best_cost = costs[0];
+        for (&c, &cost) in candidates.iter().zip(costs.iter()).skip(1) {
             if cost < best_cost {
                 best = c;
                 best_cost = cost;
@@ -403,10 +480,10 @@ impl Plb {
         }
         let mut temperature = self.config.initial_temperature;
         for _ in 0..(self.config.anneal_iterations / 4).max(1) {
-            let alt = *self.rng.choose(&candidates);
-            let delta = target_cost(alt) - best_cost;
+            let alt_idx = self.rng.next_below(candidates.len() as u64) as usize;
+            let delta = costs[alt_idx] - best_cost;
             if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
-                best = alt;
+                best = candidates[alt_idx];
                 best_cost += delta;
             }
             temperature *= self.config.cooling;
@@ -423,10 +500,11 @@ impl Plb {
         reason: FailoverReason,
         now: SimTime,
     ) -> FailoverEvent {
-        let rep = cluster.replica(replica).expect("replica exists").clone();
+        let rep = cluster.replica(replica).expect("replica exists");
+        let (rep_service, rep_node, rep_role) = (rep.service, rep.node, rep.role);
         let mut promoted = None;
-        if rep.role == ReplicaRole::Primary {
-            let svc = cluster.service(rep.service).expect("service exists");
+        if rep_role == ReplicaRole::Primary {
+            let svc = cluster.service(rep_service).expect("service exists");
             // Promote the first secondary in service order (deterministic).
             if let Some(&sec) = svc.replicas.iter().find(|r| {
                 **r != replica
@@ -439,11 +517,11 @@ impl Plb {
         cluster.move_replica(replica, to);
         toto_trace::emit(toto_trace::EventKind::Failover, || {
             toto_trace::EventBody::Failover {
-                service: rep.service.raw(),
+                service: rep_service.raw(),
                 replica: replica.raw(),
-                from: u64::from(rep.node.raw()),
+                from: u64::from(rep_node.raw()),
                 to: u64::from(to.raw()),
-                primary: rep.role == ReplicaRole::Primary,
+                primary: rep_role == ReplicaRole::Primary,
                 reason: match reason {
                     FailoverReason::CapacityViolation(m) => {
                         format!("capacity_violation:{m}")
@@ -456,11 +534,11 @@ impl Plb {
         });
         FailoverEvent {
             time: now,
-            service: rep.service,
+            service: rep_service,
             replica,
-            from: rep.node,
+            from: rep_node,
             to,
-            role: rep.role,
+            role: rep_role,
             reason,
             promoted,
         }
@@ -545,18 +623,17 @@ impl Plb {
                 .map(|&r| (cluster.replica(r).expect("exists").load[metric], r))
                 .collect();
             replicas.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            let before = Self::node_cost(cluster, &cluster.node(hot).load);
+            let before = cluster.node_cost(hot);
             let mut moved = false;
             for (_, rid) in replicas {
                 if let Some(target) = self.pick_target(cluster, rid) {
-                    let load = cluster.replica(rid).expect("exists").load.clone();
+                    let load = &cluster.replica(rid).expect("exists").load;
                     // Only move if it strictly improves the imbalance.
-                    let gain = {
-                        let mut without = cluster.node(hot).load.clone();
-                        without.sub_clamped(&load);
-                        before - Self::node_cost(cluster, &without)
-                    };
-                    let pay = Self::add_cost(cluster, target, &load);
+                    let gain = before
+                        - cluster
+                            .metrics()
+                            .cost_without(&cluster.node(hot).load, load);
+                    let pay = Self::add_cost(cluster, target, load);
                     if gain > pay {
                         events.push(self.execute_move(
                             cluster,
