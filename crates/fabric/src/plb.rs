@@ -294,8 +294,13 @@ impl Plb {
                 counts[d] += 1;
             }
             let mut temperature = self.config.initial_temperature;
-            let mut cost: f64 = chosen.iter().map(|&n| marginal[n.0 as usize]).sum();
             let mut cur_collisions = (k - distinct) as f64;
+            // The accumulator must start on the same objective the deltas
+            // move it along — marginal cost *plus* the collision penalty
+            // of the greedy start — or it silently drifts away from the
+            // real objective whenever the greedy start has collisions.
+            let mut cost: f64 = chosen.iter().map(|&n| marginal[n.0 as usize]).sum::<f64>()
+                + Self::DOMAIN_COLLISION_PENALTY * cur_collisions;
             let mut accepted: u64 = 0;
             for _ in 0..self.config.anneal_iterations {
                 let slot = self.rng.next_below(k as u64) as usize;
@@ -341,7 +346,17 @@ impl Plb {
                 }
                 temperature *= self.config.cooling;
             }
-            debug_assert!(cost.is_finite());
+            if cfg!(debug_assertions) {
+                // The accumulator must track the real objective through
+                // every accepted swap, not merely stay finite.
+                let recomputed = chosen.iter().map(|&n| marginal[n.0 as usize]).sum::<f64>()
+                    + Self::DOMAIN_COLLISION_PENALTY
+                        * Self::domain_collisions(cluster, &chosen, &mut Vec::new());
+                debug_assert!(
+                    (cost - recomputed).abs() < 1e-6,
+                    "anneal cost accumulator drifted: tracked {cost}, recomputed {recomputed}"
+                );
+            }
             // A per-decision summary, not one event per iteration: the
             // anneal runs hundreds of iterations per placement and the
             // accept count is what diverging seeds actually perturb. The
@@ -396,12 +411,21 @@ impl Plb {
             return None;
         }
         let mut best: Option<(f64, bool, ReplicaId)> = None; // (move_size, is_primary, id)
-        let mut largest: Option<(f64, ReplicaId)> = None;
+        let mut largest: Option<(f64, bool, ReplicaId)> = None;
         for &rid in &n.replicas {
             let rep = cluster.replica(rid).expect("node replica exists");
             let contribution = rep.load[metric];
-            if largest.as_ref().is_none_or(|(l, _)| contribution > *l) {
-                largest = Some((contribution, rid));
+            // The fallback applies the same secondary-then-id tie-break as
+            // the clearing path: on equal contributions an equal-size
+            // secondary must be preferred over a primary (a primary move
+            // is customer-visible).
+            let lkey = (contribution, rep.role == ReplicaRole::Primary, rid);
+            let lbetter = match &largest {
+                None => true,
+                Some((l, p, id)) => lkey.0 > *l || (lkey.0 == *l && (lkey.1, lkey.2) < (*p, *id)),
+            };
+            if lbetter {
+                largest = Some(lkey);
             }
             if contribution >= overshoot {
                 // Prefer the smallest clearing move (SF minimises the data
@@ -419,7 +443,7 @@ impl Plb {
                 }
             }
         }
-        best.map(|(_, _, id)| id).or(largest.map(|(_, id)| id))
+        best.map(|(_, _, id)| id).or(largest.map(|(_, _, id)| id))
     }
 
     /// Anneal-select a feasible target node for moving `replica` off its
@@ -439,7 +463,7 @@ impl Plb {
             if n.id == from || n.hosts_service(service) {
                 continue;
             }
-            if Self::fits(cluster, n.id, load, 1.0) {
+            if Self::fits(cluster, n.id, load, self.config.placement_headroom) {
                 candidates.push(n.id);
             }
         }
@@ -478,13 +502,22 @@ impl Plb {
                 best_cost = cost;
             }
         }
+        // The annealing walk may accept uphill moves to keep exploring,
+        // but the *returned* target is the best state ever seen — never
+        // wherever the walk happens to stop. (Returning the last-accepted
+        // state let a late uphill acceptance ship a strictly worse target
+        // than the greedy best already in hand.)
+        let mut cur_cost = best_cost;
         let mut temperature = self.config.initial_temperature;
         for _ in 0..(self.config.anneal_iterations / 4).max(1) {
             let alt_idx = self.rng.next_below(candidates.len() as u64) as usize;
-            let delta = costs[alt_idx] - best_cost;
+            let delta = costs[alt_idx] - cur_cost;
             if delta < 0.0 || self.rng.next_f64() < (-delta / temperature.max(1e-12)).exp() {
-                best = candidates[alt_idx];
-                best_cost += delta;
+                cur_cost = costs[alt_idx];
+                if cur_cost < best_cost {
+                    best = candidates[alt_idx];
+                    best_cost = cur_cost;
+                }
             }
             temperature *= self.config.cooling;
         }
@@ -1111,6 +1144,156 @@ mod tests {
                 "moved into sibling domain {d}"
             );
         }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn failover_target_is_never_worse_than_greedy_best() {
+        // Regression: pick_target used to return the annealing walk's
+        // *last-accepted* state, so a late uphill acceptance could ship
+        // a strictly worse target than the greedy best already in hand.
+        // With memoized per-candidate costs the best-seen state can never
+        // beat the greedy minimum, so across seeds the chosen target must
+        // always be the least-cost feasible node. The candidate loads are
+        // kept close together so uphill steps stay likely even at the
+        // final annealing temperature — the last-accepted state is then
+        // near-uniform over candidates and the old code fails quickly.
+        for seed in 0..32 {
+            let (mut c, _, _) = cluster(6, 96.0, 1000.0);
+            // Distinct load levels on candidate nodes 1..=5 make the
+            // cheapest target unique: node 1.
+            for (i, d) in [100.0, 110.0, 120.0, 130.0, 140.0].iter().enumerate() {
+                let f = spec(&c, 1.0, *d, 1);
+                c.add_service(&f, &[NodeId(i as u32 + 1)], SimTime::ZERO);
+            }
+            let a = spec(&c, 1.0, 150.0, 1);
+            let id = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+            let big = spec(&c, 1.0, 900.0, 1);
+            c.add_service(&big, &[NodeId(0)], SimTime::ZERO);
+            let rid = c.service(id).unwrap().replicas[0];
+            let mut p = plb(seed);
+            let events = p.fix_violations(&mut c, SimTime::ZERO);
+            assert_eq!(events.len(), 1, "seed {seed}");
+            assert_eq!(events[0].replica, rid, "seed {seed}");
+            assert_eq!(
+                events[0].to,
+                NodeId(1),
+                "seed {seed}: target is worse than the greedy best"
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_accumulator_includes_greedy_collision_penalty() {
+        // Regression: place_new_service's anneal accumulator started
+        // penalty-free, so a greedy start with unavoidable fault-domain
+        // collisions drifted the tracked objective by
+        // DOMAIN_COLLISION_PENALTY per collision. The strengthened
+        // debug_assert recomputes the objective from scratch after the
+        // loop; with 4 replicas on 2 domains (2 unavoidable collisions)
+        // the drifted accumulator trips it for every seed.
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let c = Cluster::new(ClusterConfig {
+            node_count: 8,
+            metrics,
+            fault_domains: 2,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        let s = ServiceSpec {
+            name: "bc".into(),
+            tag: 0,
+            replica_count: 4,
+            default_load: load,
+        };
+        for seed in 0..16 {
+            let placement = plb(seed).place_new_service(&c, &s).unwrap();
+            assert_eq!(placement.len(), 4);
+        }
+    }
+
+    #[test]
+    fn failover_respects_placement_headroom() {
+        // Regression: pick_target hard-coded fits(…, 1.0) while placement
+        // honored config.placement_headroom, so failovers could pack a
+        // target node past the headroom placements respect.
+        let config = PlbConfig {
+            placement_headroom: 0.8,
+            ..Default::default()
+        };
+        let (mut c, _, disk) = cluster(3, 96.0, 100.0);
+        // Node 0 violates (110 > 100); nodes 1 and 2 sit at 60: the
+        // 30-unit replica still fits their raw capacity (90 ≤ 100) but
+        // not the configured headroom (90 > 80), so the violation must
+        // be left standing instead of packed past headroom.
+        let f = spec(&c, 1.0, 60.0, 1);
+        c.add_service(&f, &[NodeId(1)], SimTime::ZERO);
+        c.add_service(&f, &[NodeId(2)], SimTime::ZERO);
+        let a = spec(&c, 1.0, 30.0, 1);
+        c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        let big = spec(&c, 1.0, 80.0, 1);
+        c.add_service(&big, &[NodeId(0)], SimTime::ZERO);
+        let mut p = Plb::new(config, 7);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert!(events.is_empty(), "moved past headroom: {events:?}");
+        assert_eq!(c.violations().len(), 1);
+        for n in c.nodes().iter().filter(|n| n.id != NodeId(0)) {
+            assert!(n.load[disk] <= 0.8 * 100.0, "{} beyond headroom", n.id);
+        }
+    }
+
+    #[test]
+    fn drain_respects_placement_headroom() {
+        let config = PlbConfig {
+            placement_headroom: 0.8,
+            ..Default::default()
+        };
+        let (mut c, _, _) = cluster(3, 96.0, 100.0);
+        let f = spec(&c, 1.0, 60.0, 1);
+        c.add_service(&f, &[NodeId(1)], SimTime::ZERO);
+        c.add_service(&f, &[NodeId(2)], SimTime::ZERO);
+        let a = spec(&c, 1.0, 30.0, 1);
+        let id = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        let mut p = Plb::new(config, 8);
+        let events = p.drain_node(&mut c, NodeId(0), SimTime::ZERO);
+        // No survivor may be packed past headroom; the replica stays on
+        // the drained node (production blocks the upgrade domain in the
+        // same situation).
+        assert!(events.is_empty());
+        assert!(!c.node(NodeId(0)).up);
+        let rid = c.service(id).unwrap().replicas[0];
+        assert_eq!(c.replica(rid).unwrap().node, NodeId(0));
+    }
+
+    #[test]
+    fn eviction_fallback_prefers_equal_size_secondary() {
+        // Regression: when no single replica clears the violation, the
+        // largest-replica fallback took whichever replica iterated first,
+        // evicting a primary even when an equal-size secondary existed.
+        let (mut c, _, _) = cluster(4, 96.0, 100.0);
+        // Node 0: primary X (60), secondary Y (60, its primary on node
+        // 1), filler (45) → load 165, overshoot 65: nothing clears alone.
+        let x = spec(&c, 1.0, 60.0, 1);
+        c.add_service(&x, &[NodeId(0)], SimTime::ZERO);
+        let b = spec(&c, 1.0, 60.0, 2);
+        let id_b = c.add_service(&b, &[NodeId(1), NodeId(0)], SimTime::ZERO);
+        let filler = spec(&c, 1.0, 45.0, 1);
+        c.add_service(&filler, &[NodeId(0)], SimTime::ZERO);
+        let y = c.service(id_b).unwrap().replicas[1];
+        assert_eq!(c.replica(y).unwrap().role, ReplicaRole::Secondary);
+        let mut p = plb(9);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        assert!(!events.is_empty());
+        assert_eq!(
+            events[0].replica, y,
+            "evicted a primary over an equal-size secondary"
+        );
+        assert_eq!(events[0].role, ReplicaRole::Secondary);
         c.check_invariants();
     }
 

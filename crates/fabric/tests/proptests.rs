@@ -16,6 +16,29 @@ enum Op {
     FixViolations,
 }
 
+/// Raw cluster mutations for exercising the per-node cost cache: unlike
+/// [`Op`], these drive `move_replica` directly (no PLB in between).
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Add { cpu: f64, disk: f64, replicas: u32 },
+    Move { replica: usize, node: u32 },
+    Report { replica: usize, disk: f64 },
+    Drop { index: usize },
+}
+
+fn cache_op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (1.0f64..16.0, 1.0f64..300.0, 1u32..=4).prop_map(|(cpu, disk, replicas)| CacheOp::Add {
+            cpu,
+            disk,
+            replicas
+        }),
+        (0usize..256, 0u32..8).prop_map(|(replica, node)| CacheOp::Move { replica, node }),
+        (0usize..256, 0.0f64..900.0).prop_map(|(replica, disk)| CacheOp::Report { replica, disk }),
+        (0usize..64).prop_map(|index| CacheOp::Drop { index }),
+    ]
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1.0f64..16.0, 1.0f64..300.0, 1u32..=4).prop_map(|(cpu, disk, replicas)| Op::Create {
@@ -108,6 +131,70 @@ proptest! {
         }
         prop_assert!(cluster.total_load(cpu).abs() < 1e-6);
         prop_assert!(cluster.total_load(disk).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_cost_cache_matches_recompute_after_random_ops(
+        ops in prop::collection::vec(cache_op_strategy(), 1..80),
+        seed: u64,
+    ) {
+        // The incremental per-node cost cache must stay *bitwise* equal
+        // to a from-scratch recompute after any seeded sequence of
+        // add / move / report / drop mutations.
+        let (mut cluster, cpu, disk) = build_cluster();
+        let mut plb = Plb::new(PlbConfig::default(), seed);
+        let mut services: Vec<ServiceId> = Vec::new();
+        for op in ops {
+            match op {
+                CacheOp::Add { cpu: c, disk: d, replicas } => {
+                    let mut load = cluster.metrics().zero_load();
+                    load[cpu] = c;
+                    load[disk] = d;
+                    let spec = ServiceSpec {
+                        name: "db".into(),
+                        tag: 0,
+                        replica_count: replicas,
+                        default_load: load,
+                    };
+                    if let Ok(id) = plb.create_service(&mut cluster, &spec, SimTime::ZERO) {
+                        services.push(id);
+                    }
+                }
+                CacheOp::Move { replica, node } => {
+                    let live: Vec<_> = cluster.replicas().map(|r| (r.id, r.service, r.node)).collect();
+                    if !live.is_empty() {
+                        let (rid, service, from) = live[replica % live.len()];
+                        let to = toto_fabric::ids::NodeId(node % 8);
+                        if to != from && !cluster.node(to).hosts_service(service) {
+                            cluster.move_replica(rid, to);
+                        }
+                    }
+                }
+                CacheOp::Report { replica, disk: d } => {
+                    let live: Vec<_> = cluster.replicas().map(|r| r.id).collect();
+                    if !live.is_empty() {
+                        cluster.report_load(live[replica % live.len()], disk, d);
+                    }
+                }
+                CacheOp::Drop { index } => {
+                    if !services.is_empty() {
+                        let id = services.remove(index % services.len());
+                        prop_assert!(cluster.remove_service(id).is_some());
+                    }
+                }
+            }
+            for n in cluster.nodes() {
+                let recomputed = cluster.metrics().cost_of(&n.load);
+                prop_assert_eq!(
+                    cluster.node_cost(n.id).to_bits(),
+                    recomputed.to_bits(),
+                    "cached cost diverged on {} ({} vs {})",
+                    n.id,
+                    cluster.node_cost(n.id),
+                    recomputed
+                );
+            }
+        }
     }
 
     #[test]
