@@ -1,0 +1,383 @@
+//! Invariant oracles: cross-cutting safety properties checked after
+//! every dispatched simulation event while chaos is active.
+//!
+//! Each oracle states a property that must hold *no matter which faults
+//! were injected*. A violation is a bug in the orchestration layers, not
+//! in the plan, so oracles never panic mid-run: they emit an
+//! [`toto_trace::EventKind::OracleViolation`] trace event, count the
+//! violation, and let the run finish so the evidence lands in the trace
+//! sidecar.
+//!
+//! The four oracles:
+//!
+//! 1. **`replica_on_down_node`** — no placement decision puts (or moves)
+//!    a replica onto a down node. Replicas *stranded* by a crash (they
+//!    were already there and nothing up fits them) are legal; the oracle
+//!    is transition-based and only flags replicas that arrived on the
+//!    down node since the previous check.
+//! 2. **`service_total_loss`** — no service newly loses its last live
+//!    replica while at least one up node could host one (same fit rule
+//!    as the PLB: per-metric capacity × placement headroom, no sibling
+//!    co-location). Also transition-based: entering the all-down state
+//!    with an escape hatch available is the bug.
+//! 3. **`naming_consistency`** — the model XML key exists and every
+//!    persisted-state key refers to a live database identity (dropped
+//!    databases must scrub their keys).
+//! 4. **`cost_cache`** — every node's cached PLB cost equals a bitwise
+//!    recompute from its load vector (the decision-identity contract of
+//!    the cost cache).
+
+use std::collections::BTreeMap;
+use toto_fabric::cluster::Cluster;
+use toto_fabric::naming::NamingService;
+use toto_rgmanager::MODEL_KEY;
+
+/// Prefix under which RgManagers persist metric state in the Naming
+/// Service (`toto/state/{resource}/svc-{identity}`).
+const STATE_PREFIX: &str = "toto/state/";
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// Which oracle fired (stable snake_case name).
+    pub oracle: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The stateful invariant checker. One instance lives for a whole run;
+/// [`InvariantOracle::check`] is called after every dispatched event.
+#[derive(Debug)]
+pub struct InvariantOracle {
+    /// Placement headroom the PLB uses, so oracle 2 applies the same
+    /// fit rule as the placement code it audits.
+    headroom: f64,
+    /// Replica raw id → node raw id at the previous check.
+    prev_placement: BTreeMap<u64, u32>,
+    /// Services that were already in the all-replicas-down state at the
+    /// previous check (sorted for deterministic iteration).
+    prev_all_down: Vec<u64>,
+    /// Total checks performed.
+    pub checks: u64,
+    /// Total violations detected.
+    pub violations: u64,
+}
+
+impl InvariantOracle {
+    /// New oracle auditing a PLB configured with `placement_headroom`.
+    pub fn new(placement_headroom: f64) -> Self {
+        InvariantOracle {
+            headroom: placement_headroom,
+            prev_placement: BTreeMap::new(),
+            prev_all_down: Vec::new(),
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    /// Run all four oracles against the post-event state. Violations are
+    /// returned *and* emitted as trace events / counted on `self`.
+    ///
+    /// `live_identities` iterates the identities of all live databases
+    /// (the values of the experiment's service → identity map).
+    pub fn check(
+        &mut self,
+        cluster: &Cluster,
+        naming: &NamingService,
+        live_identities: impl Iterator<Item = u64>,
+    ) -> Vec<OracleViolation> {
+        self.checks += 1;
+        let mut found = Vec::new();
+
+        // Oracle 1: replicas that arrived on a down node since last check.
+        let mut placement: BTreeMap<u64, u32> = BTreeMap::new();
+        for rep in cluster.replicas() {
+            placement.insert(rep.id.raw(), rep.node.raw());
+            if !cluster.node(rep.node).up
+                && self.prev_placement.get(&rep.id.raw()) != Some(&rep.node.raw())
+            {
+                found.push(OracleViolation {
+                    oracle: "replica_on_down_node",
+                    detail: format!(
+                        "replica {} of service {} placed on down node {}",
+                        rep.id.raw(),
+                        rep.service.raw(),
+                        rep.node.raw()
+                    ),
+                });
+            }
+        }
+        self.prev_placement = placement;
+
+        // Oracle 2: services newly stranded with every replica on a down
+        // node while an up node could host one.
+        let mut all_down: Vec<u64> = Vec::new();
+        for svc in cluster.services() {
+            if svc.replicas.is_empty() {
+                continue;
+            }
+            let every_replica_down = svc
+                .replicas
+                .iter()
+                .filter_map(|r| cluster.replica(*r))
+                .all(|r| !cluster.node(r.node).up);
+            if !every_replica_down {
+                continue;
+            }
+            all_down.push(svc.id.raw());
+            if self.prev_all_down.binary_search(&svc.id.raw()).is_ok() {
+                continue; // Already stranded before this event: not a transition.
+            }
+            let sample = svc.replicas.first().and_then(|r| cluster.replica(*r));
+            let Some(sample) = sample else { continue };
+            let escape = cluster.nodes().iter().find(|n| {
+                n.up && !n.hosts_service(svc.id)
+                    && cluster.metrics().iter().all(|(mid, def)| {
+                        n.load[mid] + sample.load[mid] <= def.node_capacity * self.headroom
+                    })
+            });
+            if let Some(node) = escape {
+                found.push(OracleViolation {
+                    oracle: "service_total_loss",
+                    detail: format!(
+                        "service {} lost every replica although node {} fits one",
+                        svc.id.raw(),
+                        node.id.raw()
+                    ),
+                });
+            }
+        }
+        self.prev_all_down = all_down;
+
+        // Oracle 3: Naming Service consistency.
+        if !naming.contains_key(MODEL_KEY) {
+            found.push(OracleViolation {
+                oracle: "naming_consistency",
+                detail: format!("model key '{MODEL_KEY}' missing"),
+            });
+        }
+        let live: std::collections::BTreeSet<u64> = live_identities.collect();
+        for key in naming.keys_with_prefix(STATE_PREFIX) {
+            let identity = key
+                .rsplit_once("/svc-")
+                .and_then(|(_, raw)| raw.parse::<u64>().ok());
+            match identity {
+                Some(id) if live.contains(&id) => {}
+                _ => found.push(OracleViolation {
+                    oracle: "naming_consistency",
+                    detail: format!("persisted-state key '{key}' has no live database"),
+                }),
+            }
+        }
+
+        // Oracle 4: node-cost cache vs. bitwise recompute.
+        for node in cluster.nodes() {
+            let cached = cluster.node_cost(node.id);
+            let fresh = cluster.metrics().cost_of(&node.load);
+            if cached.to_bits() != fresh.to_bits() {
+                found.push(OracleViolation {
+                    oracle: "cost_cache",
+                    detail: format!(
+                        "node {} cached cost {cached:?} != recomputed {fresh:?}",
+                        node.id.raw()
+                    ),
+                });
+            }
+        }
+
+        self.violations += found.len() as u64;
+        for v in &found {
+            toto_trace::emit(toto_trace::EventKind::OracleViolation, || {
+                toto_trace::EventBody::OracleViolation {
+                    oracle: v.oracle.to_string(),
+                    detail: v.detail.clone(),
+                }
+            });
+        }
+        found
+    }
+
+    /// Forget a replica's tracked placement (e.g. after a drop, to keep
+    /// the map from growing without bound). Unknown ids are ignored.
+    pub fn forget_replica(&mut self, replica_raw: u64) {
+        self.prev_placement.remove(&replica_raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toto_fabric::cluster::{ClusterConfig, ServiceSpec};
+    use toto_fabric::ids::{MetricId, NodeId};
+    use toto_fabric::metrics::{MetricDef, MetricRegistry};
+    use toto_fabric::plb::{Plb, PlbConfig};
+    use toto_simcore::time::SimTime;
+
+    fn cluster(nodes: u32) -> Cluster {
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: 1000.0,
+            balancing_weight: 1.0,
+        });
+        Cluster::new(ClusterConfig {
+            node_count: nodes,
+            metrics,
+            fault_domains: 1,
+        })
+    }
+
+    fn place(
+        cluster: &mut Cluster,
+        plb: &mut Plb,
+        name: &str,
+        replicas: u32,
+    ) -> toto_fabric::ids::ServiceId {
+        let mut load = cluster.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        load[MetricId(1)] = 50.0;
+        let spec = ServiceSpec {
+            name: name.into(),
+            tag: 0,
+            replica_count: replicas,
+            default_load: load,
+        };
+        plb.create_service(cluster, &spec, SimTime::ZERO)
+            .expect("test cluster has room")
+    }
+
+    fn healthy_naming() -> NamingService {
+        let mut naming = NamingService::new();
+        naming.write(MODEL_KEY, "<modelSet/>");
+        naming
+    }
+
+    #[test]
+    fn healthy_cluster_has_no_violations() {
+        let mut c = cluster(4);
+        let mut plb = Plb::new(PlbConfig::default(), 7);
+        place(&mut c, &mut plb, "db", 3);
+        let naming = healthy_naming();
+        let mut oracle = InvariantOracle::new(1.0);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(found.is_empty(), "unexpected violations: {found:?}");
+        assert_eq!(oracle.checks, 1);
+        assert_eq!(oracle.violations, 0);
+    }
+
+    #[test]
+    fn replica_moved_onto_down_node_fires_oracle_1() {
+        let mut c = cluster(4);
+        let mut plb = Plb::new(PlbConfig::default(), 7);
+        let svc = place(&mut c, &mut plb, "db", 1);
+        let naming = healthy_naming();
+        let mut oracle = InvariantOracle::new(1.0);
+        assert!(oracle.check(&c, &naming, std::iter::empty()).is_empty());
+        // Deliberately break the invariant: move the replica onto a node
+        // that has been marked down (the cluster mutator itself does not
+        // police node liveness — that is the PLB's job, and the oracle's).
+        let rid = c.service(svc).unwrap().replicas[0];
+        let from = c.replica(rid).unwrap().node;
+        let to = NodeId(if from.raw() == 3 { 2 } else { 3 });
+        c.set_node_up(to, false);
+        c.move_replica(rid, to);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(
+            found.iter().any(|v| v.oracle == "replica_on_down_node"),
+            "oracle 1 did not fire: {found:?}"
+        );
+    }
+
+    #[test]
+    fn stranded_replica_does_not_fire_oracle_1() {
+        let mut c = cluster(4);
+        let mut plb = Plb::new(PlbConfig::default(), 7);
+        let svc = place(&mut c, &mut plb, "db", 1);
+        let naming = healthy_naming();
+        let mut oracle = InvariantOracle::new(1.0);
+        assert!(oracle.check(&c, &naming, std::iter::empty()).is_empty());
+        // The node goes down with the replica already on it: stranded,
+        // not newly placed — oracle 1 must stay quiet.
+        let rid = c.service(svc).unwrap().replicas[0];
+        let node = c.replica(rid).unwrap().node;
+        c.set_node_up(node, false);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(
+            found.iter().all(|v| v.oracle != "replica_on_down_node"),
+            "oracle 1 fired on a stranded replica: {found:?}"
+        );
+    }
+
+    #[test]
+    fn total_loss_with_escape_hatch_fires_oracle_2() {
+        let mut c = cluster(4);
+        let mut plb = Plb::new(PlbConfig::default(), 7);
+        let svc = place(&mut c, &mut plb, "db", 1);
+        let naming = healthy_naming();
+        let mut oracle = InvariantOracle::new(1.0);
+        assert!(oracle.check(&c, &naming, std::iter::empty()).is_empty());
+        // Deliberately break the invariant: take the hosting node down
+        // without failing the replica over, while three empty up nodes
+        // could trivially host it.
+        let node = c.replica(c.service(svc).unwrap().replicas[0]).unwrap().node;
+        c.set_node_up(node, false);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(
+            found.iter().any(|v| v.oracle == "service_total_loss"),
+            "oracle 2 did not fire: {found:?}"
+        );
+        // And only on the transition: the next check sees the same
+        // stranded state and stays quiet.
+        let again = oracle.check(&c, &naming, std::iter::empty());
+        assert!(again.iter().all(|v| v.oracle != "service_total_loss"));
+    }
+
+    #[test]
+    fn dangling_persisted_key_fires_oracle_3() {
+        let c = cluster(2);
+        let mut naming = healthy_naming();
+        naming.write("toto/state/Disk/svc-999", "42.0");
+        let mut oracle = InvariantOracle::new(1.0);
+        // Identity 999 is not live → the key dangles.
+        let found = oracle.check(&c, &naming, [7u64].into_iter());
+        assert!(
+            found.iter().any(|v| v.oracle == "naming_consistency"),
+            "oracle 3 did not fire: {found:?}"
+        );
+        // A live identity silences it.
+        let found = oracle.check(&c, &naming, [999u64].into_iter());
+        assert!(found.iter().all(|v| v.oracle != "naming_consistency"));
+    }
+
+    #[test]
+    fn missing_model_key_fires_oracle_3() {
+        let c = cluster(2);
+        let naming = NamingService::new();
+        let mut oracle = InvariantOracle::new(1.0);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(found
+            .iter()
+            .any(|v| v.oracle == "naming_consistency" && v.detail.contains(MODEL_KEY)));
+    }
+
+    #[test]
+    fn corrupted_cost_cache_fires_oracle_4() {
+        let mut c = cluster(2);
+        let naming = healthy_naming();
+        let mut oracle = InvariantOracle::new(1.0);
+        assert!(oracle.check(&c, &naming, std::iter::empty()).is_empty());
+        // Deliberately corrupt the cache through the test-only hook.
+        c.corrupt_node_cost_for_test(NodeId(1), 123.456);
+        let found = oracle.check(&c, &naming, std::iter::empty());
+        assert!(
+            found.iter().any(|v| v.oracle == "cost_cache"),
+            "oracle 4 did not fire: {found:?}"
+        );
+        assert_eq!(oracle.violations, 1);
+    }
+}

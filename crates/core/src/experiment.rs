@@ -19,6 +19,7 @@ use crate::bootstrap::{bootstrap_population, BootstrapReport};
 use crate::defaults;
 use crate::population::{PlannedAction, PopulationManager};
 use std::collections::BTreeMap;
+use toto_chaos::{ChaosAction, ChaosFaultRecord, ChaosPlan, ChaosReport, ChaosRuntime};
 use toto_controlplane::admission::{AdmissionController, AdmissionOutcome};
 use toto_controlplane::slo::{decode_tag, SloCatalog};
 use toto_fabric::cluster::{Cluster, ClusterConfig, ReplicaRole};
@@ -59,6 +60,11 @@ pub struct ExperimentOverrides {
     /// ("the outliers at each density level are when a cluster
     /// maintenance upgrade was occurring", §5.3.2).
     pub rolling_upgrade: Option<RollingUpgrade>,
+    /// Deterministic fault-injection plan (empty by default). An empty
+    /// plan is strictly inert: no chaos state is allocated, no RNG
+    /// stream is drawn, and the run is byte-identical to one on a build
+    /// without chaos support.
+    pub chaos: ChaosPlan,
 }
 
 /// A rolling cluster upgrade: starting at `start_hour`, each node in
@@ -82,6 +88,7 @@ impl Default for ExperimentOverrides {
             node_snapshot_secs: None,
             revenue: None,
             rolling_upgrade: None,
+            chaos: ChaosPlan::default(),
         }
     }
 }
@@ -144,10 +151,13 @@ pub struct ExperimentState {
     cpu: MetricId,
     memory: MetricId,
     disk: MetricId,
+    start: SimTime,
     end: SimTime,
     report_period: SimDuration,
     node_snapshot_period: SimDuration,
     balance_during_run: bool,
+    /// Fault-injection state; `None` whenever the chaos plan is empty.
+    chaos: Option<ChaosRuntime>,
 }
 
 /// Everything an experiment run produces.
@@ -175,6 +185,9 @@ pub struct ExperimentResult {
     pub bootstrap: BootstrapReport,
     /// Databases created by the Population Manager during the run.
     pub created_during_run: u64,
+    /// Per-fault accounting and oracle counters; `None` when the run
+    /// had no chaos plan.
+    pub chaos: Option<ChaosReport>,
 }
 
 /// The experiment runner.
@@ -305,6 +318,15 @@ impl DensityExperiment {
         telemetry.bootstrap_placement_failures = u64::from(bootstrap.placement_failures);
 
         let end = start + SimDuration::from_hours(scenario.duration_hours);
+        let chaos_node_count = scenario.node_count;
+        let chaos_duration_hours = scenario.duration_hours;
+        let chaos = if overrides.chaos.is_empty() {
+            None
+        } else {
+            // The oracle applies the same fit rule as the PLB it audits.
+            let headroom = overrides.plb.clone().unwrap_or_default().placement_headroom;
+            Some(ChaosRuntime::new(scenario.plb_seed, headroom))
+        };
         let state = ExperimentState {
             report_period: SimDuration::from_secs(scenario.report_period_secs),
             node_snapshot_period: SimDuration::from_secs(
@@ -329,7 +351,9 @@ impl DensityExperiment {
             cpu,
             memory,
             disk,
+            start,
             end,
+            chaos,
         };
 
         let mut sim = Simulation::new(state);
@@ -356,7 +380,11 @@ impl DensityExperiment {
                     .schedule_at(t_drain, move |s: &mut ExperimentState, sc| {
                         let events = {
                             let mut plb = s.plb.clone();
-                            let ev = plb.drain_node(&mut s.cluster, node, sc.now());
+                            // A drain blocked by a last-live-replica conflict
+                            // skips this node's upgrade slot (it stays up).
+                            let ev = plb
+                                .drain_node(&mut s.cluster, node, sc.now())
+                                .unwrap_or_default();
                             s.plb = plb;
                             ev
                         };
@@ -373,6 +401,77 @@ impl DensityExperiment {
                 }
             }
         }
+        if sim.state().chaos.is_some() {
+            for fault in overrides
+                .chaos
+                .compile(chaos_node_count, chaos_duration_hours)
+            {
+                let t = start + SimDuration::from_secs(fault.at_secs);
+                if t >= end {
+                    continue;
+                }
+                match fault.action {
+                    ChaosAction::Crash {
+                        node,
+                        downtime_secs,
+                    } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_crash(s, sc, node, downtime_secs)
+                        }),
+                    ChaosAction::Drain {
+                        node,
+                        downtime_secs,
+                    } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_drain(s, sc, node, downtime_secs)
+                        }),
+                    ChaosAction::Decommission { node } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_decommission(s, sc, node)
+                        }),
+                    ChaosAction::Degrade { resource, factor } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_degrade(s, sc, resource, factor)
+                        }),
+                    ChaosAction::RestoreCapacity { resource } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_restore_capacity(s, sc, resource)
+                        }),
+                    ChaosAction::ReportLossStart { drop_probability } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_report_loss_start(s, sc, drop_probability)
+                        }),
+                    ChaosAction::ReportLossEnd => sim
+                        .scheduler()
+                        .schedule_at(t, |s: &mut ExperimentState, sc| {
+                            chaos_report_loss_end(s, sc)
+                        }),
+                    ChaosAction::Storm {
+                        node_count,
+                        downtime_secs,
+                    } => sim
+                        .scheduler()
+                        .schedule_at(t, move |s: &mut ExperimentState, sc| {
+                            chaos_storm(s, sc, node_count, downtime_secs)
+                        }),
+                }
+            }
+            // The invariant oracles audit the state after every dispatched
+            // event while chaos is active. Take/put-back keeps the oracle's
+            // mutable state disjoint from the cluster and naming borrows.
+            sim.set_post_dispatch(|s: &mut ExperimentState, _| {
+                let Some(mut rt) = s.chaos.take() else { return };
+                rt.oracle
+                    .check(&s.cluster, &s.naming, s.identities.values().copied());
+                s.chaos = Some(rt);
+            });
+        }
         toto_trace::emit(toto_trace::EventKind::Phase, || {
             toto_trace::EventBody::Phase {
                 label: "run".to_string(),
@@ -387,6 +486,12 @@ impl DensityExperiment {
             }
         });
         let state = sim.into_state();
+        let chaos = state.chaos.map(|rt| {
+            let mut report = rt.report;
+            report.oracle_checks = rt.oracle.checks;
+            report.oracle_violations = rt.oracle.violations;
+            report
+        });
         let params = overrides.revenue.unwrap_or_else(|| RevenueParams {
             // Credits are assessed against the experiment's billing window
             // (the paper subtracts "service credits based on the SLA" from
@@ -417,6 +522,7 @@ impl DensityExperiment {
             revenue,
             billing: records,
             bootstrap,
+            chaos,
         }
     }
 }
@@ -472,6 +578,25 @@ fn report_metrics(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentS
             (ResourceKind::Disk, state.disk, disk_load),
             (ResourceKind::Memory, state.memory, mem_load),
         ] {
+            // Chaos report loss: during a lossy window the report never
+            // reaches the RgManager, so the PLB keeps acting on the stale
+            // previous value — losing a report is equivalent to delaying
+            // it by one report period.
+            if let Some(rt) = state.chaos.as_mut() {
+                if let Some(p) = rt.drop_probability {
+                    if rt.rng.bernoulli(p) {
+                        toto_trace::emit(toto_trace::EventKind::ChaosReportDropped, || {
+                            toto_trace::EventBody::ChaosReportDropped {
+                                service,
+                                replica: rid.raw(),
+                                node: u64::from(node),
+                                resource: resource.to_string(),
+                            }
+                        });
+                        continue;
+                    }
+                }
+            }
             let req = ReportRequest {
                 replica: rid.raw(),
                 service: identity,
@@ -527,11 +652,13 @@ fn sample_downtime(state: &mut ExperimentState, edition: EditionKind, was_primar
 
 /// Convert PLB movement events into telemetry and billing effects.
 ///
-/// Only capacity-violation moves are *failovers* in the paper's sense
-/// (§3.1: "A failover means that the replicas' aggregate resource demands
-/// on the node have exceeded the node's predefined logical capacity") —
-/// routine balancing moves reset non-persisted metric state but are not
-/// counted against QoS.
+/// Capacity-violation moves are *failovers* in the paper's sense (§3.1:
+/// "A failover means that the replicas' aggregate resource demands on
+/// the node have exceeded the node's predefined logical capacity"), and
+/// chaos-injected crashes count too — the replica restarts elsewhere
+/// with full customer impact. Routine balancing moves and graceful
+/// drains reset non-persisted metric state but are not counted against
+/// QoS.
 fn process_failovers(state: &mut ExperimentState, events: Vec<FailoverEvent>) {
     for ev in events {
         // The replica restarted on another node either way: the source
@@ -540,6 +667,7 @@ fn process_failovers(state: &mut ExperimentState, events: Vec<FailoverEvent>) {
         if !matches!(
             ev.reason,
             toto_fabric::plb::FailoverReason::CapacityViolation(_)
+                | toto_fabric::plb::FailoverReason::NodeCrash
         ) {
             continue;
         }
@@ -774,6 +902,462 @@ fn node_snapshot(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentSt
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos fault handlers
+// ---------------------------------------------------------------------------
+
+/// Seconds from experiment start (the clock chaos records use).
+fn chaos_at_secs(state: &ExperimentState, now: SimTime) -> u64 {
+    now.saturating_since(state.start).as_secs()
+}
+
+fn metric_for(state: &ExperimentState, resource: ResourceKind) -> MetricId {
+    match resource {
+        ResourceKind::Cpu => state.cpu,
+        ResourceKind::Memory => state.memory,
+        ResourceKind::Disk => state.disk,
+    }
+}
+
+/// Resolve a plan's optional explicit node to a live victim. An explicit
+/// node that is out of range or already down makes the fault a no-op
+/// (the plan said "kill node 7" and node 7 is already dead); an
+/// unspecified node draws uniformly from the chaos RNG stream.
+fn chaos_pick_victim(state: &mut ExperimentState, requested: Option<u32>) -> Option<NodeId> {
+    match requested {
+        Some(n) => {
+            if (n as usize) < state.cluster.node_count() && state.cluster.node(NodeId(n)).up {
+                Some(NodeId(n))
+            } else {
+                None
+            }
+        }
+        None => state
+            .chaos
+            .as_mut()
+            .expect("chaos handler without runtime")
+            .pick_up_node(&state.cluster),
+    }
+}
+
+/// Crash one node through the PLB and return (failovers, cores moved),
+/// measured from the telemetry the crash appended.
+fn chaos_crash_one(state: &mut ExperimentState, node: NodeId, now: SimTime) -> (u64, f64) {
+    let before = state.telemetry.failovers.len();
+    let events = {
+        let mut plb = state.plb.clone();
+        let ev = plb.crash_node(&mut state.cluster, node, now);
+        state.plb = plb;
+        ev
+    };
+    process_failovers(state, events);
+    let moved = &state.telemetry.failovers[before..];
+    (
+        moved.len() as u64,
+        moved.iter().map(|f| f.cores_moved).sum(),
+    )
+}
+
+/// Reserved cores of the services whose replicas a graceful drain moved.
+/// Drain moves are not telemetry failovers, so the cores are summed from
+/// the catalog directly.
+fn drained_cores(state: &ExperimentState, events: &[FailoverEvent]) -> f64 {
+    events
+        .iter()
+        .filter_map(|e| state.cluster.service(e.service))
+        .map(|svc| {
+            let (_, slo_index) = decode_tag(svc.tag);
+            state
+                .catalog
+                .get(slo_index)
+                .map(|s| s.vcores as f64)
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// `nodeCrash`: hard-kill a node, fail over what fits, restart it after
+/// `downtime_secs`.
+fn chaos_crash(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    requested: Option<u32>,
+    downtime_secs: u64,
+) {
+    let now = sched.now();
+    let Some(node) = chaos_pick_victim(state, requested) else {
+        return;
+    };
+    toto_trace::emit(toto_trace::EventKind::ChaosNodeCrash, || {
+        toto_trace::EventBody::ChaosNodeCrash {
+            node: u64::from(node.raw()),
+            downtime_secs,
+        }
+    });
+    let (failovers, failed_over_cores) = chaos_crash_one(state, node, now);
+    let redirects_at_fault = state.admission.redirects().len() as u64;
+    let at_secs = chaos_at_secs(state, now);
+    let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+    rt.report.faults.push(ChaosFaultRecord {
+        at_secs,
+        kind: "node_crash".into(),
+        node: Some(node.raw()),
+        failovers,
+        failed_over_cores,
+        redirects_delta: 0,
+        recovery_secs: None,
+    });
+    let idx = rt.report.faults.len() - 1;
+    let t_up = now + SimDuration::from_secs(downtime_secs);
+    if t_up <= state.end {
+        sched.schedule_at(t_up, move |s: &mut ExperimentState, sc| {
+            chaos_restart_node(s, sc, node, idx, redirects_at_fault, now);
+        });
+    }
+}
+
+/// Bring a crashed/drained node back and close its fault record.
+fn chaos_restart_node(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    node: NodeId,
+    record_idx: usize,
+    redirects_at_fault: u64,
+    fault_time: SimTime,
+) {
+    state.cluster.set_node_up(node, true);
+    toto_trace::emit(toto_trace::EventKind::ChaosNodeRestart, || {
+        toto_trace::EventBody::ChaosNodeRestart {
+            node: u64::from(node.raw()),
+        }
+    });
+    let redirects_now = state.admission.redirects().len() as u64;
+    let recovery = sched.now().saturating_since(fault_time).as_secs();
+    if let Some(rec) = state
+        .chaos
+        .as_mut()
+        .and_then(|rt| rt.report.faults.get_mut(record_idx))
+    {
+        rec.redirects_delta = redirects_now.saturating_sub(redirects_at_fault);
+        rec.recovery_secs = Some(recovery);
+    }
+}
+
+/// `rollingRestart` slot: gracefully drain one node (all replicas moved
+/// before it goes down) and restart it after `downtime_secs`. A drain the
+/// PLB refuses — moving out would kill a service's last live replica —
+/// records `drain_blocked` and leaves the node up.
+fn chaos_drain(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    node_raw: u32,
+    downtime_secs: u64,
+) {
+    let now = sched.now();
+    if (node_raw as usize) >= state.cluster.node_count() || !state.cluster.node(NodeId(node_raw)).up
+    {
+        return;
+    }
+    let node = NodeId(node_raw);
+    let result = {
+        let mut plb = state.plb.clone();
+        let r = plb.drain_node(&mut state.cluster, node, now);
+        state.plb = plb;
+        r
+    };
+    let at_secs = chaos_at_secs(state, now);
+    match result {
+        Ok(events) => {
+            toto_trace::emit(toto_trace::EventKind::ChaosNodeDrain, || {
+                toto_trace::EventBody::ChaosNodeDrain {
+                    node: u64::from(node.raw()),
+                    downtime_secs,
+                }
+            });
+            let failovers = events.len() as u64;
+            let failed_over_cores = drained_cores(state, &events);
+            process_failovers(state, events);
+            let redirects_at_fault = state.admission.redirects().len() as u64;
+            let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+            rt.report.faults.push(ChaosFaultRecord {
+                at_secs,
+                kind: "drain".into(),
+                node: Some(node.raw()),
+                failovers,
+                failed_over_cores,
+                redirects_delta: 0,
+                recovery_secs: None,
+            });
+            let idx = rt.report.faults.len() - 1;
+            let t_up = now + SimDuration::from_secs(downtime_secs);
+            if t_up <= state.end {
+                sched.schedule_at(t_up, move |s: &mut ExperimentState, sc| {
+                    chaos_restart_node(s, sc, node, idx, redirects_at_fault, now);
+                });
+            }
+        }
+        Err(_) => {
+            let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+            rt.report.faults.push(ChaosFaultRecord {
+                at_secs,
+                kind: "drain_blocked".into(),
+                node: Some(node.raw()),
+                failovers: 0,
+                failed_over_cores: 0.0,
+                redirects_delta: 0,
+                recovery_secs: Some(0),
+            });
+        }
+    }
+}
+
+/// `decommission`: drain a node and never bring it back. Like an
+/// operator pulling hardware, it refuses (records `decommission_blocked`)
+/// rather than killing a service's last live replica.
+fn chaos_decommission(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    requested: Option<u32>,
+) {
+    let now = sched.now();
+    let Some(node) = chaos_pick_victim(state, requested) else {
+        return;
+    };
+    let result = {
+        let mut plb = state.plb.clone();
+        let r = plb.drain_node(&mut state.cluster, node, now);
+        state.plb = plb;
+        r
+    };
+    let at_secs = chaos_at_secs(state, now);
+    match result {
+        Ok(events) => {
+            toto_trace::emit(toto_trace::EventKind::ChaosNodeDecommission, || {
+                toto_trace::EventBody::ChaosNodeDecommission {
+                    node: u64::from(node.raw()),
+                }
+            });
+            let failovers = events.len() as u64;
+            let failed_over_cores = drained_cores(state, &events);
+            process_failovers(state, events);
+            let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+            rt.report.faults.push(ChaosFaultRecord {
+                at_secs,
+                kind: "decommission".into(),
+                node: Some(node.raw()),
+                failovers,
+                failed_over_cores,
+                redirects_delta: 0,
+                recovery_secs: None, // permanent
+            });
+        }
+        Err(_) => {
+            let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+            rt.report.faults.push(ChaosFaultRecord {
+                at_secs,
+                kind: "decommission_blocked".into(),
+                node: Some(node.raw()),
+                failovers: 0,
+                failed_over_cores: 0.0,
+                redirects_delta: 0,
+                recovery_secs: Some(0),
+            });
+        }
+    }
+}
+
+/// `capacityDegrade`: shrink one resource's logical per-node capacity to
+/// `factor` of its current value (firmware throttling, a noisy
+/// neighbour, a sector of bad disks). The original capacity is saved
+/// once so a later restore is exact even under repeated degrades.
+fn chaos_degrade(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    resource: ResourceKind,
+    factor: f64,
+) {
+    let now = sched.now();
+    let metric = metric_for(state, resource);
+    let current = state.cluster.metrics().def(metric).node_capacity;
+    let new_cap = current * factor;
+    let prev = state.cluster.set_metric_capacity(metric, new_cap);
+    toto_trace::emit(toto_trace::EventKind::ChaosCapacityDegrade, || {
+        toto_trace::EventBody::ChaosCapacityDegrade {
+            resource: resource.to_string(),
+            node_capacity: new_cap,
+        }
+    });
+    let at_secs = chaos_at_secs(state, now);
+    let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+    let saved = &mut rt.saved_capacity[resource.index()];
+    if saved.is_none() {
+        *saved = Some(prev);
+    }
+    rt.report.faults.push(ChaosFaultRecord {
+        at_secs,
+        kind: format!("capacity_degrade:{resource}"),
+        node: None,
+        failovers: 0,
+        failed_over_cores: 0.0,
+        redirects_delta: 0,
+        recovery_secs: None,
+    });
+}
+
+/// Undo a `capacityDegrade` at its `restoreHour`.
+fn chaos_restore_capacity(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    resource: ResourceKind,
+) {
+    let Some(original) = state
+        .chaos
+        .as_mut()
+        .and_then(|rt| rt.saved_capacity[resource.index()].take())
+    else {
+        return;
+    };
+    let now = sched.now();
+    let metric = metric_for(state, resource);
+    state.cluster.set_metric_capacity(metric, original);
+    toto_trace::emit(toto_trace::EventKind::ChaosCapacityDegrade, || {
+        toto_trace::EventBody::ChaosCapacityDegrade {
+            resource: resource.to_string(),
+            node_capacity: original,
+        }
+    });
+    let now_secs = chaos_at_secs(state, now);
+    let kind = format!("capacity_degrade:{resource}");
+    if let Some(rec) = state.chaos.as_mut().and_then(|rt| {
+        rt.report
+            .faults
+            .iter_mut()
+            .rev()
+            .find(|f| f.kind == kind && f.recovery_secs.is_none())
+    }) {
+        rec.recovery_secs = Some(now_secs.saturating_sub(rec.at_secs));
+    }
+}
+
+/// `reportLoss` window opens: every metric report is independently
+/// dropped with probability `p` until the window closes.
+fn chaos_report_loss_start(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    drop_probability: f64,
+) {
+    let at_secs = chaos_at_secs(state, sched.now());
+    let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+    rt.drop_probability = Some(drop_probability);
+    rt.report.faults.push(ChaosFaultRecord {
+        at_secs,
+        kind: "report_loss".into(),
+        node: None,
+        failovers: 0,
+        failed_over_cores: 0.0,
+        redirects_delta: 0,
+        recovery_secs: None,
+    });
+}
+
+/// `reportLoss` window closes.
+fn chaos_report_loss_end(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentState>) {
+    let now_secs = chaos_at_secs(state, sched.now());
+    let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+    rt.drop_probability = None;
+    if let Some(rec) = rt
+        .report
+        .faults
+        .iter_mut()
+        .rev()
+        .find(|f| f.kind == "report_loss" && f.recovery_secs.is_none())
+    {
+        rec.recovery_secs = Some(now_secs.saturating_sub(rec.at_secs));
+    }
+}
+
+/// `failoverStorm`: crash several nodes at once (a rack power event).
+/// All victims are marked down *before* any replica moves so the PLB
+/// never fails a replica over onto a node that is about to die in the
+/// same event — which would also (correctly) trip oracle 1.
+fn chaos_storm(
+    state: &mut ExperimentState,
+    sched: &mut Scheduler<ExperimentState>,
+    node_count: u32,
+    downtime_secs: u64,
+) {
+    let now = sched.now();
+    let nodes = state
+        .chaos
+        .as_mut()
+        .expect("chaos handler without runtime")
+        .pick_up_nodes(&state.cluster, node_count);
+    if nodes.is_empty() {
+        return;
+    }
+    toto_trace::emit(toto_trace::EventKind::ChaosStorm, || {
+        toto_trace::EventBody::ChaosStorm {
+            nodes: nodes.len() as u64,
+            downtime_secs,
+        }
+    });
+    for &node in &nodes {
+        state.cluster.set_node_up(node, false);
+    }
+    let mut failovers = 0u64;
+    let mut failed_over_cores = 0.0f64;
+    for &node in &nodes {
+        toto_trace::emit(toto_trace::EventKind::ChaosNodeCrash, || {
+            toto_trace::EventBody::ChaosNodeCrash {
+                node: u64::from(node.raw()),
+                downtime_secs,
+            }
+        });
+        let (f, c) = chaos_crash_one(state, node, now);
+        failovers += f;
+        failed_over_cores += c;
+    }
+    let redirects_at_fault = state.admission.redirects().len() as u64;
+    let at_secs = chaos_at_secs(state, now);
+    let rt = state.chaos.as_mut().expect("chaos handler without runtime");
+    rt.report.faults.push(ChaosFaultRecord {
+        at_secs,
+        kind: "storm".into(),
+        node: None,
+        failovers,
+        failed_over_cores,
+        redirects_delta: 0,
+        recovery_secs: None,
+    });
+    let idx = rt.report.faults.len() - 1;
+    let t_up = now + SimDuration::from_secs(downtime_secs);
+    if t_up <= state.end {
+        sched.schedule_at(t_up, move |s: &mut ExperimentState, sc| {
+            for (i, &node) in nodes.iter().enumerate() {
+                s.cluster.set_node_up(node, true);
+                toto_trace::emit(toto_trace::EventKind::ChaosNodeRestart, || {
+                    toto_trace::EventBody::ChaosNodeRestart {
+                        node: u64::from(node.raw()),
+                    }
+                });
+                // Close the storm record once, from the shared end time.
+                if i == 0 {
+                    let redirects_now = s.admission.redirects().len() as u64;
+                    let recovery = sc.now().saturating_since(now).as_secs();
+                    if let Some(rec) = s
+                        .chaos
+                        .as_mut()
+                        .and_then(|rt| rt.report.faults.get_mut(idx))
+                    {
+                        rec.redirects_delta = redirects_now.saturating_sub(redirects_at_fault);
+                        rec.recovery_secs = Some(recovery);
+                    }
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +1433,116 @@ mod tests {
         let r = DensityExperiment::new(short_scenario(100, 2), overrides).run();
         // Snapshots at 1800s, 3600s, 5400s, 7200s = 4 rounds x 14 nodes.
         assert_eq!(r.telemetry.node_snapshots.len(), 4 * 14);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+
+    fn scenario(density: u32, hours: u64) -> ScenarioSpec {
+        let mut s = ScenarioSpec::gen5_stage_cluster(density);
+        s.duration_hours = hours;
+        s
+    }
+
+    fn with_plan(plan: &str) -> ExperimentOverrides {
+        ExperimentOverrides {
+            chaos: ChaosPlan::named(plan).expect("named plan"),
+            ..ExperimentOverrides::default()
+        }
+    }
+
+    #[test]
+    fn node_crash_plan_fails_over_cores_with_quiet_oracles() {
+        let r = DensityExperiment::new(scenario(110, 6), with_plan("node-crash")).run();
+        let chaos = r.chaos.expect("chaos report present");
+        assert_eq!(
+            chaos.oracle_violations, 0,
+            "healthy engine must not trip its own oracles"
+        );
+        assert!(chaos.oracle_checks > 0, "post-dispatch oracle must run");
+        let crash = chaos
+            .faults
+            .iter()
+            .find(|f| f.kind == "node_crash")
+            .expect("crash fault recorded");
+        assert!(
+            crash.failed_over_cores > 0.0,
+            "crashing a loaded node must fail over cores"
+        );
+        assert!(crash.failovers > 0);
+        assert_eq!(crash.recovery_secs, Some(1800), "restart closes the fault");
+        // Crash failovers count toward the run's QoS KPIs.
+        assert!(r.telemetry.failover_count(None) >= crash.failovers as usize);
+    }
+
+    #[test]
+    fn chaos_runs_are_reproducible() {
+        let a = DensityExperiment::new(scenario(100, 5), with_plan("storm")).run();
+        let b = DensityExperiment::new(scenario(100, 5), with_plan("storm")).run();
+        assert_eq!(
+            a.chaos, b.chaos,
+            "identical (spec, seed) → identical faults"
+        );
+        assert_eq!(a.final_reserved_cores, b.final_reserved_cores);
+        assert_eq!(a.final_disk_gb, b.final_disk_gb);
+        assert_eq!(a.redirect_count, b.redirect_count);
+        assert_eq!(a.revenue, b.revenue);
+        let chaos = a.chaos.expect("chaos report present");
+        assert_eq!(chaos.oracle_violations, 0);
+        let storm = chaos
+            .faults
+            .iter()
+            .find(|f| f.kind == "storm")
+            .expect("storm fault recorded");
+        assert!(storm.failovers > 0, "a 3-node storm must move replicas");
+    }
+
+    #[test]
+    fn degrade_and_report_loss_plans_complete_cleanly() {
+        for plan in ["degrade", "report-loss", "rolling", "decommission"] {
+            let r = DensityExperiment::new(scenario(100, 5), with_plan(plan)).run();
+            let chaos = r.chaos.unwrap_or_else(|| panic!("{plan}: report present"));
+            assert_eq!(chaos.oracle_violations, 0, "{plan}: oracles stay quiet");
+            assert!(!chaos.faults.is_empty(), "{plan}: faults recorded");
+        }
+    }
+
+    #[test]
+    fn degrade_restores_original_capacity() {
+        let r = DensityExperiment::new(scenario(100, 6), with_plan("degrade")).run();
+        let chaos = r.chaos.expect("chaos report present");
+        let rec = chaos
+            .faults
+            .iter()
+            .find(|f| f.kind == "capacity_degrade:Disk")
+            .expect("degrade fault recorded");
+        // Degrade at hour 1, restore at hour 4 → 3 hours to recover.
+        assert_eq!(rec.recovery_secs, Some(3 * 3600));
+    }
+
+    #[test]
+    fn empty_plan_is_byte_inert() {
+        let plain = DensityExperiment::new(scenario(100, 3), ExperimentOverrides::default()).run();
+        assert!(plain.chaos.is_none(), "no plan → no chaos report");
+        let explicit_empty = DensityExperiment::new(
+            scenario(100, 3),
+            ExperimentOverrides {
+                chaos: ChaosPlan::default(),
+                ..ExperimentOverrides::default()
+            },
+        )
+        .run();
+        assert_eq!(
+            plain.final_reserved_cores,
+            explicit_empty.final_reserved_cores
+        );
+        assert_eq!(plain.revenue, explicit_empty.revenue);
+        assert_eq!(
+            plain.telemetry.failover_count(None),
+            explicit_empty.telemetry.failover_count(None)
+        );
     }
 }
 

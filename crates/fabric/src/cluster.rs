@@ -432,6 +432,29 @@ impl Cluster {
         self.nodes[node.0 as usize].up = up;
     }
 
+    /// Change one metric's node-level logical capacity mid-run (chaos
+    /// capacity degradation / restoration). Every node's cached cost
+    /// depends on the capacity, so the whole cache is refreshed here.
+    /// Returns the previous capacity.
+    pub fn set_metric_capacity(&mut self, metric: MetricId, node_capacity: f64) -> f64 {
+        let prev = self.metrics.set_node_capacity(metric, node_capacity);
+        for i in 0..self.nodes.len() {
+            self.refresh_node_cost(NodeId(i as u32));
+        }
+        debug_assert!(
+            self.invariants_ok(),
+            "set_metric_capacity broke cluster invariants"
+        );
+        prev
+    }
+
+    /// Deliberately corrupt one node's cached cost. Exists solely so tests
+    /// can prove the cost-cache oracle fires; never call from sim code.
+    #[doc(hidden)]
+    pub fn corrupt_node_cost_for_test(&mut self, node: NodeId, value: f64) {
+        self.node_costs[node.0 as usize] = value;
+    }
+
     /// Non-panicking consistency check: node aggregates match the sum of
     /// hosted replica loads, every service has exactly one primary, and no
     /// service co-locates replicas. Intended for `debug_assert!` guards on

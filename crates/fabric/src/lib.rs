@@ -37,4 +37,4 @@ pub use cluster::{Cluster, ClusterConfig, Replica, ReplicaRole, Service, Service
 pub use ids::{MetricId, NodeId, ReplicaId, ServiceId};
 pub use metrics::{LoadVec, MetricDef, MetricRegistry};
 pub use naming::NamingService;
-pub use plb::{FailoverEvent, FailoverReason, PlacementError, Plb, PlbConfig};
+pub use plb::{DrainBlocked, FailoverEvent, FailoverReason, PlacementError, Plb, PlbConfig};

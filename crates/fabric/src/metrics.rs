@@ -53,6 +53,21 @@ impl MetricRegistry {
         id
     }
 
+    /// Change a metric's node-level logical capacity mid-run (chaos
+    /// capacity degradation / restoration). Callers owning derived state
+    /// (cached node costs) must refresh it afterwards. Returns the
+    /// previous capacity. Panics on a non-positive capacity.
+    pub fn set_node_capacity(&mut self, id: MetricId, node_capacity: f64) -> f64 {
+        assert!(
+            node_capacity > 0.0,
+            "metric '{}' needs a positive capacity",
+            self.defs[id.0 as usize].name
+        );
+        let prev = self.defs[id.0 as usize].node_capacity;
+        self.defs[id.0 as usize].node_capacity = node_capacity;
+        prev
+    }
+
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
         self.defs.len()

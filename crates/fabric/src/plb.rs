@@ -84,7 +84,31 @@ pub enum FailoverReason {
     Balancing,
     /// The source node was drained for maintenance.
     NodeDrain,
+    /// The source node crashed (chaos-injected abrupt failure).
+    NodeCrash,
 }
+
+/// Draining a node would leave a service with no live replica and no
+/// feasible target anywhere; the drain is refused before any mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainBlocked {
+    /// The node whose drain was refused.
+    pub node: NodeId,
+    /// The service whose last live replica cannot be re-homed.
+    pub service: ServiceId,
+}
+
+impl std::fmt::Display for DrainBlocked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drain of {} blocked: no feasible target for the last live replica of {}",
+            self.node, self.service
+        )
+    }
+}
+
+impl std::error::Error for DrainBlocked {}
 
 /// A replica movement, the paper's primary QoS event.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -561,6 +585,7 @@ impl Plb {
                     }
                     FailoverReason::Balancing => "balancing".to_string(),
                     FailoverReason::NodeDrain => "node_drain".to_string(),
+                    FailoverReason::NodeCrash => "node_crash".to_string(),
                 },
                 promoted: promoted.map_or(u64::MAX, |p| p.raw()),
             }
@@ -715,14 +740,47 @@ impl Plb {
     }
 
     /// Drain a node: mark it down and move every replica elsewhere.
-    /// Replicas with no feasible target stay (and the node stays down);
-    /// production would block the upgrade domain in the same situation.
+    ///
+    /// Refused with [`DrainBlocked`] — before any mutation — when the node
+    /// hosts a service's last live replica and no feasible target exists:
+    /// silently stranding that replica on a down node (the old behavior)
+    /// turned a maintenance drain into an availability loss. Replicas
+    /// that still have live siblings may strand (the node stays down);
+    /// production blocks the upgrade domain in the same situation.
     pub fn drain_node(
         &mut self,
         cluster: &mut Cluster,
         node: NodeId,
         now: SimTime,
-    ) -> Vec<FailoverEvent> {
+    ) -> Result<Vec<FailoverEvent>, DrainBlocked> {
+        for &rid in &cluster.node(node).replicas {
+            let rep = cluster.replica(rid).expect("node replica exists");
+            let svc = cluster
+                .service(rep.service)
+                .expect("replica's service exists");
+            let last_live = svc
+                .replicas
+                .iter()
+                .filter(|r| **r != rid)
+                .filter_map(|r| cluster.replica(*r))
+                .all(|sib| !cluster.node(sib.node).up);
+            if !last_live {
+                continue;
+            }
+            // Existence check only (no annealing, no RNG draws): would
+            // *any* node take this replica once its host goes down?
+            let movable = cluster.nodes().iter().any(|n| {
+                n.id != node
+                    && !n.hosts_service(rep.service)
+                    && Self::fits(cluster, n.id, &rep.load, self.config.placement_headroom)
+            });
+            if !movable {
+                return Err(DrainBlocked {
+                    node,
+                    service: rep.service,
+                });
+            }
+        }
         cluster.set_node_up(node, false);
         let mut events = Vec::new();
         let replicas: Vec<ReplicaId> = cluster.node(node).replicas.clone();
@@ -740,6 +798,37 @@ impl Plb {
         debug_assert!(
             cluster.invariants_ok(),
             "drain_node broke cluster invariants"
+        );
+        Ok(events)
+    }
+
+    /// Crash a node: mark it down immediately and fail over every replica
+    /// that has a feasible target; the rest stay stranded on the dead node
+    /// until it restarts. Unlike [`Plb::drain_node`], a crash cannot be
+    /// refused — the node is already gone.
+    pub fn crash_node(
+        &mut self,
+        cluster: &mut Cluster,
+        node: NodeId,
+        now: SimTime,
+    ) -> Vec<FailoverEvent> {
+        cluster.set_node_up(node, false);
+        let mut events = Vec::new();
+        let replicas: Vec<ReplicaId> = cluster.node(node).replicas.clone();
+        for rid in replicas {
+            if let Some(target) = self.pick_target(cluster, rid) {
+                events.push(self.execute_move(
+                    cluster,
+                    rid,
+                    target,
+                    FailoverReason::NodeCrash,
+                    now,
+                ));
+            }
+        }
+        debug_assert!(
+            cluster.invariants_ok(),
+            "crash_node broke cluster invariants"
         );
         events
     }
@@ -979,7 +1068,7 @@ mod tests {
             let s = spec(&c, 4.0, 20.0, 1);
             c.add_service(&s, &[NodeId(2)], SimTime::ZERO);
         }
-        let events = p.drain_node(&mut c, NodeId(2), SimTime::ZERO);
+        let events = p.drain_node(&mut c, NodeId(2), SimTime::ZERO).unwrap();
         assert_eq!(events.len(), 3);
         assert!(events.iter().all(|e| e.reason == FailoverReason::NodeDrain));
         assert!(c.node(NodeId(2)).replicas.is_empty());
@@ -1257,17 +1346,77 @@ mod tests {
         let f = spec(&c, 1.0, 60.0, 1);
         c.add_service(&f, &[NodeId(1)], SimTime::ZERO);
         c.add_service(&f, &[NodeId(2)], SimTime::ZERO);
-        let a = spec(&c, 1.0, 30.0, 1);
-        let id = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        // A 2-replica service with its secondary on node 0: the secondary
+        // fits nowhere within headroom (30 onto 60-loaded nodes > 80),
+        // but its primary stays live on node 1, so the drain proceeds.
+        let b = spec(&c, 1.0, 30.0, 2);
+        let id = c.add_service(&b, &[NodeId(1), NodeId(0)], SimTime::ZERO);
         let mut p = Plb::new(config, 8);
-        let events = p.drain_node(&mut c, NodeId(0), SimTime::ZERO);
-        // No survivor may be packed past headroom; the replica stays on
+        let events = p.drain_node(&mut c, NodeId(0), SimTime::ZERO).unwrap();
+        // No survivor may be packed past headroom; the secondary stays on
         // the drained node (production blocks the upgrade domain in the
         // same situation).
         assert!(events.is_empty());
         assert!(!c.node(NodeId(0)).up);
+        let rid = c.service(id).unwrap().replicas[1];
+        assert_eq!(c.replica(rid).unwrap().node, NodeId(0));
+    }
+
+    #[test]
+    fn drain_blocked_on_last_replica_without_target() {
+        // Regression: drain_node used to mark the node down and silently
+        // strand a service's *last* replica when no target fit — an
+        // availability loss reported as a successful drain. It must now
+        // refuse with DrainBlocked and leave the cluster untouched.
+        let config = PlbConfig {
+            placement_headroom: 0.8,
+            ..Default::default()
+        };
+        let (mut c, _, _) = cluster(3, 96.0, 100.0);
+        let f = spec(&c, 1.0, 60.0, 1);
+        c.add_service(&f, &[NodeId(1)], SimTime::ZERO);
+        c.add_service(&f, &[NodeId(2)], SimTime::ZERO);
+        let a = spec(&c, 1.0, 30.0, 1);
+        let id = c.add_service(&a, &[NodeId(0)], SimTime::ZERO);
+        let mut p = Plb::new(config, 8);
+        let err = p.drain_node(&mut c, NodeId(0), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            DrainBlocked {
+                node: NodeId(0),
+                service: id,
+            }
+        );
+        // Nothing mutated: the node is still up and the replica in place.
+        assert!(c.node(NodeId(0)).up);
         let rid = c.service(id).unwrap().replicas[0];
         assert_eq!(c.replica(rid).unwrap().node, NodeId(0));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn crash_moves_replicas_and_strands_the_unplaceable() {
+        let (mut c, _, _) = cluster(4, 96.0, 100.0);
+        let mut p = plb(12);
+        // A movable single-replica service and an unmovable one (90 fits
+        // nowhere next to the 60-loads) both live on node 1.
+        let f = spec(&c, 1.0, 60.0, 1);
+        c.add_service(&f, &[NodeId(2)], SimTime::ZERO);
+        c.add_service(&f, &[NodeId(3)], SimTime::ZERO);
+        let movable = spec(&c, 1.0, 20.0, 1);
+        let id_m = c.add_service(&movable, &[NodeId(1)], SimTime::ZERO);
+        let stuck = spec(&c, 1.0, 90.0, 1);
+        let id_s = c.add_service(&stuck, &[NodeId(1)], SimTime::ZERO);
+        let events = p.crash_node(&mut c, NodeId(1), SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].reason, FailoverReason::NodeCrash);
+        assert_eq!(events[0].service, id_m);
+        assert!(!c.node(NodeId(1)).up);
+        // The unplaceable replica is stranded on the dead node — a crash,
+        // unlike a drain, cannot be refused.
+        let rid = c.service(id_s).unwrap().replicas[0];
+        assert_eq!(c.replica(rid).unwrap().node, NodeId(1));
+        c.check_invariants();
     }
 
     #[test]

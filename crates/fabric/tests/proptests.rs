@@ -39,6 +39,55 @@ fn cache_op_strategy() -> impl Strategy<Value = CacheOp> {
     ]
 }
 
+/// Fault-injection mutations interleaved with normal traffic: the chaos
+/// engine's building blocks (crash / restart / degrade) driven directly
+/// against the fabric, with the same invariants the engine's oracles
+/// enforce at the experiment level.
+#[derive(Debug, Clone)]
+enum ChaosOp {
+    Create {
+        cpu: f64,
+        disk: f64,
+        replicas: u32,
+    },
+    Remove {
+        index: usize,
+    },
+    Report {
+        index: usize,
+        disk: f64,
+    },
+    Crash {
+        node: u32,
+    },
+    Restart {
+        node: u32,
+    },
+    /// Shrink (or restore) disk capacity to `permille`/1000 of baseline.
+    Degrade {
+        permille: u32,
+    },
+    FixViolations,
+}
+
+fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
+    prop_oneof![
+        (1.0f64..16.0, 1.0f64..300.0, 1u32..=4).prop_map(|(cpu, disk, replicas)| {
+            ChaosOp::Create {
+                cpu,
+                disk,
+                replicas,
+            }
+        }),
+        (0usize..64).prop_map(|index| ChaosOp::Remove { index }),
+        (0usize..64, 0.0f64..900.0).prop_map(|(index, disk)| ChaosOp::Report { index, disk }),
+        (0u32..8).prop_map(|node| ChaosOp::Crash { node }),
+        (0u32..8).prop_map(|node| ChaosOp::Restart { node }),
+        (300u32..=1000).prop_map(|permille| ChaosOp::Degrade { permille }),
+        Just(ChaosOp::FixViolations),
+    ]
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1.0f64..16.0, 1.0f64..300.0, 1u32..=4).prop_map(|(cpu, disk, replicas)| Op::Create {
@@ -73,6 +122,92 @@ fn build_cluster() -> (Cluster, MetricId, MetricId) {
         cpu,
         disk,
     )
+}
+
+/// Drive one seeded chaos sequence, asserting the cluster's structural
+/// invariants and bitwise cost-cache agreement after every op. Returns a
+/// state digest plus the trace bytes the run emitted, for cross-replay
+/// byte-identity checks.
+fn run_chaos_sequence(ops: &[ChaosOp], seed: u64) -> (Vec<u64>, Vec<u8>) {
+    let sink = toto_trace::Shared::new(toto_trace::BufferSink::new());
+    let guard = toto_trace::SessionGuard::install(Box::new(sink.clone()));
+    let (mut cluster, cpu, disk) = build_cluster();
+    let base_disk_capacity = cluster.metrics().def(disk).node_capacity;
+    let mut plb = Plb::new(PlbConfig::default(), seed);
+    let mut services: Vec<ServiceId> = Vec::new();
+    for op in ops {
+        match *op {
+            ChaosOp::Create {
+                cpu: c,
+                disk: d,
+                replicas,
+            } => {
+                let mut load = cluster.metrics().zero_load();
+                load[cpu] = c;
+                load[disk] = d;
+                let spec = ServiceSpec {
+                    name: "db".into(),
+                    tag: 0,
+                    replica_count: replicas,
+                    default_load: load,
+                };
+                if let Ok(id) = plb.create_service(&mut cluster, &spec, SimTime::ZERO) {
+                    services.push(id);
+                }
+            }
+            ChaosOp::Remove { index } => {
+                if !services.is_empty() {
+                    let id = services.remove(index % services.len());
+                    assert!(cluster.remove_service(id).is_some());
+                }
+            }
+            ChaosOp::Report { index, disk: d } => {
+                if !services.is_empty() {
+                    let id = services[index % services.len()];
+                    let rid = cluster.service(id).unwrap().replicas[0];
+                    cluster.report_load(rid, disk, d);
+                }
+            }
+            ChaosOp::Crash { node } => {
+                plb.crash_node(
+                    &mut cluster,
+                    toto_fabric::ids::NodeId(node % 8),
+                    SimTime::ZERO,
+                );
+            }
+            ChaosOp::Restart { node } => {
+                cluster.set_node_up(toto_fabric::ids::NodeId(node % 8), true);
+            }
+            ChaosOp::Degrade { permille } => {
+                cluster
+                    .set_metric_capacity(disk, base_disk_capacity * f64::from(permille) / 1000.0);
+            }
+            ChaosOp::FixViolations => {
+                plb.fix_violations(&mut cluster, SimTime::ZERO);
+            }
+        }
+        cluster.check_invariants();
+        for n in cluster.nodes() {
+            assert_eq!(
+                cluster.node_cost(n.id).to_bits(),
+                cluster.metrics().cost_of(&n.load).to_bits(),
+                "cost cache diverged on {} after {op:?}",
+                n.id
+            );
+        }
+    }
+    let mut digest: Vec<u64> = Vec::new();
+    for n in cluster.nodes() {
+        digest.push(u64::from(n.id.raw()));
+        digest.push(u64::from(n.up));
+        digest.push(n.replicas.len() as u64);
+        digest.push(cluster.node_cost(n.id).to_bits());
+        digest.push(n.load[cpu].to_bits());
+        digest.push(n.load[disk].to_bits());
+    }
+    digest.push(services.len() as u64);
+    drop(guard);
+    (digest, sink.with(|b| b.bytes().to_vec()))
 }
 
 proptest! {
@@ -195,6 +330,21 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chaos_sequences_preserve_invariants_and_determinism(
+        ops in prop::collection::vec(chaos_op_strategy(), 1..60),
+        seed: u64,
+    ) {
+        // One pass checks structural invariants and bitwise cost-cache
+        // agreement after every mutation; a second identically-seeded
+        // pass must take byte-identical decisions (same state digest,
+        // same trace bytes) — the PLB-determinism contract under faults.
+        let (digest_a, trace_a) = run_chaos_sequence(&ops, seed);
+        let (digest_b, trace_b) = run_chaos_sequence(&ops, seed);
+        prop_assert_eq!(digest_a, digest_b, "state digest diverged across replays");
+        prop_assert_eq!(trace_a, trace_b, "trace bytes diverged across replays");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! fleet_runner [--jobs N] [--threads T] [--hours H] [--seed S] [--out DIR] [--trace]
+//!              [--chaos PLAN]
 //! ```
 //!
 //! Jobs cycle through the paper's density levels (100, 110, 120, 140 %;
@@ -10,9 +11,16 @@
 //! SplitMix64 scheme, so the artifact set is a pure function of the
 //! arguments — re-running with the same arguments reproduces every run
 //! record byte-for-byte, regardless of `--threads`.
+//!
+//! `--chaos PLAN` runs every job under a named fault-injection plan
+//! (`toto-chaos`). Chaos fleets write to their own directory
+//! (`runs/fleet_runner-chaos-<plan>/`) with a `<label>.chaos.json`
+//! per-fault report next to each run record, so the pinned plain-run
+//! artifacts under `runs/fleet_runner/` are never touched.
 
+use toto_chaos::ChaosPlan;
 use toto_fleet::{
-    density_fleet, FleetExecutor, FleetManifest, ManifestJob, RunRecord, RunStore, StderrProgress,
+    FleetExecutor, FleetManifest, ManifestJob, RunRecord, RunStore, StderrProgress,
     RUN_SCHEMA_VERSION,
 };
 
@@ -26,6 +34,7 @@ struct Args {
     seed: u64,
     out: String,
     trace: bool,
+    chaos: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +45,7 @@ fn parse_args() -> Args {
         seed: 42,
         out: "results".to_string(),
         trace: false,
+        chaos: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -50,10 +60,13 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--out" => args.out = value("--out"),
             "--trace" => args.trace = true,
+            "--chaos" => args.chaos = Some(value("--chaos")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fleet_runner [--jobs N] [--threads T] [--hours H] \
-                     [--seed S] [--out DIR] [--trace]"
+                     [--seed S] [--out DIR] [--trace] [--chaos PLAN]\n\
+                     named chaos plans: {}",
+                    ChaosPlan::NAMED.join(", ")
                 );
                 std::process::exit(0);
             }
@@ -65,15 +78,39 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let chaos_plan = args.chaos.as_deref().map(|name| {
+        ChaosPlan::named(name).unwrap_or_else(|| {
+            panic!(
+                "unknown chaos plan {name:?}; named plans: {}",
+                ChaosPlan::NAMED.join(", ")
+            )
+        })
+    });
+    // Chaos fleets get their own directory so the pinned plain-run
+    // artifacts under runs/fleet_runner/ stay byte-identical forever.
+    let fleet_name = match &args.chaos {
+        Some(name) => format!("fleet_runner-chaos-{name}"),
+        None => "fleet_runner".to_string(),
+    };
+    let overrides = || toto::experiment::ExperimentOverrides {
+        chaos: chaos_plan.clone().unwrap_or_default(),
+        ..toto::experiment::ExperimentOverrides::default()
+    };
     let densities: Vec<u32> = (0..args.jobs)
         .map(|i| DENSITIES[i % DENSITIES.len()])
         .collect();
 
     // Duplicate densities get distinct labels (and thus distinct seeds)
-    // from their position in the ladder.
+    // from their position in the ladder. Labels (hence seeds) do not
+    // depend on the chaos plan: a chaos run perturbs the same baseline
+    // run its plain twin executes.
     let mut plan = toto_fleet::FleetPlan::new(args.seed);
     if args.jobs == DENSITIES.len() {
-        plan = density_fleet(args.seed, &densities, args.hours);
+        for &density in &densities {
+            let mut scenario = toto_spec::ScenarioSpec::gen5_stage_cluster(density);
+            scenario.duration_hours = args.hours;
+            plan.add(format!("density-{density}"), scenario, overrides());
+        }
     } else {
         for (i, &density) in densities.iter().enumerate() {
             let mut scenario = toto_spec::ScenarioSpec::gen5_stage_cluster(density);
@@ -81,7 +118,7 @@ fn main() {
             plan.add(
                 format!("job{i:03}-density-{density}"),
                 scenario,
-                toto::experiment::ExperimentOverrides::default(),
+                overrides(),
             );
         }
     }
@@ -107,7 +144,7 @@ fn main() {
         .collect();
     let manifest = FleetManifest {
         schema_version: RUN_SCHEMA_VERSION,
-        fleet: "fleet_runner".to_string(),
+        fleet: fleet_name,
         root_seed: args.seed,
         threads: report.threads as u64,
         wall_secs: report.wall_secs,
@@ -132,10 +169,15 @@ fn main() {
                 .save_trace(&manifest.fleet, &job.label, trace)
                 .expect("write trace sidecar");
         }
+        if let Some(chaos) = &out.result.chaos {
+            store
+                .save_chaos(&manifest.fleet, &job.label, &chaos.to_json())
+                .expect("write chaos sidecar");
+        }
     }
     store
         .append_bench_entries(&[toto_fleet::BenchEntry {
-            name: "fleet_runner/jobs_per_sec".to_string(),
+            name: format!("{}/jobs_per_sec", manifest.fleet),
             unit: "jobs/s".to_string(),
             value: report.jobs_per_sec(),
         }])
@@ -173,6 +215,17 @@ fn main() {
         report.jobs_per_sec(),
         dir.display()
     );
+    if args.chaos.is_some() {
+        let violations: u64 = report
+            .completed()
+            .filter_map(|(_, out)| out.result.chaos.as_ref())
+            .map(|c| c.oracle_violations)
+            .sum();
+        println!("chaos oracle violations: {violations}");
+        if violations > 0 {
+            std::process::exit(1);
+        }
+    }
     if !report.all_completed() {
         std::process::exit(1);
     }

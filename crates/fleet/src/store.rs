@@ -408,6 +408,23 @@ impl RunStore {
         fs::read(self.fleet_dir(fleet).join(format!("{label}.trace")))
     }
 
+    /// Write one job's chaos report as a `<label>.chaos.json` sidecar.
+    /// Like the record, the report is a pure function of (spec, seed);
+    /// chaos fleets use their own fleet name so pinned plain-run
+    /// artifacts are never touched.
+    pub fn save_chaos(&self, fleet: &str, label: &str, json: &str) -> io::Result<PathBuf> {
+        let dir = self.fleet_dir(fleet);
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{label}.chaos.json"));
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Load one job's chaos-report sidecar bytes.
+    pub fn chaos_bytes(&self, fleet: &str, label: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.fleet_dir(fleet).join(format!("{label}.chaos.json")))
+    }
+
     /// Load one job's record from a saved fleet.
     pub fn load_record(&self, fleet: &str, label: &str) -> io::Result<RunRecord> {
         let path = self.fleet_dir(fleet).join(format!("{label}.json"));

@@ -95,6 +95,8 @@ impl Default for Config {
                 "crates/controlplane",
                 "crates/core",
                 "crates/stats",
+                "crates/trace",
+                "crates/chaos",
             ]
             .iter()
             .map(|s| s.to_string())

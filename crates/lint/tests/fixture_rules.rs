@@ -168,6 +168,38 @@ fn r002_only_applies_to_configured_paths() {
 }
 
 #[test]
+fn chaos_crate_is_under_the_full_sim_path_contract() {
+    // `crates/chaos` schedules faults inside simulation runs, so the
+    // whole determinism contract applies: ambient RNG (D003), wall-clock
+    // reads (D002), and panicking lookups (R001) must all be caught.
+    let diags = lint(
+        "crates/chaos/src/sample.rs",
+        include_str!("fixtures/chaos_bad.rs"),
+    );
+    for rule in ["D002", "D003", "R001"] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "expected {rule} in chaos sim-path scan: {diags:?}"
+        );
+    }
+    assert!(diags
+        .iter()
+        .all(|d| d.rule != "R001" || d.level == Level::Error));
+}
+
+#[test]
+fn r002_fires_on_unguarded_set_node_down() {
+    let diags = lint(
+        "crates/fabric/src/plb.rs",
+        include_str!("fixtures/r002_set_node_down.rs"),
+    );
+    let r002: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "R002").collect();
+    assert_eq!(r002.len(), 1, "unguarded liveness mutator: {diags:?}");
+    assert!(r002[0].message.contains("set_node_down"));
+    assert_eq!(r002[0].level, Level::Error);
+}
+
+#[test]
 fn inline_suppression_silences_both_placements() {
     let diags = lint(SIM_LIB, include_str!("fixtures/suppressed.rs"));
     // Both D001 sites are suppressed (line-above and same-line forms) and

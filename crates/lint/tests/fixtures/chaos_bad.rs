@@ -1,0 +1,17 @@
+// Fixture: a fault-injection engine written the *wrong* way — ambient
+// randomness, wall-clock fault timing, and panicking lookups. Each line
+// below is a determinism-contract violation the linter must catch when
+// this file is treated as chaos sim-path library code.
+use std::time::Instant;
+
+pub fn pick_victim(nodes: &[u32]) -> u32 {
+    // D003: ambient RNG makes the fault schedule unreproducible.
+    let i = rand::thread_rng().gen_range(0..nodes.len());
+    // R001: a panicking lookup in sim-path library code.
+    *nodes.get(i).unwrap()
+}
+
+pub fn fault_deadline_ms() -> u128 {
+    // D002: wall-clock reads leak host timing into the simulation.
+    Instant::now().elapsed().as_millis()
+}

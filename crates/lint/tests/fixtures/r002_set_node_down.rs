@@ -1,0 +1,7 @@
+// Fixture: R002 positive — a chaos-style liveness mutator that flips a
+// node down without re-checking the cluster's invariants. Down-marking
+// is exactly the kind of state transition the invariant oracles audit,
+// so the unguarded version must be flagged.
+pub fn set_node_down(cluster: &mut Cluster, node: NodeId) {
+    cluster.mark_down(node);
+}

@@ -97,10 +97,15 @@ impl<S> Scheduler<S> {
     }
 }
 
+/// A hook run after every dispatched event, with the state and the
+/// (read-only) scheduler. See [`Simulation::set_post_dispatch`].
+pub type PostDispatchFn<S> = Box<dyn FnMut(&mut S, &Scheduler<S>)>;
+
 /// A discrete-event simulation over state `S`.
 pub struct Simulation<S> {
     state: S,
     scheduler: Scheduler<S>,
+    post_dispatch: Option<PostDispatchFn<S>>,
 }
 
 impl<S> Simulation<S> {
@@ -109,7 +114,22 @@ impl<S> Simulation<S> {
         Simulation {
             state,
             scheduler: Scheduler::new(),
+            post_dispatch: None,
         }
+    }
+
+    /// Install a hook that runs after **every** dispatched event, once the
+    /// event's own callback has returned. Invariant oracles (toto-chaos)
+    /// hang off this: they observe each post-event state without being
+    /// events themselves, so installing one never perturbs the event
+    /// sequence or any seeded RNG stream.
+    pub fn set_post_dispatch(&mut self, hook: impl FnMut(&mut S, &Scheduler<S>) + 'static) {
+        self.post_dispatch = Some(Box::new(hook));
+    }
+
+    /// Remove the post-dispatch hook, if any.
+    pub fn clear_post_dispatch(&mut self) {
+        self.post_dispatch = None;
     }
 
     /// Current simulated time.
@@ -145,6 +165,9 @@ impl<S> Simulation<S> {
                     });
                 }
                 (ev.run)(&mut self.state, &mut self.scheduler);
+                if let Some(hook) = &mut self.post_dispatch {
+                    hook(&mut self.state, &self.scheduler);
+                }
                 true
             }
             None => false,
@@ -246,6 +269,29 @@ mod tests {
                 sched.schedule_at(SimTime::from_secs(50), |_, _| {});
             });
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn post_dispatch_hook_runs_after_every_event() {
+        let mut sim: Simulation<Vec<&'static str>> = Simulation::new(Vec::new());
+        sim.set_post_dispatch(|s: &mut Vec<&'static str>, _| s.push("hook"));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), |s: &mut Vec<&'static str>, _| {
+                s.push("a")
+            });
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(2), |s: &mut Vec<&'static str>, _| {
+                s.push("b")
+            });
+        sim.run_to_completion();
+        assert_eq!(sim.state(), &vec!["a", "hook", "b", "hook"]);
+        sim.clear_post_dispatch();
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(3), |s: &mut Vec<&'static str>, _| {
+                s.push("c")
+            });
+        sim.run_to_completion();
+        assert_eq!(sim.state().last(), Some(&"c"));
     }
 
     #[test]

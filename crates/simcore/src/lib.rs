@@ -42,6 +42,6 @@ pub mod rng;
 pub mod time;
 
 pub use collections::{det_hash_map, det_hash_set, DetBuildHasher, DetHashMap, DetHashSet};
-pub use event::{Scheduler, Simulation};
+pub use event::{PostDispatchFn, Scheduler, Simulation};
 pub use rng::{DetRng, SeedTree};
 pub use time::{DayKind, SimDuration, SimTime};

@@ -454,6 +454,34 @@ pub fn retype(file: &TraceFile, ev: &DecodedEvent) -> Option<EventBody> {
             vcores: u(1)?,
             disk_gb: f(2)?,
         },
+        EventKind::ChaosNodeCrash => EventBody::ChaosNodeCrash {
+            node: u(0)?,
+            downtime_secs: u(1)?,
+        },
+        EventKind::ChaosNodeRestart => EventBody::ChaosNodeRestart { node: u(0)? },
+        EventKind::ChaosNodeDecommission => EventBody::ChaosNodeDecommission { node: u(0)? },
+        EventKind::ChaosCapacityDegrade => EventBody::ChaosCapacityDegrade {
+            resource: s(0)?,
+            node_capacity: f(1)?,
+        },
+        EventKind::ChaosReportDropped => EventBody::ChaosReportDropped {
+            service: u(0)?,
+            replica: u(1)?,
+            node: u(2)?,
+            resource: s(3)?,
+        },
+        EventKind::ChaosStorm => EventBody::ChaosStorm {
+            nodes: u(0)?,
+            downtime_secs: u(1)?,
+        },
+        EventKind::OracleViolation => EventBody::OracleViolation {
+            oracle: s(0)?,
+            detail: s(1)?,
+        },
+        EventKind::ChaosNodeDrain => EventBody::ChaosNodeDrain {
+            node: u(0)?,
+            downtime_secs: u(1)?,
+        },
     })
 }
 

@@ -44,10 +44,26 @@ pub enum EventKind {
     DbDrop = 13,
     /// Bootstrap could not place one of the initial-population drafts.
     BootstrapPlacementFailed = 14,
+    /// Chaos injected a node crash (abrupt down, replicas failed over).
+    ChaosNodeCrash = 15,
+    /// Chaos restarted a previously crashed/upgraded node (back up).
+    ChaosNodeRestart = 16,
+    /// Chaos permanently decommissioned a node (drained, never restarts).
+    ChaosNodeDecommission = 17,
+    /// Chaos shrank (or restored) a metric's logical per-node capacity.
+    ChaosCapacityDegrade = 18,
+    /// Chaos suppressed a replica metric report at the RG-manager boundary.
+    ChaosReportDropped = 19,
+    /// Chaos triggered a correlated failover storm (several crashes at once).
+    ChaosStorm = 20,
+    /// An invariant oracle detected a violation after a dispatched event.
+    OracleViolation = 21,
+    /// Chaos drained a node gracefully (one rolling-restart step).
+    ChaosNodeDrain = 22,
 }
 
 /// Number of defined event kinds (kind ids are `0..COUNT`).
-pub const KIND_COUNT: usize = 15;
+pub const KIND_COUNT: usize = 23;
 
 /// All kinds, in kind-id order.
 pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
@@ -66,6 +82,14 @@ pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::DbCreate,
     EventKind::DbDrop,
     EventKind::BootstrapPlacementFailed,
+    EventKind::ChaosNodeCrash,
+    EventKind::ChaosNodeRestart,
+    EventKind::ChaosNodeDecommission,
+    EventKind::ChaosCapacityDegrade,
+    EventKind::ChaosReportDropped,
+    EventKind::ChaosStorm,
+    EventKind::OracleViolation,
+    EventKind::ChaosNodeDrain,
 ];
 
 /// Bit masks for selecting which kinds a sink records.
@@ -112,6 +136,14 @@ impl EventKind {
             EventKind::DbCreate => "db_create",
             EventKind::DbDrop => "db_drop",
             EventKind::BootstrapPlacementFailed => "bootstrap_placement_failed",
+            EventKind::ChaosNodeCrash => "chaos_node_crash",
+            EventKind::ChaosNodeRestart => "chaos_node_restart",
+            EventKind::ChaosNodeDecommission => "chaos_node_decommission",
+            EventKind::ChaosCapacityDegrade => "chaos_capacity_degrade",
+            EventKind::ChaosReportDropped => "chaos_report_dropped",
+            EventKind::ChaosStorm => "chaos_storm",
+            EventKind::OracleViolation => "oracle_violation",
+            EventKind::ChaosNodeDrain => "chaos_node_drain",
         }
     }
 
@@ -170,6 +202,22 @@ impl EventKind {
             FieldDef::u64("vcores"),
             FieldDef::f64("disk_gb"),
         ];
+        const CHAOS_NODE_CRASH: &[FieldDef] =
+            &[FieldDef::u64("node"), FieldDef::u64("downtime_secs")];
+        const CHAOS_NODE_RESTART: &[FieldDef] = &[FieldDef::u64("node")];
+        const CHAOS_NODE_DECOMMISSION: &[FieldDef] = &[FieldDef::u64("node")];
+        const CHAOS_CAPACITY_DEGRADE: &[FieldDef] =
+            &[FieldDef::str("resource"), FieldDef::f64("node_capacity")];
+        const CHAOS_REPORT_DROPPED: &[FieldDef] = &[
+            FieldDef::u64("service"),
+            FieldDef::u64("replica"),
+            FieldDef::u64("node"),
+            FieldDef::str("resource"),
+        ];
+        const CHAOS_STORM: &[FieldDef] = &[FieldDef::u64("nodes"), FieldDef::u64("downtime_secs")];
+        const ORACLE_VIOLATION: &[FieldDef] = &[FieldDef::str("oracle"), FieldDef::str("detail")];
+        const CHAOS_NODE_DRAIN: &[FieldDef] =
+            &[FieldDef::u64("node"), FieldDef::u64("downtime_secs")];
         match self {
             EventKind::Phase => PHASE,
             EventKind::Dispatch => DISPATCH,
@@ -186,6 +234,14 @@ impl EventKind {
             EventKind::DbCreate => DB_CREATE,
             EventKind::DbDrop => DB_DROP,
             EventKind::BootstrapPlacementFailed => BOOTSTRAP_PLACEMENT_FAILED,
+            EventKind::ChaosNodeCrash => CHAOS_NODE_CRASH,
+            EventKind::ChaosNodeRestart => CHAOS_NODE_RESTART,
+            EventKind::ChaosNodeDecommission => CHAOS_NODE_DECOMMISSION,
+            EventKind::ChaosCapacityDegrade => CHAOS_CAPACITY_DEGRADE,
+            EventKind::ChaosReportDropped => CHAOS_REPORT_DROPPED,
+            EventKind::ChaosStorm => CHAOS_STORM,
+            EventKind::OracleViolation => ORACLE_VIOLATION,
+            EventKind::ChaosNodeDrain => CHAOS_NODE_DRAIN,
         }
     }
 }
@@ -348,6 +404,38 @@ pub enum EventBody {
         vcores: u64,
         disk_gb: f64,
     },
+    ChaosNodeCrash {
+        node: u64,
+        downtime_secs: u64,
+    },
+    ChaosNodeRestart {
+        node: u64,
+    },
+    ChaosNodeDecommission {
+        node: u64,
+    },
+    ChaosCapacityDegrade {
+        resource: String,
+        node_capacity: f64,
+    },
+    ChaosReportDropped {
+        service: u64,
+        replica: u64,
+        node: u64,
+        resource: String,
+    },
+    ChaosStorm {
+        nodes: u64,
+        downtime_secs: u64,
+    },
+    OracleViolation {
+        oracle: String,
+        detail: String,
+    },
+    ChaosNodeDrain {
+        node: u64,
+        downtime_secs: u64,
+    },
 }
 
 impl EventBody {
@@ -369,6 +457,14 @@ impl EventBody {
             EventBody::DbCreate { .. } => EventKind::DbCreate,
             EventBody::DbDrop { .. } => EventKind::DbDrop,
             EventBody::BootstrapPlacementFailed { .. } => EventKind::BootstrapPlacementFailed,
+            EventBody::ChaosNodeCrash { .. } => EventKind::ChaosNodeCrash,
+            EventBody::ChaosNodeRestart { .. } => EventKind::ChaosNodeRestart,
+            EventBody::ChaosNodeDecommission { .. } => EventKind::ChaosNodeDecommission,
+            EventBody::ChaosCapacityDegrade { .. } => EventKind::ChaosCapacityDegrade,
+            EventBody::ChaosReportDropped { .. } => EventKind::ChaosReportDropped,
+            EventBody::ChaosStorm { .. } => EventKind::ChaosStorm,
+            EventBody::OracleViolation { .. } => EventKind::OracleViolation,
+            EventBody::ChaosNodeDrain { .. } => EventKind::ChaosNodeDrain,
         }
     }
 
@@ -460,6 +556,38 @@ impl EventBody {
                 Value::U64(*vcores),
                 Value::F64(*disk_gb),
             ],
+            EventBody::ChaosNodeCrash {
+                node,
+                downtime_secs,
+            } => vec![Value::U64(*node), Value::U64(*downtime_secs)],
+            EventBody::ChaosNodeRestart { node } => vec![Value::U64(*node)],
+            EventBody::ChaosNodeDecommission { node } => vec![Value::U64(*node)],
+            EventBody::ChaosCapacityDegrade {
+                resource,
+                node_capacity,
+            } => vec![Value::Str(resource.clone()), Value::F64(*node_capacity)],
+            EventBody::ChaosReportDropped {
+                service,
+                replica,
+                node,
+                resource,
+            } => vec![
+                Value::U64(*service),
+                Value::U64(*replica),
+                Value::U64(*node),
+                Value::Str(resource.clone()),
+            ],
+            EventBody::ChaosStorm {
+                nodes,
+                downtime_secs,
+            } => vec![Value::U64(*nodes), Value::U64(*downtime_secs)],
+            EventBody::OracleViolation { oracle, detail } => {
+                vec![Value::Str(oracle.clone()), Value::Str(detail.clone())]
+            }
+            EventBody::ChaosNodeDrain {
+                node,
+                downtime_secs,
+            } => vec![Value::U64(*node), Value::U64(*downtime_secs)],
         }
     }
 }
@@ -575,6 +703,34 @@ mod tests {
                 draft: 3,
                 vcores: 16,
                 disk_gb: 1024.0,
+            },
+            EventBody::ChaosNodeCrash {
+                node: 4,
+                downtime_secs: 1800,
+            },
+            EventBody::ChaosNodeRestart { node: 4 },
+            EventBody::ChaosNodeDecommission { node: 6 },
+            EventBody::ChaosCapacityDegrade {
+                resource: "Disk".into(),
+                node_capacity: 18_000.0,
+            },
+            EventBody::ChaosReportDropped {
+                service: 9,
+                replica: 0,
+                node: 2,
+                resource: "cpu".into(),
+            },
+            EventBody::ChaosStorm {
+                nodes: 3,
+                downtime_secs: 900,
+            },
+            EventBody::OracleViolation {
+                oracle: "replica_on_down_node".into(),
+                detail: "replica 7 on node 4".into(),
+            },
+            EventBody::ChaosNodeDrain {
+                node: 5,
+                downtime_secs: 3600,
             },
         ];
         assert_eq!(bodies.len(), KIND_COUNT);

@@ -33,6 +33,6 @@ pub mod report;
 pub mod session;
 pub mod sink;
 
-pub use event::{mask, EventBody, EventKind, TraceEvent, Value, KIND_COUNT};
+pub use event::{mask, EventBody, EventKind, TraceEvent, Value, ALL_KINDS, KIND_COUNT};
 pub use session::{emit, install, is_active, set_now_secs, uninstall, SessionGuard};
 pub use sink::{BufferSink, FileSink, NullSink, RingSink, Shared, TraceSink};

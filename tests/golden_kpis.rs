@@ -1,0 +1,113 @@
+//! Golden-KPI snapshot tests: one pinned (spec, seed) run per density
+//! tier, its full `KpiSummary` pinned as canonical JSON under
+//! `tests/golden/`. Any change to simulation semantics — event ordering,
+//! RNG consumption, placement decisions, KPI accounting — shows up here
+//! as a readable field-level diff instead of a silent drift.
+//!
+//! When a change is *intentional*, regenerate the snapshots with
+//!
+//! ```text
+//! TOTO_BLESS=1 cargo test --test golden_kpis
+//! ```
+//!
+//! and commit the updated `tests/golden/density-*.json` files alongside
+//! the change that moved them.
+
+use toto_fleet::FleetPlan;
+use toto_spec::ScenarioSpec;
+use toto_telemetry::kpi::KpiSummary;
+
+/// The paper's §5.2 density ladder.
+const DENSITIES: [u32; 4] = [100, 110, 120, 140];
+
+/// Root seed and duration of the pinned runs. Short enough to run in a
+/// tier-1 test, long enough to exercise failovers, growth, and
+/// governance at every tier.
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_HOURS: u64 = 6;
+
+/// Canonical snapshot encoding: sorted keys, `{:?}` floats (shortest
+/// round-trip), one key per line — diffs read field-by-field.
+fn kpi_json(k: &KpiSummary) -> String {
+    format!(
+        "{{\n  \"bc_failover_count\": {},\n  \"bootstrap_placement_failures\": {},\n  \
+         \"contended_governance_passes\": {},\n  \"creation_redirects\": {},\n  \
+         \"failed_over_cores\": {:?},\n  \"failover_count\": {},\n  \
+         \"final_disk_gb\": {:?},\n  \"final_reserved_cores\": {:?},\n  \
+         \"gp_failover_count\": {},\n  \"kpi_samples\": {},\n  \
+         \"node_snapshot_count\": {},\n  \"throttled_core_intervals\": {:?},\n  \
+         \"total_downtime_secs\": {:?}\n}}\n",
+        k.bc_failover_count,
+        k.bootstrap_placement_failures,
+        k.contended_governance_passes,
+        k.creation_redirects,
+        k.failed_over_cores,
+        k.failover_count,
+        k.final_disk_gb,
+        k.final_reserved_cores,
+        k.gp_failover_count,
+        k.kpi_samples,
+        k.node_snapshot_count,
+        k.throttled_core_intervals,
+        k.total_downtime_secs,
+    )
+}
+
+/// The pinned run for one tier: seeds derived exactly as `fleet_runner`
+/// derives them, so the snapshot covers the production seed path too.
+fn golden_run(density: u32) -> KpiSummary {
+    let mut scenario = ScenarioSpec::gen5_stage_cluster(density);
+    scenario.duration_hours = GOLDEN_HOURS;
+    let mut plan = FleetPlan::new(GOLDEN_SEED);
+    plan.add(format!("density-{density}"), scenario, Default::default());
+    let job = &plan.jobs()[0];
+    job.execute().telemetry.summarize()
+}
+
+fn golden_path(density: u32) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("density-{density}.json"))
+}
+
+fn check_tier(density: u32) {
+    let actual = kpi_json(&golden_run(density));
+    let path = golden_path(density);
+    if std::env::var_os("TOTO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with \
+             TOTO_BLESS=1 cargo test --test golden_kpis",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "KPI snapshot for density-{density} drifted; if the change is \
+         intentional, regenerate with TOTO_BLESS=1 cargo test --test golden_kpis"
+    );
+}
+
+#[test]
+fn golden_kpis_density_100() {
+    check_tier(DENSITIES[0]);
+}
+
+#[test]
+fn golden_kpis_density_110() {
+    check_tier(DENSITIES[1]);
+}
+
+#[test]
+fn golden_kpis_density_120() {
+    check_tier(DENSITIES[2]);
+}
+
+#[test]
+fn golden_kpis_density_140() {
+    check_tier(DENSITIES[3]);
+}

@@ -111,7 +111,7 @@ fn trace(seed: u64) -> String {
         // Early maintenance: drain a node while the cluster still has
         // headroom to absorb its replicas, then bring it back.
         if tick == 2 {
-            for e in plb.drain_node(&mut cluster, NodeId(3), now) {
+            for e in plb.drain_node(&mut cluster, NodeId(3), now).unwrap() {
                 lines.push(fmt_event("drain", &e));
             }
             cluster.set_node_up(NodeId(3), true);

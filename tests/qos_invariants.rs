@@ -108,7 +108,8 @@ fn violation_fixing_converges_or_stalls_without_thrashing() {
 #[test]
 fn drained_node_receives_nothing_until_back_up() {
     let (mut cluster, mut plb, mut ac, catalog) = ring(4, 96.0, 8000.0);
-    plb.drain_node(&mut cluster, toto_fabric::ids::NodeId(1), SimTime::ZERO);
+    plb.drain_node(&mut cluster, toto_fabric::ids::NodeId(1), SimTime::ZERO)
+        .unwrap();
     // Big enough databases that the per-node utilization spread after the
     // drain exceeds the balancing threshold.
     let (idx, slo) = catalog.by_name("GP_16").unwrap();
