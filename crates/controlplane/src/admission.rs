@@ -158,8 +158,18 @@ impl AdmissionController {
     }
 
     /// Number of redirects up to and including `t`.
+    ///
+    /// The redirect log is append-only and every append happens at the
+    /// simulation's current (monotone) time, so the vector is sorted by
+    /// `time` and a binary search suffices. Region aggregation calls this
+    /// per-ring per-KPI-sample, so the old linear scan was quadratic in
+    /// redirect volume over a run.
     pub fn redirects_until(&self, t: SimTime) -> usize {
-        self.redirects.iter().filter(|r| r.time <= t).count()
+        debug_assert!(
+            self.redirects.windows(2).all(|w| w[0].time <= w[1].time),
+            "redirect log must be time-sorted"
+        );
+        self.redirects.partition_point(|r| r.time <= t)
     }
 
     /// The CPU metric id the controller accounts reservations in.

@@ -12,7 +12,12 @@
 //! plots.
 
 pub mod admission;
+pub mod ring;
 pub mod slo;
 
 pub use admission::{AdmissionController, AdmissionOutcome, CreateRequest, RedirectEvent};
+pub use ring::{
+    PlacementPolicy, RegionAdmission, RegionOutcome, RegionRedirect, RingAdmissionStats,
+    RingLedger, RingSet,
+};
 pub use slo::{decode_tag, encode_tag, Slo, SloCatalog};

@@ -61,6 +61,37 @@ impl std::fmt::Display for BootstrapError {
 
 impl std::error::Error for BootstrapError {}
 
+/// One drafted initial-population database, fully resolved: the name,
+/// SLO and initial disk it will be created with, in placement order.
+///
+/// The draft plan is a pure function of `(population_seed, catalog,
+/// scenario shape)` — no PLB, no cluster — which is what lets the region
+/// control plane seed its per-ring ledgers (and know every bootstrap
+/// tenant's name and footprint for a decommission drain) without running
+/// the ring simulations first.
+#[derive(Clone, Debug)]
+pub struct BootstrapDraft {
+    /// Service name bootstrap will create (`boot-{slo}-{index}`).
+    pub name: String,
+    /// Edition of the drafted database.
+    pub edition: EditionKind,
+    /// Catalog index of its SLO.
+    pub slo_index: usize,
+    /// Reserved vcores per replica.
+    pub vcores: u32,
+    /// Replica count of its SLO.
+    pub replica_count: u32,
+    /// Initial per-replica disk, GB (tempDB for GP, scaled draw for BC).
+    pub initial_disk_gb: f64,
+}
+
+impl BootstrapDraft {
+    /// Cores this draft reserves across all replicas.
+    pub fn reserved_cores(&self) -> f64 {
+        f64::from(self.vcores) * f64::from(self.replica_count)
+    }
+}
+
 /// What bootstrap produced.
 #[derive(Clone, Debug)]
 pub struct BootstrapReport {
@@ -77,26 +108,18 @@ pub struct BootstrapReport {
     pub placement_failures: u32,
 }
 
-/// Build the Table-2 initial population on an empty cluster.
+/// Draft the Table-2 initial population without placing it: resolved
+/// SLOs, scaled initial disk sizes, and final service names, in the
+/// placement order [`bootstrap_population`] will use.
 ///
-/// BC initial sizes are drawn from a heavy-tailed distribution and then
-/// scaled so the cluster starts at `scenario.bootstrap_disk_fill` of its
-/// logical disk (Table 3's 77 %). Fails with [`BootstrapError::UnknownSlo`]
-/// when the bootstrap mix names an SLO the catalog does not define.
-pub fn bootstrap_population(
-    cluster: &mut Cluster,
-    plb: &mut Plb,
+/// Depends only on `scenario.population_seed` and the scenario's shape
+/// (never the PLB seed), so callers that need the population's footprint
+/// ahead of placement — the region admission ledger — see exactly what a
+/// later full bootstrap will create.
+pub fn draft_population(
     catalog: &SloCatalog,
     scenario: &ScenarioSpec,
-    cpu: MetricId,
-    memory: MetricId,
-    disk: MetricId,
-) -> Result<BootstrapReport, BootstrapError> {
-    assert_eq!(
-        cluster.service_count(),
-        0,
-        "bootstrap requires an empty cluster"
-    );
+) -> Result<Vec<BootstrapDraft>, BootstrapError> {
     let mut rng = DetRng::seed_from_u64(scenario.population_seed ^ 0xB007_57A9);
 
     // Draw the population: SLOs and relative disk weights. The catalog is
@@ -201,19 +224,55 @@ pub fn bootstrap_population(
         frac(b).total_cmp(&frac(a))
     });
 
+    Ok(drafts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| BootstrapDraft {
+            name: format!("boot-{}-{i}", d.slo_name.to_lowercase()),
+            initial_disk_gb: match d.edition {
+                EditionKind::StandardGp => gp_tempdb,
+                EditionKind::PremiumBc => capped_size(&d, bc_scale),
+            },
+            edition: d.edition,
+            slo_index: d.slo_index,
+            vcores: d.vcores,
+            replica_count: d.replica_count,
+        })
+        .collect())
+}
+
+/// Build the Table-2 initial population on an empty cluster.
+///
+/// BC initial sizes are drawn from a heavy-tailed distribution and then
+/// scaled so the cluster starts at `scenario.bootstrap_disk_fill` of its
+/// logical disk (Table 3's 77 %). Fails with [`BootstrapError::UnknownSlo`]
+/// when the bootstrap mix names an SLO the catalog does not define.
+pub fn bootstrap_population(
+    cluster: &mut Cluster,
+    plb: &mut Plb,
+    catalog: &SloCatalog,
+    scenario: &ScenarioSpec,
+    cpu: MetricId,
+    memory: MetricId,
+    disk: MetricId,
+) -> Result<BootstrapReport, BootstrapError> {
+    assert_eq!(
+        cluster.service_count(),
+        0,
+        "bootstrap requires an empty cluster"
+    );
+    let drafts = draft_population(catalog, scenario)?;
+
     let mut services = Vec::new();
     let mut placement_failures = 0u32;
     for (i, draft) in drafts.iter().enumerate() {
-        let initial_disk = match draft.edition {
-            EditionKind::StandardGp => gp_tempdb,
-            EditionKind::PremiumBc => capped_size(draft, bc_scale),
-        };
+        let initial_disk = draft.initial_disk_gb;
         let mut load = cluster.metrics().zero_load();
         load[cpu] = draft.vcores as f64;
         load[memory] = 1.0;
         load[disk] = initial_disk;
         let spec = ServiceSpec {
-            name: format!("boot-{}-{i}", draft.slo_name.to_lowercase()),
+            name: draft.name.clone(),
             tag: encode_tag(draft.edition, draft.slo_index),
             replica_count: draft.replica_count,
             default_load: load,
@@ -396,6 +455,41 @@ mod tests {
         let BootstrapError::UnknownSlo { edition, .. } = err;
         assert_eq!(edition, EditionKind::PremiumBc);
         assert!(err.to_string().contains("unknown SLO"));
+    }
+
+    #[test]
+    fn draft_plan_matches_what_bootstrap_places() {
+        let (report, _, _, _, scenario) = build(100);
+        let catalog = SloCatalog::gen5();
+        let drafts = draft_population(&catalog, &scenario).expect("draft plan");
+        assert_eq!(report.placement_failures, 0);
+        assert_eq!(drafts.len(), report.services.len());
+        // Placement order, editions, SLOs and initial disk all line up.
+        for (draft, (_, edition, slo_index, disk_gb)) in drafts.iter().zip(&report.services) {
+            assert_eq!(draft.edition, *edition);
+            assert_eq!(draft.slo_index, *slo_index);
+            assert_eq!(draft.initial_disk_gb, *disk_gb);
+            assert!(draft.name.starts_with("boot-"));
+        }
+        // And the drafted core footprint is the placed footprint.
+        let drafted: f64 = drafts.iter().map(|d| d.reserved_cores()).sum();
+        assert!((drafted - report.reserved_cores).abs() < 1e-9);
+    }
+
+    #[test]
+    fn draft_plan_ignores_the_plb_seed() {
+        let catalog = SloCatalog::gen5();
+        let mut a = ScenarioSpec::gen5_stage_cluster(110);
+        let mut b = ScenarioSpec::gen5_stage_cluster(110);
+        a.plb_seed = 1;
+        b.plb_seed = 999;
+        let da = draft_population(&catalog, &a).expect("draft a");
+        let db = draft_population(&catalog, &b).expect("draft b");
+        assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.initial_disk_gb, y.initial_disk_gb);
+        }
     }
 
     #[test]

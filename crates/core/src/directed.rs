@@ -1,0 +1,124 @@
+//! Directed population schedules: externally decided create/drop streams.
+//!
+//! The default experiment drives growth from its own seeded
+//! [`PopulationManager`](crate::population::PopulationManager). A
+//! *directed* run instead replays a schedule someone else decided — the
+//! region control plane, which routes one regional population stream
+//! across rings and hands each ring the sub-stream it admitted. The ring
+//! experiment still does everything else itself (bootstrap, PLB,
+//! governance, failovers, chaos, KPI sampling); only the create/drop
+//! *decisions* come from outside.
+//!
+//! Every directive is fully resolved — name, SLO, initial loads — so a
+//! directed run consumes **no** population RNG: the schedule, not a
+//! seed, is the population. That is what makes per-ring runs
+//! independently replayable after the region layer has decided routing.
+
+use toto_spec::EditionKind;
+
+/// One externally decided population action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DirectedAction {
+    /// Create a database with a fully resolved request.
+    Create {
+        /// Database name (region-unique; becomes the stable identity).
+        name: String,
+        /// Catalog index of the SLO to create with.
+        slo_index: usize,
+        /// Edition (must match the SLO's edition).
+        edition: EditionKind,
+        /// Initial per-replica disk load, GB.
+        initial_disk_gb: f64,
+        /// Initial per-replica memory load, GB.
+        initial_memory_gb: f64,
+    },
+    /// Drop the database created under `name`. A name that is not live
+    /// (its create was redirected away or already dropped) is a no-op.
+    Drop {
+        /// Name the database was created with.
+        name: String,
+    },
+}
+
+/// A directive with its time, as an offset from experiment start.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedEvent {
+    /// Seconds after the experiment's start time.
+    pub offset_secs: u64,
+    /// What to do.
+    pub action: DirectedAction,
+}
+
+/// A full directed schedule for one run, sorted by offset.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DirectedSchedule {
+    /// The directives, non-decreasing in `offset_secs`.
+    pub events: Vec<DirectedEvent>,
+}
+
+impl DirectedSchedule {
+    /// An empty schedule (a directed run with no growth at all).
+    pub fn new() -> Self {
+        DirectedSchedule::default()
+    }
+
+    /// Append a directive; keeps the schedule sorted by offset (stable
+    /// for equal offsets, so insertion order breaks ties).
+    pub fn push(&mut self, offset_secs: u64, action: DirectedAction) {
+        debug_assert!(
+            self.events
+                .last()
+                .is_none_or(|last| last.offset_secs <= offset_secs),
+            "directed schedule must be appended in time order"
+        );
+        self.events.push(DirectedEvent {
+            offset_secs,
+            action,
+        });
+    }
+
+    /// Number of create directives.
+    pub fn create_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, DirectedAction::Create { .. }))
+            .count()
+    }
+
+    /// Number of drop directives.
+    pub fn drop_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, DirectedAction::Drop { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_counts() {
+        let mut s = DirectedSchedule::new();
+        s.push(
+            10,
+            DirectedAction::Create {
+                name: "gp_4-0".into(),
+                slo_index: 1,
+                edition: EditionKind::StandardGp,
+                initial_disk_gb: 12.0,
+                initial_memory_gb: 1.0,
+            },
+        );
+        s.push(
+            3600,
+            DirectedAction::Drop {
+                name: "gp_4-0".into(),
+            },
+        );
+        assert_eq!(s.create_count(), 1);
+        assert_eq!(s.drop_count(), 1);
+        assert_eq!(s.events[0].offset_secs, 10);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::bootstrap::{bootstrap_population, BootstrapReport};
 use crate::defaults;
+use crate::directed::{DirectedAction, DirectedSchedule};
 use crate::population::{PlannedAction, PopulationManager};
 use std::collections::BTreeMap;
 use toto_chaos::{ChaosAction, ChaosFaultRecord, ChaosPlan, ChaosReport, ChaosRuntime};
@@ -65,6 +66,11 @@ pub struct ExperimentOverrides {
     /// stream is drawn, and the run is byte-identical to one on a build
     /// without chaos support.
     pub chaos: ChaosPlan,
+    /// Replace the seeded population stream with an externally decided
+    /// create/drop schedule (region runs). The Population Manager is
+    /// then never consulted — no population RNG is drawn during the run
+    /// — but hourly KPI sampling continues unchanged.
+    pub directed: Option<DirectedSchedule>,
 }
 
 /// A rolling cluster upgrade: starting at `start_hour`, each node in
@@ -89,6 +95,7 @@ impl Default for ExperimentOverrides {
             revenue: None,
             rolling_upgrade: None,
             chaos: ChaosPlan::default(),
+            directed: None,
         }
     }
 }
@@ -148,6 +155,13 @@ pub struct ExperimentState {
     /// behaviours in every experiment regardless of admission history,
     /// exactly as the paper's fixed-seed design intends (§5.2).
     identities: std::collections::BTreeMap<u64, u64>,
+    /// Live services by creation name (bootstrap + admitted creates),
+    /// so directed drops can resolve their victim without a scan.
+    by_name: BTreeMap<String, toto_fabric::ids::ServiceId>,
+    /// Whether a directed schedule replaces the population stream.
+    directed_mode: bool,
+    /// Create directives executed (admitted or redirected).
+    directed_created: u64,
     cpu: MetricId,
     memory: MetricId,
     disk: MetricId,
@@ -272,10 +286,15 @@ impl DensityExperiment {
         let mut billing: BTreeMap<u64, BillingState> = BTreeMap::new();
         let mut identities: std::collections::BTreeMap<u64, u64> =
             std::collections::BTreeMap::new();
+        let mut by_name: BTreeMap<String, toto_fabric::ids::ServiceId> = BTreeMap::new();
         for (id, edition, slo_index, initial_disk) in &bootstrap.services {
-            let identity = toto_simcore::rng::stable_id(
-                &cluster.service(*id).expect("bootstrap service").name,
-            );
+            let name = cluster
+                .service(*id)
+                .expect("bootstrap service")
+                .name
+                .clone();
+            let identity = toto_simcore::rng::stable_id(&name);
+            by_name.insert(name, *id);
             identities.insert(id.raw(), identity);
             if edition.disk_is_persisted() {
                 naming.write(
@@ -337,6 +356,9 @@ impl DensityExperiment {
             // of the run-to-run non-determinism the paper attributes to SF.
             qos_rng: DetRng::seed_from_u64(scenario.plb_seed ^ 0x00D0_3713),
             identities,
+            by_name,
+            directed_mode: overrides.directed.is_some(),
+            directed_created: 0,
             scenario,
             cluster,
             plb,
@@ -367,6 +389,21 @@ impl DensityExperiment {
             .schedule_at(start + SimDuration::from_secs(300), plb_tick);
         sim.scheduler().schedule_at(start + report, governance_tick);
         sim.scheduler().schedule_at(start + snapshot, node_snapshot);
+        if let Some(directed) = &overrides.directed {
+            // The schedule is fully known up front; one simulation event
+            // per directive, in schedule order (FIFO on equal times).
+            for ev in &directed.events {
+                let at = start + SimDuration::from_secs(ev.offset_secs);
+                if at > end {
+                    continue;
+                }
+                let action = ev.action.clone();
+                sim.scheduler()
+                    .schedule_at(at, move |s: &mut ExperimentState, sc| {
+                        directed_action(s, &action, sc.now());
+                    });
+            }
+        }
         if let Some(upgrade) = overrides.rolling_upgrade {
             let nodes = sim.state().cluster.node_count() as u64;
             for i in 0..nodes {
@@ -516,7 +553,7 @@ impl DensityExperiment {
             redirect_count: state.admission.redirects().len(),
             redirects: state.admission.redirects().to_vec(),
             first_redirect_hour,
-            created_during_run: state.popmgr.created_count(),
+            created_during_run: state.popmgr.created_count() + state.directed_created,
             scenario: state.scenario,
             telemetry: state.telemetry,
             revenue,
@@ -771,21 +808,26 @@ fn population_tick(state: &mut ExperimentState, sched: &mut Scheduler<Experiment
         .creation_redirects
         .push(now, state.admission.redirects().len() as f64);
 
-    for planned in state.popmgr.plan_hour(now) {
-        let at = now + SimDuration::from_secs(planned.offset_secs);
-        if at > state.end {
-            continue;
-        }
-        match planned.action {
-            PlannedAction::Create(edition) => {
-                sched.schedule_at(at, move |s: &mut ExperimentState, sc| {
-                    create_database(s, edition, sc.now());
-                });
+    // In directed mode the create/drop stream was decided externally and
+    // scheduled up front; consulting the Population Manager here would
+    // draw RNG the directed run must not consume.
+    if !state.directed_mode {
+        for planned in state.popmgr.plan_hour(now) {
+            let at = now + SimDuration::from_secs(planned.offset_secs);
+            if at > state.end {
+                continue;
             }
-            PlannedAction::Drop(edition) => {
-                sched.schedule_at(at, move |s: &mut ExperimentState, sc| {
-                    drop_database(s, edition, sc.now());
-                });
+            match planned.action {
+                PlannedAction::Create(edition) => {
+                    sched.schedule_at(at, move |s: &mut ExperimentState, sc| {
+                        create_database(s, edition, sc.now());
+                    });
+                }
+                PlannedAction::Drop(edition) => {
+                    sched.schedule_at(at, move |s: &mut ExperimentState, sc| {
+                        drop_database(s, edition, sc.now());
+                    });
+                }
             }
         }
     }
@@ -798,6 +840,53 @@ fn population_tick(state: &mut ExperimentState, sched: &mut Scheduler<Experiment
 /// Execute one create request through the control plane.
 fn create_database(state: &mut ExperimentState, edition: EditionKind, now: SimTime) {
     let (slo_index, req) = state.popmgr.make_create_request(edition, &state.catalog);
+    admit_request(state, slo_index, edition, req, now);
+}
+
+/// Execute one externally decided directive (directed mode).
+fn directed_action(state: &mut ExperimentState, action: &DirectedAction, now: SimTime) {
+    match action {
+        DirectedAction::Create {
+            name,
+            slo_index,
+            edition,
+            initial_disk_gb,
+            initial_memory_gb,
+        } => {
+            state.directed_created += 1;
+            let req = toto_controlplane::admission::CreateRequest {
+                name: name.clone(),
+                slo_index: *slo_index,
+                initial_disk_gb: *initial_disk_gb,
+                initial_memory_gb: *initial_memory_gb,
+            };
+            admit_request(state, *slo_index, *edition, req, now);
+        }
+        DirectedAction::Drop { name } => {
+            // A name that never materialized (its create was redirected
+            // away) or was already dropped is a deterministic no-op.
+            let Some(victim) = state.by_name.get(name).copied() else {
+                return;
+            };
+            let edition = state
+                .cluster
+                .service(victim)
+                .map(|s| edition_of(s.tag))
+                .unwrap_or(EditionKind::StandardGp);
+            remove_service(state, victim, edition, now);
+        }
+    }
+}
+
+/// Push a resolved create request through admission and, if admitted, do
+/// the shared bookkeeping (trace, identity, persisted state, billing).
+fn admit_request(
+    state: &mut ExperimentState,
+    slo_index: usize,
+    edition: EditionKind,
+    req: toto_controlplane::admission::CreateRequest,
+    now: SimTime,
+) {
     let slo = state.catalog.get(slo_index).expect("resolved SLO").clone();
     match state
         .admission
@@ -813,6 +902,7 @@ fn create_database(state: &mut ExperimentState, edition: EditionKind, now: SimTi
             });
             let identity = toto_simcore::rng::stable_id(&req.name);
             state.identities.insert(id.raw(), identity);
+            state.by_name.insert(req.name.clone(), id);
             if edition.disk_is_persisted() {
                 state.naming.write(
                     &persisted_state_key(ResourceKind::Disk, identity),
@@ -848,6 +938,20 @@ fn drop_database(state: &mut ExperimentState, edition: EditionKind, now: SimTime
     else {
         return;
     };
+    remove_service(state, victim, edition, now);
+}
+
+/// Tear down one live service: shared bookkeeping for population-driven
+/// and directed drops (trace, replica cleanup, persisted state, billing).
+fn remove_service(
+    state: &mut ExperimentState,
+    victim: toto_fabric::ids::ServiceId,
+    edition: EditionKind,
+    now: SimTime,
+) {
+    if let Some(name) = state.cluster.service(victim).map(|s| s.name.clone()) {
+        state.by_name.remove(&name);
+    }
     let nodes: Vec<u32> = state
         .cluster
         .service(victim)

@@ -41,9 +41,11 @@
 
 pub mod bootstrap;
 pub mod defaults;
+pub mod directed;
 pub mod experiment;
 pub mod pools;
 pub mod population;
 
+pub use directed::{DirectedAction, DirectedEvent, DirectedSchedule};
 pub use experiment::{DensityExperiment, ExperimentOverrides, ExperimentResult};
 pub use population::PopulationManager;

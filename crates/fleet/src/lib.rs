@@ -39,4 +39,7 @@ pub use executor::{
 };
 pub use job::{density_fleet, FleetJob, FleetPlan, FleetTask, JobOutput};
 pub use json::Json;
-pub use store::{BenchEntry, FleetManifest, ManifestJob, RunRecord, RunStore, RUN_SCHEMA_VERSION};
+pub use store::{
+    kpis_from_json, kpis_to_json, revenue_from_json, revenue_to_json, BenchEntry, FleetManifest,
+    ManifestJob, RunRecord, RunStore, RUN_SCHEMA_VERSION,
+};

@@ -77,48 +77,13 @@ impl RunRecord {
     /// Serialize. Field order is fixed, so equal records render to equal
     /// bytes.
     pub fn to_json(&self) -> Json {
-        let k = &self.kpis;
         Json::obj(vec![
             ("schema_version", Json::Uint(self.schema_version)),
             ("label", Json::Str(self.label.clone())),
             ("seed", Json::Uint(self.seed)),
             ("scenario_xml", Json::Str(self.scenario_xml.clone())),
-            (
-                "kpis",
-                Json::obj(vec![
-                    ("failover_count", Json::Uint(k.failover_count)),
-                    ("failed_over_cores", Json::Num(k.failed_over_cores)),
-                    ("gp_failover_count", Json::Uint(k.gp_failover_count)),
-                    ("bc_failover_count", Json::Uint(k.bc_failover_count)),
-                    ("total_downtime_secs", Json::Num(k.total_downtime_secs)),
-                    ("final_reserved_cores", Json::Num(k.final_reserved_cores)),
-                    ("final_disk_gb", Json::Num(k.final_disk_gb)),
-                    ("creation_redirects", Json::Uint(k.creation_redirects)),
-                    (
-                        "throttled_core_intervals",
-                        Json::Num(k.throttled_core_intervals),
-                    ),
-                    (
-                        "contended_governance_passes",
-                        Json::Uint(k.contended_governance_passes),
-                    ),
-                    ("kpi_samples", Json::Uint(k.kpi_samples)),
-                    ("node_snapshot_count", Json::Uint(k.node_snapshot_count)),
-                    (
-                        "bootstrap_placement_failures",
-                        Json::Uint(k.bootstrap_placement_failures),
-                    ),
-                ]),
-            ),
-            (
-                "revenue",
-                Json::obj(vec![
-                    ("compute", Json::Num(self.revenue.compute)),
-                    ("storage", Json::Num(self.revenue.storage)),
-                    ("penalty", Json::Num(self.revenue.penalty)),
-                    ("adjusted", Json::Num(self.revenue.adjusted())),
-                ]),
-            ),
+            ("kpis", kpis_to_json(&self.kpis)),
+            ("revenue", revenue_to_json(&self.revenue)),
             ("redirect_count", Json::Uint(self.redirect_count)),
             ("created_during_run", Json::Uint(self.created_during_run)),
         ])
@@ -146,11 +111,6 @@ impl RunRecord {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing uint field {key}"))
         };
-        let num_field = |obj: &Json, key: &str| -> Result<f64, String> {
-            obj.get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("missing number field {key}"))
-        };
         let kpis_json = json.get("kpis").ok_or("missing kpis")?;
         let revenue_json = json.get("revenue").ok_or("missing revenue")?;
         Ok(RunRecord {
@@ -158,33 +118,97 @@ impl RunRecord {
             label: str_field("label")?,
             seed: uint_field(json, "seed")?,
             scenario_xml: str_field("scenario_xml")?,
-            kpis: KpiSummary {
-                failover_count: uint_field(kpis_json, "failover_count")?,
-                failed_over_cores: num_field(kpis_json, "failed_over_cores")?,
-                gp_failover_count: uint_field(kpis_json, "gp_failover_count")?,
-                bc_failover_count: uint_field(kpis_json, "bc_failover_count")?,
-                total_downtime_secs: num_field(kpis_json, "total_downtime_secs")?,
-                final_reserved_cores: num_field(kpis_json, "final_reserved_cores")?,
-                final_disk_gb: num_field(kpis_json, "final_disk_gb")?,
-                creation_redirects: uint_field(kpis_json, "creation_redirects")?,
-                throttled_core_intervals: num_field(kpis_json, "throttled_core_intervals")?,
-                contended_governance_passes: uint_field(kpis_json, "contended_governance_passes")?,
-                kpi_samples: uint_field(kpis_json, "kpi_samples")?,
-                node_snapshot_count: uint_field(kpis_json, "node_snapshot_count")?,
-                bootstrap_placement_failures: uint_field(
-                    kpis_json,
-                    "bootstrap_placement_failures",
-                )?,
-            },
-            revenue: RevenueBreakdown {
-                compute: num_field(revenue_json, "compute")?,
-                storage: num_field(revenue_json, "storage")?,
-                penalty: num_field(revenue_json, "penalty")?,
-            },
+            kpis: kpis_from_json(kpis_json)?,
+            revenue: revenue_from_json(revenue_json)?,
             redirect_count: uint_field(json, "redirect_count")?,
             created_during_run: uint_field(json, "created_during_run")?,
         })
     }
+}
+
+/// Render a KPI summary as the fixed-order JSON object every run-record
+/// artifact embeds (region records reuse this shape for per-ring and
+/// aggregated summaries).
+pub fn kpis_to_json(k: &KpiSummary) -> Json {
+    Json::obj(vec![
+        ("failover_count", Json::Uint(k.failover_count)),
+        ("failed_over_cores", Json::Num(k.failed_over_cores)),
+        ("gp_failover_count", Json::Uint(k.gp_failover_count)),
+        ("bc_failover_count", Json::Uint(k.bc_failover_count)),
+        ("total_downtime_secs", Json::Num(k.total_downtime_secs)),
+        ("final_reserved_cores", Json::Num(k.final_reserved_cores)),
+        ("final_disk_gb", Json::Num(k.final_disk_gb)),
+        ("creation_redirects", Json::Uint(k.creation_redirects)),
+        (
+            "throttled_core_intervals",
+            Json::Num(k.throttled_core_intervals),
+        ),
+        (
+            "contended_governance_passes",
+            Json::Uint(k.contended_governance_passes),
+        ),
+        ("kpi_samples", Json::Uint(k.kpi_samples)),
+        ("node_snapshot_count", Json::Uint(k.node_snapshot_count)),
+        (
+            "bootstrap_placement_failures",
+            Json::Uint(k.bootstrap_placement_failures),
+        ),
+    ])
+}
+
+/// Parse a KPI summary from the object [`kpis_to_json`] renders.
+pub fn kpis_from_json(json: &Json) -> Result<KpiSummary, String> {
+    let uint = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing uint field {key}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing number field {key}"))
+    };
+    Ok(KpiSummary {
+        failover_count: uint("failover_count")?,
+        failed_over_cores: num("failed_over_cores")?,
+        gp_failover_count: uint("gp_failover_count")?,
+        bc_failover_count: uint("bc_failover_count")?,
+        total_downtime_secs: num("total_downtime_secs")?,
+        final_reserved_cores: num("final_reserved_cores")?,
+        final_disk_gb: num("final_disk_gb")?,
+        creation_redirects: uint("creation_redirects")?,
+        throttled_core_intervals: num("throttled_core_intervals")?,
+        contended_governance_passes: uint("contended_governance_passes")?,
+        kpi_samples: uint("kpi_samples")?,
+        node_snapshot_count: uint("node_snapshot_count")?,
+        bootstrap_placement_failures: uint("bootstrap_placement_failures")?,
+    })
+}
+
+/// Render a revenue breakdown (with its derived `adjusted` total) as the
+/// fixed-order JSON object run records embed.
+pub fn revenue_to_json(r: &RevenueBreakdown) -> Json {
+    Json::obj(vec![
+        ("compute", Json::Num(r.compute)),
+        ("storage", Json::Num(r.storage)),
+        ("penalty", Json::Num(r.penalty)),
+        ("adjusted", Json::Num(r.adjusted())),
+    ])
+}
+
+/// Parse a revenue breakdown from the object [`revenue_to_json`]
+/// renders (the derived `adjusted` field is ignored).
+pub fn revenue_from_json(json: &Json) -> Result<RevenueBreakdown, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing number field {key}"))
+    };
+    Ok(RevenueBreakdown {
+        compute: num("compute")?,
+        storage: num("storage")?,
+        penalty: num("penalty")?,
+    })
 }
 
 /// One job's entry in a fleet manifest.
@@ -423,6 +447,22 @@ impl RunStore {
     /// Load one job's chaos-report sidecar bytes.
     pub fn chaos_bytes(&self, fleet: &str, label: &str) -> io::Result<Vec<u8>> {
         fs::read(self.fleet_dir(fleet).join(format!("{label}.chaos.json")))
+    }
+
+    /// Write an arbitrary named artifact into a fleet directory (region
+    /// run records and the region control-plane trace use this). The
+    /// file name is used verbatim; callers own the naming convention.
+    pub fn save_artifact(&self, fleet: &str, file_name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+        let dir = self.fleet_dir(fleet);
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(file_name);
+        fs::write(&path, bytes)?;
+        Ok(path)
+    }
+
+    /// Load a named artifact's bytes from a fleet directory.
+    pub fn artifact_bytes(&self, fleet: &str, file_name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.fleet_dir(fleet).join(file_name))
     }
 
     /// Load one job's record from a saved fleet.

@@ -97,6 +97,7 @@ impl Default for Config {
                 "crates/stats",
                 "crates/trace",
                 "crates/chaos",
+                "crates/region",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -110,8 +111,13 @@ impl Default for Config {
             r002_paths: vec![
                 "crates/fabric/src/plb.rs".to_string(),
                 "crates/rgmanager/src".to_string(),
+                "crates/controlplane/src/ring.rs".to_string(),
             ],
-            r002_mut_state_types: vec!["Cluster".to_string(), "NamingService".to_string()],
+            r002_mut_state_types: vec![
+                "Cluster".to_string(),
+                "NamingService".to_string(),
+                "RingSet".to_string(),
+            ],
             exclude: vec!["crates/lint/tests/fixtures".to_string()],
             allow: Vec::new(),
         }

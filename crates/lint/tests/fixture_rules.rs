@@ -200,6 +200,20 @@ fn r002_fires_on_unguarded_set_node_down() {
 }
 
 #[test]
+fn r002_fires_on_unguarded_ring_drain() {
+    // The region admission ledger (`&mut RingSet`) is cluster state at
+    // region scope; its configured path is the controlplane ring module.
+    let diags = lint(
+        "crates/controlplane/src/ring.rs",
+        include_str!("fixtures/r002_ring_drain.rs"),
+    );
+    let r002: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "R002").collect();
+    assert_eq!(r002.len(), 1, "unguarded ring-drain mutator: {diags:?}");
+    assert!(r002[0].message.contains("drain_ring"));
+    assert_eq!(r002[0].level, Level::Error);
+}
+
+#[test]
 fn inline_suppression_silences_both_placements() {
     let diags = lint(SIM_LIB, include_str!("fixtures/suppressed.rs"));
     // Both D001 sites are suppressed (line-above and same-line forms) and

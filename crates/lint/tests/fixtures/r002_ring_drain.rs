@@ -1,0 +1,12 @@
+// Fixture: R002 positive — a region-admission ring-drain mutator that
+// empties a ring's ledger without re-checking the ring set's
+// invariants. Drains zero a reservation in one step, which is exactly
+// where a sign error or double-drain would push the ledger out of
+// `[0, logical]` — the unguarded version must be flagged.
+pub fn drain_ring(rings: &mut RingSet, ring: usize) -> f64 {
+    let ledger = &mut rings.rings[ring];
+    let drained = ledger.reserved_cores;
+    ledger.admitting = false;
+    ledger.reserved_cores = 0.0;
+    drained
+}

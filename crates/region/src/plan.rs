@@ -1,0 +1,542 @@
+//! Phase A: the region control plane.
+//!
+//! A region run happens in two phases so cross-ring coupling and
+//! parallel per-ring execution can coexist:
+//!
+//! 1. **This module** runs the region control plane as a small
+//!    deterministic simulation: one regional Population Manager stream,
+//!    routed across ring capacity *ledgers* by the region-level
+//!    [`RegionAdmission`] policy, with ring lifecycle (build-out,
+//!    decommission drains) as first-class simcore events. Its product is
+//!    one [`DirectedSchedule`] per ring — the fully resolved create/drop
+//!    sub-stream that ring admitted.
+//! 2. Phase B ([`crate::run`]) replays each ring's schedule inside an
+//!    ordinary per-ring `DensityExperiment` as independent fleet jobs.
+//!
+//! The split preserves the seed-isolation contract: the control plane
+//! consumes only region-level seeds plus each ring's *population* seed
+//! (via its bootstrap draft plan), never a PLB seed — so perturbing one
+//! ring's PLB seed cannot change any routing decision, and sibling rings
+//! replay byte-identically (§5.2's fixed-seed discipline at region
+//! scope).
+
+use std::collections::BTreeMap;
+use toto::bootstrap::{draft_population, BootstrapDraft};
+use toto::defaults::gen5_population_model;
+use toto::directed::{DirectedAction, DirectedSchedule};
+use toto::population::{PlannedAction, PopulationManager};
+use toto_controlplane::slo::SloCatalog;
+use toto_controlplane::{RegionAdmission, RegionRedirect, RingAdmissionStats, RingLedger, RingSet};
+use toto_simcore::event::{Scheduler, Simulation};
+use toto_simcore::rng::DetRng;
+use toto_simcore::time::{SimDuration, SimTime};
+use toto_spec::{EditionKind, ScenarioSpec};
+
+use crate::spec::RegionSpec;
+
+/// One ring's share of the region plan.
+#[derive(Clone, Debug)]
+pub struct RingPlan {
+    /// The per-ring scenario (fully seeded, bootstrap scaled).
+    pub scenario: ScenarioSpec,
+    /// The create/drop sub-stream this ring replays in Phase B.
+    pub schedule: DirectedSchedule,
+}
+
+/// Everything Phase A decides.
+#[derive(Clone, Debug)]
+pub struct RegionPlan {
+    /// The spec the plan was built from.
+    pub spec: RegionSpec,
+    /// Per-ring plans, in spec order.
+    pub rings: Vec<RingPlan>,
+    /// Per-ring admission attribution, in spec order.
+    pub stats: Vec<RingAdmissionStats>,
+    /// Every cross-ring / out-of-region redirect, in time order, with
+    /// `from`/`to` remapped to spec-order ring indices.
+    pub redirects: Vec<RegionRedirect>,
+    /// Creates (or drained tenants) no ring could take.
+    pub out_of_region: u64,
+    /// The control plane's own trace stream (ring-admit, cross-ring
+    /// redirect, ring-up, ring-drain events).
+    pub trace: Vec<u8>,
+}
+
+/// A live tenant in the region's routing registry.
+#[derive(Clone, Debug)]
+struct Tenant {
+    /// Join-order index of the ring hosting it.
+    ring: usize,
+    /// Name the hosting ring knows it by (directed directives use this).
+    local_name: String,
+    slo_index: usize,
+    edition: EditionKind,
+    /// Reserved cores (SLO cores × replicas).
+    cores: f64,
+    /// Initial per-replica disk, GB (drop-victim weighting).
+    disk_gb: f64,
+    /// Created during the run (drops skew toward young tenants, like
+    /// the single-ring Population Manager's victim model).
+    young: bool,
+}
+
+/// Immutable per-ring init data computed before the simulation starts.
+struct RingInit {
+    name: String,
+    logical_cores: f64,
+    density: u32,
+    nodes: u32,
+    drafts: Vec<BootstrapDraft>,
+}
+
+struct PlanState {
+    rings: RingSet,
+    admission: RegionAdmission,
+    init: Vec<RingInit>,
+    /// spec index → join-order ring index (None until the ring joins).
+    ring_index: Vec<Option<usize>>,
+    /// join-order ring index → spec index.
+    spec_of: Vec<usize>,
+    /// Directed schedules being built, spec order.
+    schedules: Vec<DirectedSchedule>,
+    /// Region-wide tenant registry, keyed `"{ring}/{local_name}"`.
+    live: BTreeMap<String, Tenant>,
+    popmgr: PopulationManager,
+    catalog: SloCatalog,
+    route_rng: DetRng,
+}
+
+impl PlanState {
+    fn offset_secs(at: SimTime) -> u64 {
+        at.saturating_since(SimTime::ZERO).as_secs()
+    }
+
+    fn ring_name(&self, ring: usize) -> &str {
+        &self.init[self.spec_of[ring]].name
+    }
+
+    fn register(&mut self, ring: usize, tenant: Tenant) {
+        let key = format!("{}/{}", self.ring_name(ring), tenant.local_name);
+        self.live.insert(key, tenant);
+    }
+
+    /// Ring lifecycle: ring `spec_i` joins region admission.
+    fn ring_up(&mut self, spec_i: usize) {
+        let init = &self.init[spec_i];
+        let reserved: f64 = init.drafts.iter().map(BootstrapDraft::reserved_cores).sum();
+        let ledger = RingLedger {
+            name: init.name.clone(),
+            logical_cores: init.logical_cores,
+            reserved_cores: reserved,
+            density_target: init.density,
+            admitting: true,
+        };
+        let nodes = u64::from(init.nodes);
+        let ring = self.admission.ring_up(&mut self.rings, ledger, nodes);
+        self.ring_index[spec_i] = Some(ring);
+        self.spec_of.push(spec_i);
+        debug_assert_eq!(self.spec_of.len(), ring + 1, "join order must be dense");
+        let drafts = self.init[spec_i].drafts.clone();
+        for draft in drafts {
+            let cores = draft.reserved_cores();
+            self.register(
+                ring,
+                Tenant {
+                    ring,
+                    local_name: draft.name,
+                    slo_index: draft.slo_index,
+                    edition: draft.edition,
+                    cores,
+                    disk_gb: draft.initial_disk_gb,
+                    young: false,
+                },
+            );
+        }
+    }
+
+    /// Route one regional create at `at`.
+    fn route_create(&mut self, edition: EditionKind, at: SimTime) {
+        let (slo_index, req) = self.popmgr.make_create_request(edition, &self.catalog);
+        let Some(slo) = self.catalog.get(slo_index) else {
+            return;
+        };
+        let cores = slo.total_reserved_cores();
+        let outcome = self
+            .admission
+            .try_admit(&mut self.rings, &req.name, cores, at);
+        let Some(ring) = outcome.ring() else {
+            return; // out-of-region: recorded by the admission layer
+        };
+        self.schedules[self.spec_of[ring]].push(
+            Self::offset_secs(at),
+            DirectedAction::Create {
+                name: req.name.clone(),
+                slo_index,
+                edition,
+                initial_disk_gb: req.initial_disk_gb,
+                initial_memory_gb: req.initial_memory_gb,
+            },
+        );
+        self.register(
+            ring,
+            Tenant {
+                ring,
+                local_name: req.name,
+                slo_index,
+                edition,
+                cores,
+                disk_gb: req.initial_disk_gb,
+                young: true,
+            },
+        );
+    }
+
+    /// Region-level drop-victim pick: the single-ring Population
+    /// Manager's model (young-skewed, inverse-disk-weighted) applied to
+    /// the whole region's tenant registry.
+    fn pick_drop_victim(&mut self, edition: EditionKind) -> Option<String> {
+        let mut young: Vec<&String> = Vec::new();
+        let mut old: Vec<&String> = Vec::new();
+        for (key, tenant) in &self.live {
+            if tenant.edition != edition {
+                continue;
+            }
+            if tenant.young {
+                young.push(key);
+            } else {
+                old.push(key);
+            }
+        }
+        if young.is_empty() && old.is_empty() {
+            return None;
+        }
+        let pick_young = !young.is_empty() && (old.is_empty() || self.route_rng.bernoulli(0.85));
+        let pool = if pick_young { young } else { old };
+        let weights: Vec<f64> = pool
+            .iter()
+            .map(|key| 1.0 / (20.0 + self.live[*key].disk_gb))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = self.route_rng.next_f64() * total;
+        for (key, w) in pool.iter().zip(&weights) {
+            if pick < *w {
+                return Some((*key).clone());
+            }
+            pick -= w;
+        }
+        pool.last().map(|key| (*key).clone())
+    }
+
+    /// Route one regional drop at `at`.
+    fn route_drop(&mut self, edition: EditionKind, at: SimTime) {
+        let Some(key) = self.pick_drop_victim(edition) else {
+            return;
+        };
+        let Some(tenant) = self.live.remove(&key) else {
+            return;
+        };
+        self.admission
+            .release(&mut self.rings, tenant.ring, tenant.cores);
+        self.schedules[self.spec_of[tenant.ring]].push(
+            Self::offset_secs(at),
+            DirectedAction::Drop {
+                name: tenant.local_name,
+            },
+        );
+    }
+
+    /// Ring lifecycle: decommission ring `spec_i` — stop admitting and
+    /// re-admit every live tenant on sibling rings. Each re-admission
+    /// walks the normal cross-ring admission path, so drains produce
+    /// attributed redirects; a tenant no sibling can take leaves the
+    /// region (out-of-region, also attributed).
+    fn decommission(&mut self, spec_i: usize, now: SimTime) {
+        let Some(ring) = self.ring_index[spec_i] else {
+            return; // never joined; nothing to drain
+        };
+        let keys: Vec<String> = self
+            .live
+            .iter()
+            .filter(|(_, t)| t.ring == ring)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let from_name = self.ring_name(ring).to_string();
+        self.admission
+            .drain_ring(&mut self.rings, ring, keys.len() as u64);
+        let offset = Self::offset_secs(now);
+        for key in keys {
+            let Some(tenant) = self.live.remove(&key) else {
+                continue;
+            };
+            self.schedules[spec_i].push(
+                offset,
+                DirectedAction::Drop {
+                    name: tenant.local_name.clone(),
+                },
+            );
+            // Prefixing with the drained ring's name keeps the migrated
+            // tenant's identity distinct from any name its new ring
+            // already uses (bootstrap names repeat across rings).
+            let migrated = format!("{from_name}:{}", tenant.local_name);
+            let outcome =
+                self.admission
+                    .drain_admit(&mut self.rings, ring, &migrated, tenant.cores, now);
+            let Some(to) = outcome.ring() else {
+                continue; // out-of-region: the tenant leaves the region
+            };
+            self.schedules[self.spec_of[to]].push(
+                offset,
+                DirectedAction::Create {
+                    name: migrated.clone(),
+                    slo_index: tenant.slo_index,
+                    edition: tenant.edition,
+                    initial_disk_gb: tenant.disk_gb,
+                    initial_memory_gb: 0.5,
+                },
+            );
+            self.register(
+                to,
+                Tenant {
+                    ring: to,
+                    local_name: migrated,
+                    ..tenant
+                },
+            );
+        }
+    }
+}
+
+/// The regional create/drop stream: the gen5 single-ring population
+/// model scaled up by the ring count. §4.1.1 derives the ring model by
+/// dividing region-level parameters "by the total number of tenant
+/// rings within that region" — this is that scaling inverted, so a
+/// 4-ring region sees 4× one ring's churn.
+fn region_population_model(spec: &RegionSpec) -> toto_spec::population::PopulationModelSpec {
+    let mut model = gen5_population_model(spec.region_population_seed());
+    let factor = spec.rings.len() as f64;
+    for table in model.create.iter_mut().chain(model.drop.iter_mut()) {
+        for day in &mut table.cells {
+            for cell in day.iter_mut() {
+                cell.0 *= factor;
+                cell.1 *= factor;
+            }
+        }
+    }
+    model
+}
+
+/// Hourly region population tick: plan the hour with the regional
+/// Population Manager and route every planned action immediately (the
+/// decisions carry their within-hour offsets into the schedules, so the
+/// rings replay them at the right times).
+fn population_tick(state: &mut PlanState, sched: &mut Scheduler<PlanState>) {
+    let now = sched.now();
+    for ev in state.popmgr.plan_hour(now) {
+        let at = now + SimDuration::from_secs(ev.offset_secs);
+        match ev.action {
+            PlannedAction::Create(edition) => state.route_create(edition, at),
+            PlannedAction::Drop(edition) => state.route_drop(edition, at),
+        }
+    }
+}
+
+/// Run the region control plane and decide every ring's schedule.
+///
+/// Pure function of the spec (which embeds the region seed): the same
+/// spec always yields byte-identical schedules, stats and trace.
+pub fn build_region_plan(spec: &RegionSpec) -> RegionPlan {
+    let sink = toto_trace::Shared::new(toto_trace::BufferSink::new());
+    let guard = toto_trace::SessionGuard::install(Box::new(sink.clone()));
+
+    let catalog = SloCatalog::gen5();
+    let scenarios: Vec<ScenarioSpec> = (0..spec.rings.len())
+        .map(|i| spec.ring_scenario(i))
+        .collect();
+    let init: Vec<RingInit> = spec
+        .rings
+        .iter()
+        .zip(&scenarios)
+        .map(|(ring, scenario)| RingInit {
+            name: ring.name.clone(),
+            logical_cores: scenario.total_logical_cores(),
+            density: ring.density_percent,
+            nodes: ring.node_count,
+            drafts: match draft_population(&catalog, scenario) {
+                Ok(drafts) => drafts,
+                Err(e) => panic!("ring {} bootstrap draft failed: {e:?}", ring.name),
+            },
+        })
+        .collect();
+
+    let state = PlanState {
+        rings: RingSet::new(),
+        admission: RegionAdmission::new(spec.policy),
+        init,
+        ring_index: vec![None; spec.rings.len()],
+        spec_of: Vec::new(),
+        schedules: vec![DirectedSchedule::new(); spec.rings.len()],
+        live: BTreeMap::new(),
+        popmgr: PopulationManager::new(&region_population_model(spec), &catalog),
+        catalog,
+        route_rng: DetRng::seed_from_u64(spec.region_route_seed()),
+    };
+
+    let mut sim = Simulation::new(state);
+    let end = SimTime::from_secs(spec.duration_hours * 3600);
+
+    // Lifecycle first, ticks second: at equal times the FIFO tie-break
+    // then runs build-outs and drains before that hour's population
+    // tick, so new rings take that hour's creates and drained rings
+    // don't. Join order is (start_hour, spec index), which keeps ring
+    // indices deterministic.
+    let mut joins: Vec<(u64, usize)> = spec
+        .rings
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.start_hour, i))
+        .collect();
+    joins.sort();
+    for (hour, i) in joins {
+        let at = SimTime::from_secs(hour * 3600);
+        if at >= end && hour > 0 {
+            continue; // never joins within the run
+        }
+        sim.scheduler()
+            .schedule_at(at, move |s: &mut PlanState, _sc| s.ring_up(i));
+    }
+    for (i, ring) in spec.rings.iter().enumerate() {
+        let Some(hour) = ring.decommission_hour else {
+            continue;
+        };
+        let at = SimTime::from_secs(hour * 3600);
+        if at >= end {
+            continue;
+        }
+        sim.scheduler()
+            .schedule_at(at, move |s: &mut PlanState, sc| s.decommission(i, sc.now()));
+    }
+    for hour in 0..spec.duration_hours {
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(hour * 3600), population_tick);
+    }
+
+    sim.run_until(end);
+    let state = sim.into_state();
+    drop(guard);
+
+    // Remap join-order attribution back to spec order for the record.
+    let mut stats = vec![RingAdmissionStats::default(); spec.rings.len()];
+    for (ring, spec_i) in state.spec_of.iter().enumerate() {
+        stats[*spec_i] = state.admission.stats()[ring].clone();
+    }
+    let redirects: Vec<RegionRedirect> = state
+        .admission
+        .redirects()
+        .iter()
+        .map(|r| RegionRedirect {
+            time: r.time,
+            from: state.spec_of[r.from],
+            to: r.to.map(|t| state.spec_of[t]),
+            cores: r.cores,
+        })
+        .collect();
+
+    RegionPlan {
+        spec: spec.clone(),
+        rings: scenarios
+            .into_iter()
+            .zip(state.schedules)
+            .map(|(scenario, schedule)| RingPlan { scenario, schedule })
+            .collect(),
+        stats,
+        redirects,
+        out_of_region: state.admission.out_of_region(),
+        trace: sink.with(|b| b.bytes().to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RegionSpec;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let spec = RegionSpec::named("ci2").unwrap();
+        let a = build_region_plan(&spec);
+        let b = build_region_plan(&spec);
+        for (ra, rb) in a.rings.iter().zip(&b.rings) {
+            assert_eq!(ra.schedule, rb.schedule);
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.trace, b.trace, "control-plane trace must be byte-stable");
+    }
+
+    #[test]
+    fn plb_seed_perturbation_never_reaches_the_plan() {
+        let spec = RegionSpec::named("ci2").unwrap();
+        let mut perturbed = spec.clone();
+        perturbed.rings[0].plb_seed = Some(0xDEAD);
+        let a = build_region_plan(&spec);
+        let b = build_region_plan(&perturbed);
+        for (ra, rb) in a.rings.iter().zip(&b.rings) {
+            assert_eq!(ra.schedule, rb.schedule, "routing must ignore PLB seeds");
+        }
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn schedules_route_somewhere_and_stay_sorted() {
+        let spec = RegionSpec::named("mixed4").unwrap();
+        let plan = build_region_plan(&spec);
+        let creates: usize = plan.rings.iter().map(|r| r.schedule.create_count()).sum();
+        assert!(creates > 0, "a day of churn must route some creates");
+        for ring in &plan.rings {
+            assert!(ring
+                .schedule
+                .events
+                .windows(2)
+                .all(|w| w[0].offset_secs <= w[1].offset_secs));
+        }
+    }
+
+    #[test]
+    fn decommission_drains_tenants_to_siblings() {
+        let spec = RegionSpec::named("lifecycle3").unwrap();
+        let plan = build_region_plan(&spec);
+        let old = &plan.rings[0].schedule;
+        // Every tenant the old ring held is dropped at the drain.
+        assert!(old.drop_count() as u64 > 0, "drain must drop tenants");
+        // Siblings absorb migrated tenants under their prefixed names.
+        let migrated: usize = plan.rings[1..]
+            .iter()
+            .map(|r| {
+                r.schedule
+                    .events
+                    .iter()
+                    .filter(|e| match &e.action {
+                        toto::directed::DirectedAction::Create { name, .. } => {
+                            name.starts_with("old:")
+                        }
+                        _ => false,
+                    })
+                    .count()
+            })
+            .sum();
+        assert!(migrated > 0, "drained tenants must land on siblings");
+        // Drain attribution: the old ring records redirects out.
+        assert!(plan.stats[0].redirects_out > 0);
+    }
+
+    #[test]
+    fn build_out_ring_takes_no_creates_before_joining() {
+        let spec = RegionSpec::named("lifecycle3").unwrap();
+        let plan = build_region_plan(&spec);
+        let fresh = &plan.rings[2].schedule;
+        let join_secs = spec.rings[2].start_hour * 3600;
+        assert!(
+            fresh.events.iter().all(|e| e.offset_secs >= join_secs),
+            "no directive may precede the ring's build-out"
+        );
+    }
+}

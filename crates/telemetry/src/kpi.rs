@@ -214,6 +214,29 @@ pub struct KpiSummary {
     pub bootstrap_placement_failures: u64,
 }
 
+impl KpiSummary {
+    /// Fold another run's summary into this one (region-level
+    /// aggregation: a region's KPI summary is the field-wise sum of its
+    /// rings' summaries — counts add, and the `final_*` gauges add too,
+    /// because rings are disjoint capacity pools sampled at the same
+    /// instant).
+    pub fn accumulate(&mut self, other: &KpiSummary) {
+        self.failover_count += other.failover_count;
+        self.failed_over_cores += other.failed_over_cores;
+        self.gp_failover_count += other.gp_failover_count;
+        self.bc_failover_count += other.bc_failover_count;
+        self.total_downtime_secs += other.total_downtime_secs;
+        self.final_reserved_cores += other.final_reserved_cores;
+        self.final_disk_gb += other.final_disk_gb;
+        self.creation_redirects += other.creation_redirects;
+        self.throttled_core_intervals += other.throttled_core_intervals;
+        self.contended_governance_passes += other.contended_governance_passes;
+        self.kpi_samples += other.kpi_samples;
+        self.node_snapshot_count += other.node_snapshot_count;
+        self.bootstrap_placement_failures += other.bootstrap_placement_failures;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,5 +312,32 @@ mod tests {
         });
         assert_eq!(t.node_values(|s| s.disk_gb), vec![100.0, 50.0]);
         assert_eq!(t.node_values(|s| s.cores), vec![8.0, 4.0]);
+    }
+
+    #[test]
+    fn accumulate_sums_fieldwise() {
+        let a = KpiSummary {
+            failover_count: 2,
+            failed_over_cores: 8.0,
+            final_reserved_cores: 800.0,
+            creation_redirects: 1,
+            kpi_samples: 24,
+            ..KpiSummary::default()
+        };
+        let b = KpiSummary {
+            failover_count: 3,
+            failed_over_cores: 4.0,
+            final_reserved_cores: 600.0,
+            kpi_samples: 24,
+            ..KpiSummary::default()
+        };
+        let mut region = KpiSummary::default();
+        region.accumulate(&a);
+        region.accumulate(&b);
+        assert_eq!(region.failover_count, 5);
+        assert_eq!(region.failed_over_cores, 12.0);
+        assert_eq!(region.final_reserved_cores, 1400.0);
+        assert_eq!(region.creation_redirects, 1);
+        assert_eq!(region.kpi_samples, 48);
     }
 }

@@ -482,6 +482,26 @@ pub fn retype(file: &TraceFile, ev: &DecodedEvent) -> Option<EventBody> {
             node: u(0)?,
             downtime_secs: u(1)?,
         },
+        EventKind::RegionRingAdmit => EventBody::RegionRingAdmit {
+            ring: s(0)?,
+            db: s(1)?,
+            cores: f(2)?,
+        },
+        EventKind::RegionRingRedirect => EventBody::RegionRingRedirect {
+            from: s(0)?,
+            to: s(1)?,
+            cores: f(2)?,
+        },
+        EventKind::RegionRingUp => EventBody::RegionRingUp {
+            ring: s(0)?,
+            nodes: u(1)?,
+            logical_cores: f(2)?,
+        },
+        EventKind::RegionRingDrain => EventBody::RegionRingDrain {
+            ring: s(0)?,
+            tenants: u(1)?,
+            cores: f(2)?,
+        },
     })
 }
 

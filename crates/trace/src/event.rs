@@ -60,10 +60,20 @@ pub enum EventKind {
     OracleViolation = 21,
     /// Chaos drained a node gracefully (one rolling-restart step).
     ChaosNodeDrain = 22,
+    /// Region admission placed a create into a named ring.
+    RegionRingAdmit = 23,
+    /// Region admission redirected a create between rings (or out of the
+    /// region entirely when no ring could take it).
+    RegionRingRedirect = 24,
+    /// Ring lifecycle: a ring joined region admission (build-out).
+    RegionRingUp = 25,
+    /// Ring lifecycle: a ring left region admission and drained its
+    /// tenants to sibling rings (decommission).
+    RegionRingDrain = 26,
 }
 
 /// Number of defined event kinds (kind ids are `0..COUNT`).
-pub const KIND_COUNT: usize = 23;
+pub const KIND_COUNT: usize = 27;
 
 /// All kinds, in kind-id order.
 pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
@@ -90,6 +100,10 @@ pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::ChaosStorm,
     EventKind::OracleViolation,
     EventKind::ChaosNodeDrain,
+    EventKind::RegionRingAdmit,
+    EventKind::RegionRingRedirect,
+    EventKind::RegionRingUp,
+    EventKind::RegionRingDrain,
 ];
 
 /// Bit masks for selecting which kinds a sink records.
@@ -144,6 +158,10 @@ impl EventKind {
             EventKind::ChaosStorm => "chaos_storm",
             EventKind::OracleViolation => "oracle_violation",
             EventKind::ChaosNodeDrain => "chaos_node_drain",
+            EventKind::RegionRingAdmit => "region_ring_admit",
+            EventKind::RegionRingRedirect => "region_ring_redirect",
+            EventKind::RegionRingUp => "region_ring_up",
+            EventKind::RegionRingDrain => "region_ring_drain",
         }
     }
 
@@ -218,6 +236,26 @@ impl EventKind {
         const ORACLE_VIOLATION: &[FieldDef] = &[FieldDef::str("oracle"), FieldDef::str("detail")];
         const CHAOS_NODE_DRAIN: &[FieldDef] =
             &[FieldDef::u64("node"), FieldDef::u64("downtime_secs")];
+        const REGION_RING_ADMIT: &[FieldDef] = &[
+            FieldDef::str("ring"),
+            FieldDef::str("db"),
+            FieldDef::f64("cores"),
+        ];
+        const REGION_RING_REDIRECT: &[FieldDef] = &[
+            FieldDef::str("from"),
+            FieldDef::str("to"),
+            FieldDef::f64("cores"),
+        ];
+        const REGION_RING_UP: &[FieldDef] = &[
+            FieldDef::str("ring"),
+            FieldDef::u64("nodes"),
+            FieldDef::f64("logical_cores"),
+        ];
+        const REGION_RING_DRAIN: &[FieldDef] = &[
+            FieldDef::str("ring"),
+            FieldDef::u64("tenants"),
+            FieldDef::f64("cores"),
+        ];
         match self {
             EventKind::Phase => PHASE,
             EventKind::Dispatch => DISPATCH,
@@ -242,6 +280,10 @@ impl EventKind {
             EventKind::ChaosStorm => CHAOS_STORM,
             EventKind::OracleViolation => ORACLE_VIOLATION,
             EventKind::ChaosNodeDrain => CHAOS_NODE_DRAIN,
+            EventKind::RegionRingAdmit => REGION_RING_ADMIT,
+            EventKind::RegionRingRedirect => REGION_RING_REDIRECT,
+            EventKind::RegionRingUp => REGION_RING_UP,
+            EventKind::RegionRingDrain => REGION_RING_DRAIN,
         }
     }
 }
@@ -436,6 +478,26 @@ pub enum EventBody {
         node: u64,
         downtime_secs: u64,
     },
+    RegionRingAdmit {
+        ring: String,
+        db: String,
+        cores: f64,
+    },
+    RegionRingRedirect {
+        from: String,
+        to: String,
+        cores: f64,
+    },
+    RegionRingUp {
+        ring: String,
+        nodes: u64,
+        logical_cores: f64,
+    },
+    RegionRingDrain {
+        ring: String,
+        tenants: u64,
+        cores: f64,
+    },
 }
 
 impl EventBody {
@@ -465,6 +527,10 @@ impl EventBody {
             EventBody::ChaosStorm { .. } => EventKind::ChaosStorm,
             EventBody::OracleViolation { .. } => EventKind::OracleViolation,
             EventBody::ChaosNodeDrain { .. } => EventKind::ChaosNodeDrain,
+            EventBody::RegionRingAdmit { .. } => EventKind::RegionRingAdmit,
+            EventBody::RegionRingRedirect { .. } => EventKind::RegionRingRedirect,
+            EventBody::RegionRingUp { .. } => EventKind::RegionRingUp,
+            EventBody::RegionRingDrain { .. } => EventKind::RegionRingDrain,
         }
     }
 
@@ -588,6 +654,34 @@ impl EventBody {
                 node,
                 downtime_secs,
             } => vec![Value::U64(*node), Value::U64(*downtime_secs)],
+            EventBody::RegionRingAdmit { ring, db, cores } => vec![
+                Value::Str(ring.clone()),
+                Value::Str(db.clone()),
+                Value::F64(*cores),
+            ],
+            EventBody::RegionRingRedirect { from, to, cores } => vec![
+                Value::Str(from.clone()),
+                Value::Str(to.clone()),
+                Value::F64(*cores),
+            ],
+            EventBody::RegionRingUp {
+                ring,
+                nodes,
+                logical_cores,
+            } => vec![
+                Value::Str(ring.clone()),
+                Value::U64(*nodes),
+                Value::F64(*logical_cores),
+            ],
+            EventBody::RegionRingDrain {
+                ring,
+                tenants,
+                cores,
+            } => vec![
+                Value::Str(ring.clone()),
+                Value::U64(*tenants),
+                Value::F64(*cores),
+            ],
         }
     }
 }
@@ -731,6 +825,26 @@ mod tests {
             EventBody::ChaosNodeDrain {
                 node: 5,
                 downtime_secs: 3600,
+            },
+            EventBody::RegionRingAdmit {
+                ring: "ring-1".into(),
+                db: "gp_4-17".into(),
+                cores: 4.0,
+            },
+            EventBody::RegionRingRedirect {
+                from: "ring-0".into(),
+                to: "ring-2".into(),
+                cores: 96.0,
+            },
+            EventBody::RegionRingUp {
+                ring: "ring-3".into(),
+                nodes: 14,
+                logical_cores: 1344.0,
+            },
+            EventBody::RegionRingDrain {
+                ring: "ring-1".into(),
+                tenants: 42,
+                cores: 380.0,
             },
         ];
         assert_eq!(bodies.len(), KIND_COUNT);

@@ -105,6 +105,26 @@ fn one_event_per_kind() -> Vec<TraceEvent> {
             node: 5,
             downtime_secs: 3600,
         },
+        EventBody::RegionRingAdmit {
+            ring: "ring-1".into(),
+            db: "gp_4-17".into(),
+            cores: 4.0,
+        },
+        EventBody::RegionRingRedirect {
+            from: "ring-0".into(),
+            to: "ring-2".into(),
+            cores: 96.0,
+        },
+        EventBody::RegionRingUp {
+            ring: "ring-3".into(),
+            nodes: 14,
+            logical_cores: 1344.0,
+        },
+        EventBody::RegionRingDrain {
+            ring: "ring-1".into(),
+            tenants: 42,
+            cores: 380.0,
+        },
     ];
     assert_eq!(bodies.len(), KIND_COUNT, "one sample body per kind");
     for (i, (body, kind)) in bodies.iter().zip(ALL_KINDS).enumerate() {

@@ -10,8 +10,15 @@
 //! TOTO_BLESS=1 cargo test --test golden_kpis
 //! ```
 //!
-//! and commit the updated `tests/golden/density-*.json` files alongside
-//! the change that moved them.
+//! and commit the updated `tests/golden/*.json` files alongside the
+//! change that moved them.
+//!
+//! Besides the four single-ring density tiers, the built-in `ci2`
+//! region is pinned the same way: its whole `region.json` record
+//! (per-ring KPI digests, revenue splits, redirect attribution and the
+//! region aggregates) is the snapshot, so drift anywhere in the region
+//! pipeline — Phase A routing, directed replay, aggregation — is caught
+//! field-by-field.
 
 use toto_fleet::FleetPlan;
 use toto_spec::ScenarioSpec;
@@ -110,4 +117,30 @@ fn golden_kpis_density_120() {
 #[test]
 fn golden_kpis_density_140() {
     check_tier(DENSITIES[3]);
+}
+
+#[test]
+fn golden_region_ci2() {
+    let spec = toto_region::RegionSpec::named("ci2").expect("built-in region");
+    let output = toto_region::RegionRunner::default().run(&spec, "golden-region");
+    assert!(output.all_completed, "region ring jobs must complete");
+    let actual = output.record.to_json().render() + "\n";
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/region-ci2.json");
+    if std::env::var_os("TOTO_BLESS").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with \
+             TOTO_BLESS=1 cargo test --test golden_kpis",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "region record snapshot drifted; if the change is intentional, \
+         regenerate with TOTO_BLESS=1 cargo test --test golden_kpis"
+    );
 }
