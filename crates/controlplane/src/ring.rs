@@ -386,6 +386,12 @@ impl RegionAdmission {
     }
 
     /// Release reserved cores on a ring when a tenant drops.
+    ///
+    /// Deliberately untraced: a release is ledger accounting driven by a
+    /// tenant drop, and the drop itself is already visible as a DbDrop
+    /// event at the same simulated time — a second event per drop would
+    /// only bloat traces without adding diff signal.
+    // toto-lint: allow(T001)
     pub fn release(&mut self, rings: &mut RingSet, ring: usize, cores: f64) {
         if let Some(ledger) = rings.rings.get_mut(ring) {
             ledger.reserved_cores = (ledger.reserved_cores - cores).max(0.0);

@@ -86,6 +86,12 @@ impl NamingService {
         if existed {
             self.stats.deletes += 1;
         }
+        toto_trace::emit(toto_trace::EventKind::NamingDelete, || {
+            toto_trace::EventBody::NamingDelete {
+                key: key.to_string(),
+                existed: u64::from(existed),
+            }
+        });
         existed
     }
 

@@ -75,14 +75,19 @@ pub struct Config {
     pub allow: Vec<AllowEntry>,
 }
 
-/// The rules this linter knows about, in report order. `L001`/`L002`
+/// The rules this linter knows about, in report order. `D004`–`D006`
+/// and `T001` are the flow-aware/parse-layer family; `L001`/`L002`
 /// police the suppression mechanism itself.
-pub const KNOWN_RULES: &[&str] = &["D001", "D002", "D003", "R001", "R002", "L001", "L002"];
+pub const KNOWN_RULES: &[&str] = &[
+    "D001", "D002", "D003", "D004", "D005", "D006", "R001", "R002", "T001", "L001", "L002",
+];
 
 impl Default for Config {
     fn default() -> Self {
         let mut levels = BTreeMap::new();
-        for rule in ["D001", "D002", "D003", "R001", "R002", "L001"] {
+        for rule in [
+            "D001", "D002", "D003", "D004", "D005", "D006", "R001", "R002", "T001", "L001",
+        ] {
             levels.insert(rule.to_string(), Level::Error);
         }
         levels.insert("L002".to_string(), Level::Warn);
@@ -107,6 +112,8 @@ impl Default for Config {
                 "crates/fleet/src/executor.rs".to_string(),
                 "crates/bench".to_string(),
                 "crates/fleet/benches".to_string(),
+                // The linter's own `--timing` flag measures wall time.
+                "crates/lint/src/main.rs".to_string(),
             ],
             r002_paths: vec![
                 "crates/fabric/src/plb.rs".to_string(),
@@ -156,7 +163,11 @@ impl Config {
                     reason: get("reason")?,
                 };
                 if !KNOWN_RULES.contains(&entry.rule.as_str()) {
-                    return Err(format!("[[allow]] names unknown rule {:?}", entry.rule));
+                    return Err(format!(
+                        "L001: [[allow]] names unknown rule {:?}; known rules: {}",
+                        entry.rule,
+                        KNOWN_RULES.join(", ")
+                    ));
                 }
                 if entry.reason.trim().is_empty() {
                     return Err(format!(
@@ -201,7 +212,11 @@ impl Config {
                 ("classes", "sim_path") => config.sim_path = value.into_array(lineno, key)?,
                 ("levels", rule) => {
                     if !KNOWN_RULES.contains(&rule) {
-                        return Err(format!("line {lineno}: unknown rule `{rule}` in [levels]"));
+                        return Err(format!(
+                            "line {lineno}: L001: unknown rule `{rule}` in [levels]; \
+                             known rules: {}",
+                            KNOWN_RULES.join(", ")
+                        ));
                     }
                     let s = value.into_string(lineno, key)?;
                     let level = Level::parse(&s).ok_or_else(|| {
@@ -408,6 +423,27 @@ reason = "defines the deterministic wrapper itself"
     fn unknown_rule_in_levels_is_rejected() {
         let err = Config::from_toml_str("[levels]\nD9 = \"error\"\n").unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
+        assert!(err.contains("L001"), "{err}");
+    }
+
+    #[test]
+    fn misspelled_rule_in_levels_is_a_hard_l001_error() {
+        // `D0O4` (letter O) for `D004` — the typo class that would
+        // silently leave the real rule at its default.
+        let err = Config::from_toml_str("[levels]\nD0O4 = \"error\"\n").unwrap_err();
+        assert!(err.contains("L001"), "{err}");
+        assert!(err.contains("D0O4"), "{err}");
+        assert!(err.contains("D004"), "should list known rules: {err}");
+    }
+
+    #[test]
+    fn misspelled_rule_in_allow_is_a_hard_l001_error() {
+        let err = Config::from_toml_str(
+            "[[allow]]\nrule = \"T01\"\npath = \"crates/x\"\nreason = \"typo\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("L001"), "{err}");
+        assert!(err.contains("T01"), "{err}");
     }
 
     #[test]

@@ -192,11 +192,24 @@ pub fn lex(src: &str) -> Lexed {
             }
             _ if b.is_ascii_digit() => {
                 let start = c.pos;
+                // `0x`/`0o`/`0b` literals never carry a decimal exponent, and
+                // `E` is a hex digit — `0x1E-5` must stay three tokens.
+                let radix_prefixed = b == b'0'
+                    && c.peek_at(1)
+                        .is_some_and(|p| matches!(p, b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
                 while let Some(nb) = c.peek() {
                     if is_ident_continue(nb) {
                         c.bump();
                     } else if nb == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
                         // `1.5` continues the number; `1..5` does not.
+                        c.bump();
+                    } else if !radix_prefixed
+                        && (nb == b'+' || nb == b'-')
+                        && c.pos > start
+                        && matches!(c.bytes[c.pos - 1], b'e' | b'E')
+                        && c.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        // Signed exponent: `1e-9`, `2.5E+10` stay one token.
                         c.bump();
                     } else {
                         break;
@@ -242,6 +255,25 @@ pub fn lex(src: &str) -> Lexed {
                     out.tokens.push(Token {
                         kind: TokenKind::Str,
                         text: format!("{ident}{body}"),
+                        line,
+                        col,
+                    });
+                } else if ident == "r"
+                    && c.peek() == Some(b'#')
+                    && c.peek_at(1).is_some_and(is_ident_start)
+                {
+                    // Raw identifier (`r#type`, `r#match`). Keep the `r#`
+                    // prefix in the token text: `r#type` is a distinct
+                    // identifier from the keyword `type`, and emitting the
+                    // `#` as punctuation would fabricate attribute-like
+                    // token sequences.
+                    c.bump(); // '#'
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: src[start..c.pos].to_string(),
                         line,
                         col,
                     });
@@ -445,5 +477,29 @@ mod tests {
     #[test]
     fn numbers_including_floats_and_ranges() {
         assert_eq!(texts("1.5 + 1..5"), vec!["1.5", "+", "1", ".", ".", "5"]);
+    }
+
+    #[test]
+    fn float_exponents_are_single_tokens() {
+        assert_eq!(texts("1e-9"), vec!["1e-9"]);
+        assert_eq!(texts("2.5E+10 * 3e7"), vec!["2.5E+10", "*", "3e7"]);
+        assert_eq!(texts("1.5e-3f64"), vec!["1.5e-3f64"]);
+        // A sign not preceded by an exponent marker is an operator...
+        assert_eq!(texts("1-9"), vec!["1", "-", "9"]);
+        // ...and hex digits never absorb one: `0x1E-5` is a subtraction.
+        assert_eq!(texts("0x1E-5"), vec!["0x1E", "-", "5"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        let toks = lex("let r#type = r#match.clone();").tokens;
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        assert_eq!(toks[1].text, "r#type");
+        assert!(toks.iter().any(|t| t.text == "r#match"));
+        // No stray `#` punctuation that could fake an attribute.
+        assert!(!toks.iter().any(|t| t.text == "#"));
+        // Raw strings still lex as strings, not raw identifiers.
+        let s = lex("r#\"text\"#").tokens;
+        assert_eq!(s[0].kind, TokenKind::Str);
     }
 }

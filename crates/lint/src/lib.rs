@@ -4,23 +4,31 @@
 //! `(spec, seed)` pairs. That promise is easy to break silently: one
 //! `HashMap` iteration feeding an event queue, one `Instant::now()` in a
 //! model, one `thread_rng()` in a placement tie-break. toto-lint encodes
-//! the contract as lexical rules over the workspace source so violations
-//! fail CI instead of corrupting experiments.
+//! the contract as rules over the workspace source so violations fail CI
+//! instead of corrupting experiments.
 //!
-//! The analyzer is deliberately dependency-free: a hand-rolled Rust lexer
-//! (`lexer`), a TOML-subset config loader (`config`), and token-sequence
-//! rule matchers (`rules`). See `DESIGN.md` § "Determinism contract" for
-//! the rule catalogue and the rationale behind each rule.
+//! The analyzer is deliberately dependency-free and layered: a
+//! hand-rolled Rust lexer (`lexer`), a lightweight item/fn parser
+//! (`parse`), a conservative name-resolution call graph across the
+//! workspace (`callgraph`), flow-aware reachability analyses on top of
+//! it (`reach`), a TOML-subset config loader (`config`), and the rule
+//! matchers (`rules`). See `DESIGN.md` § "Determinism contract" for the
+//! rule catalogue and the rationale behind each rule.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use callgraph::{CallGraph, Workspace};
 use config::{Config, Level};
-pub use rules::scan_file;
+pub use rules::{scan_file, scan_file_with};
 
 /// One lint finding, span-accurate to the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +68,48 @@ impl Report {
     }
 }
 
+/// Lint a set of in-memory sources as one workspace: per-file rules plus
+/// the flow-aware analyses (D004 reachability, T001 trace coverage) over
+/// the call graph of the library-code subset. `deps` maps crate short
+/// names (directory names under `crates/`; the root package is `suite`)
+/// to their direct workspace dependencies. Diagnostics come back sorted
+/// by `(file, line, rule, col)` — the stable order CI artifacts diff on.
+///
+/// This is the full analysis pipeline behind [`scan_workspace`], exposed
+/// so tests can lint synthetic multi-crate fixtures without touching the
+/// filesystem.
+pub fn analyze_files(
+    sources: &[(String, String)],
+    deps: &BTreeMap<String, Vec<String>>,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let flow_aware =
+        config.level("D004") != Level::Off || config.level("T001") != Level::Off;
+    let extra: BTreeMap<String, Vec<rules::Finding>> = if flow_aware {
+        let lib_sources: Vec<(String, String)> = sources
+            .iter()
+            .filter(|(p, _)| rules::is_lib_code(p))
+            .cloned()
+            .collect();
+        let ws = Workspace::build(&lib_sources, deps);
+        let graph = CallGraph::build(&ws);
+        reach::analyze(&ws, &graph, config)
+    } else {
+        BTreeMap::new()
+    };
+
+    let mut diagnostics = Vec::new();
+    for (path, source) in sources {
+        let file_extra = extra.get(path).map(Vec::as_slice).unwrap_or(&[]);
+        diagnostics.extend(scan_file_with(path, source, config, file_extra));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str(), a.col)
+            .cmp(&(b.file.as_str(), b.line, b.rule.as_str(), b.col))
+    });
+    diagnostics
+}
+
 /// Collect the `.rs` files under `dir` (recursively), as workspace-relative
 /// forward-slash paths, sorted for deterministic output.
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
@@ -79,11 +129,98 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
     }
 }
 
+/// Parse the workspace `Cargo.toml`s into a crate-short-name dependency
+/// map for the call graph. Package names map onto directory names
+/// (`toto-fabric` → `fabric`, `toto` → `core`, the root `toto-suite` →
+/// `suite`); only `[dependencies]` edges count — dev-dependencies are
+/// invisible to library code, which is all the graph covers. The parse
+/// is a line scan: section headers plus `name = …` / `key.workspace =
+/// true` / `key = { … }` keys, which is the entire grammar the
+/// workspace manifests use.
+pub fn workspace_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut manifests: Vec<(String, PathBuf)> = vec![("suite".to_string(), root.join("Cargo.toml"))];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            if let Some(name) = dir.file_name().and_then(|n| n.to_str()) {
+                manifests.push((name.to_string(), dir.join("Cargo.toml")));
+            }
+        }
+    }
+
+    // (crate short name, section, line) triples from every manifest.
+    let mut parsed: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for (short, path) in &manifests {
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        let mut section = String::new();
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = header.trim().to_string();
+                continue;
+            }
+            lines.push((section.clone(), line.to_string()));
+        }
+        parsed.push((short.clone(), lines));
+    }
+
+    // First pass: package name → short name.
+    let mut pkg_to_short: BTreeMap<String, String> = BTreeMap::new();
+    for (short, lines) in &parsed {
+        for (section, line) in lines {
+            if section == "package" {
+                if let Some(value) = line.strip_prefix("name") {
+                    if let Some(name) = value
+                        .trim_start()
+                        .strip_prefix('=')
+                        .map(str::trim)
+                        .and_then(|v| v.strip_prefix('"'))
+                        .and_then(|v| v.split('"').next())
+                    {
+                        pkg_to_short.insert(name.to_string(), short.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Second pass: `[dependencies]` keys that are workspace packages.
+    let mut deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (short, lines) in &parsed {
+        for (section, line) in lines {
+            if section != "dependencies" {
+                continue;
+            }
+            let Some(key) = line.split('=').next() else {
+                continue;
+            };
+            // `toto-simcore.workspace = true` → key `toto-simcore`.
+            let key = key.trim().split('.').next().unwrap_or("").trim();
+            if let Some(dep_short) = pkg_to_short.get(key) {
+                deps.entry(short.clone()).or_default().push(dep_short.clone());
+            }
+        }
+    }
+    deps
+}
+
 /// Lint every Rust source under the workspace root: `crates/*/{src,tests,
 /// examples,benches}` plus the root package's `src`, `tests`, and
 /// `examples`. `vendor/` and `target/` are never scanned; `config.exclude`
 /// prefixes (e.g. the lint fixtures, which contain deliberate violations)
-/// are dropped after collection.
+/// are dropped after collection. On top of the per-file rules, the
+/// flow-aware pass builds a call graph of the library code (dependency
+/// edges read from the `Cargo.toml`s) and runs the D004/T001 analyses.
 pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
@@ -110,14 +247,15 @@ pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
             && !config.exclude.iter().any(|p| rules::path_has_prefix(f, p))
     });
 
-    let mut diagnostics = Vec::new();
-    let files_scanned = files.len();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
-        diagnostics.extend(scan_file(rel, &source, config));
+        sources.push((rel.clone(), source));
     }
+    let deps = workspace_deps(root);
+    let diagnostics = analyze_files(&sources, &deps, config);
     Ok(Report {
         diagnostics,
-        files_scanned,
+        files_scanned: sources.len(),
     })
 }

@@ -1,11 +1,12 @@
 //! CLI driver: `cargo run -p toto-lint -- [--root DIR] [--config FILE]
-//! [--format human|json]`.
+//! [--format human|json] [--timing]`.
 //!
-//! Exit codes: 0 = clean or warnings only, 1 = error-severity findings,
-//! 2 = configuration or usage error.
+//! Exit codes: 0 = clean or warnings only, 1 = error-severity findings
+//! or `--timing` budget breach, 2 = configuration or usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use toto_fleet::json::Json;
 use toto_lint::config::Config;
@@ -17,13 +18,18 @@ enum Format {
 }
 
 fn usage() -> String {
-    "usage: toto-lint [--root DIR] [--config FILE] [--format human|json]".to_string()
+    "usage: toto-lint [--root DIR] [--config FILE] [--format human|json] [--timing]".to_string()
 }
+
+/// The gate must stay cheap enough to run on every push: the full
+/// workspace — lex, parse, call graph, reachability — in under 5s.
+const TIMING_BUDGET_MS: u128 = 5000;
 
 fn run() -> Result<u8, String> {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut format = Format::Human;
+    let mut timing = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +57,7 @@ fn run() -> Result<u8, String> {
                     other => return Err(format!("unknown format {other:?}\n{}", usage())),
                 };
             }
+            "--timing" => timing = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(0);
@@ -79,14 +86,28 @@ fn run() -> Result<u8, String> {
         Config::default()
     };
 
+    let started = Instant::now();
     let report = scan_workspace(&root, &config).map_err(|e| format!("scan failed: {e}"))?;
+    let elapsed_ms = started.elapsed().as_millis();
 
     match format {
         Format::Human => print_human(&report),
         Format::Json => println!("{}", render_json(&report)),
     }
 
-    Ok(if report.errors() > 0 { 1 } else { 0 })
+    let mut failed = report.errors() > 0;
+    if timing {
+        eprintln!(
+            "toto-lint: analysis took {elapsed_ms}ms (budget {TIMING_BUDGET_MS}ms, \
+             {} file(s))",
+            report.files_scanned
+        );
+        if elapsed_ms > TIMING_BUDGET_MS {
+            eprintln!("toto-lint: TIMING BUDGET EXCEEDED — the lint gate must stay cheap");
+            failed = true;
+        }
+    }
+    Ok(if failed { 1 } else { 0 })
 }
 
 fn print_human(report: &Report) {
@@ -128,9 +149,12 @@ fn render_json(report: &Report) -> String {
             ])
         })
         .collect();
+    // schema_version history: 1 = per-file rules only (keyed `version`);
+    // 2 = flow-aware analysis (D004–D006, T001), diagnostics globally
+    // sorted by (file, line, rule, col).
     Json::obj(vec![
         ("tool", Json::Str("toto-lint".to_string())),
-        ("version", Json::Uint(1)),
+        ("schema_version", Json::Uint(2)),
         ("files_scanned", Json::Uint(report.files_scanned as u64)),
         ("errors", Json::Uint(report.errors() as u64)),
         ("warnings", Json::Uint(report.warnings() as u64)),

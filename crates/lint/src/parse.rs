@@ -1,0 +1,439 @@
+//! A lightweight item/function parser on top of the lexer.
+//!
+//! The flow-aware rules (D004 reachability, D005 seed discipline, T001
+//! trace coverage) and the refactored R002 need more structure than a
+//! flat token stream: which tokens form a function body, what the
+//! function is called, which `impl` block it sits in, and whether it is
+//! `pub`. This module recovers exactly that — and nothing more — from
+//! the token stream. It is *not* a Rust parser: generics, where-clauses
+//! and attribute grammars are skipped over lexically, which is accurate
+//! enough for name-resolution-based call-graph construction and keeps
+//! the linter dependency-free.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// One `fn` item recovered from a file.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// The function name (raw identifiers keep their `r#` prefix).
+    pub name: String,
+    /// Token index of the name identifier (for spans).
+    pub name_tok: usize,
+    /// Any `pub` visibility (`pub`, `pub(crate)`, `pub(super)`, …).
+    pub is_pub: bool,
+    /// The self type of the enclosing `impl` block, if the fn is a method
+    /// or associated function (`impl Plb { fn balance … }` → `Plb`).
+    pub impl_type: Option<String>,
+    /// Token range of the parameter list, *inside* the parentheses
+    /// (half-open; empty for `fn f()`).
+    pub params: (usize, usize),
+    /// Token range of the body including both braces (half-open past the
+    /// closing brace). `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the fn sits inside a `#[cfg(test)]`-guarded region.
+    pub in_test: bool,
+}
+
+impl FnDef {
+    /// Token range of the body *contents* (between the braces).
+    pub fn body_inner(&self) -> Option<(usize, usize)> {
+        self.body.map(|(s, e)| (s + 1, e.saturating_sub(1)))
+    }
+}
+
+/// A fully parsed file: the token stream plus the fn table.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub lexed: Lexed,
+    /// Per-token flag: inside a `#[cfg(test)]`-guarded item.
+    pub in_test: Vec<bool>,
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// Flag every token index inside a `#[cfg(test)]`-guarded item (the
+/// attribute itself included). Detection is lexical: the attribute is
+/// matched token-for-token and the guarded item extends to the end of
+/// its first brace-balanced block — which covers the `mod tests { … }`
+/// idiom this workspace uses everywhere.
+pub fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = i + 6 < tokens.len()
+            && is_punct(&tokens[i], "#")
+            && is_punct(&tokens[i + 1], "[")
+            && is_ident(&tokens[i + 2], "cfg")
+            && is_punct(&tokens[i + 3], "(")
+            && is_ident(&tokens[i + 4], "test")
+            && is_punct(&tokens[i + 5], ")")
+            && is_punct(&tokens[i + 6], "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        while j < tokens.len() && !is_punct(&tokens[j], "{") {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if is_punct(&tokens[j], "{") {
+                depth += 1;
+            } else if is_punct(&tokens[j], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len().saturating_sub(1));
+        for flag in flags.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// Skip a balanced `(…)`/`{…}`/`[…]` group starting at `i` (which must
+/// point at the opener). Returns the index one past the closer.
+fn skip_balanced(tokens: &[Token], i: usize, open: &str, close: &str) -> usize {
+    debug_assert!(is_punct(&tokens[i], open));
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if is_punct(&tokens[j], open) {
+            depth += 1;
+        } else if is_punct(&tokens[j], close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Skip a balanced generic argument list `<…>` starting at `i`. Angle
+/// brackets are not real brackets in Rust, but inside an `impl` header or
+/// between a fn name and its parameter list a `<` always opens generics.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if is_punct(&tokens[j], "<") {
+            depth += 1;
+        } else if is_punct(&tokens[j], ">") {
+            // `->` inside generic bounds (`Fn() -> T`): the `>` closes
+            // nothing when preceded by `-`.
+            let arrow = j > 0 && is_punct(&tokens[j - 1], "-");
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Extract the self-type name from an `impl` header starting at the
+/// `impl` token: `impl<T> Foo<T> { … }` → `Foo`; `impl Trait for Bar { …
+/// }` → `Bar`. Returns `(type_name, index_of_opening_brace)`.
+fn parse_impl_header(tokens: &[Token], impl_idx: usize) -> (Option<String>, usize) {
+    let mut j = impl_idx + 1;
+    if j < tokens.len() && is_punct(&tokens[j], "<") {
+        j = skip_generics(tokens, j);
+    }
+    let mut self_type: Option<String> = None;
+    let mut after_for = false;
+    while j < tokens.len() && !is_punct(&tokens[j], "{") && !is_punct(&tokens[j], ";") {
+        let t = &tokens[j];
+        if is_ident(t, "for") {
+            after_for = true;
+            self_type = None;
+            j += 1;
+            continue;
+        }
+        if is_ident(t, "where") {
+            break;
+        }
+        if t.kind == TokenKind::Ident && self_type.is_none() {
+            // First path segment after `impl` (or after `for`): walk to the
+            // *last* segment of the path — `impl fmt::Display for a::B`
+            // names `B`.
+            let mut name = t.text.clone();
+            let mut k = j + 1;
+            while k + 1 < tokens.len()
+                && is_punct(&tokens[k], ":")
+                && is_punct(&tokens[k + 1], ":")
+                && k + 2 < tokens.len()
+                && tokens[k + 2].kind == TokenKind::Ident
+            {
+                name = tokens[k + 2].text.clone();
+                k += 3;
+            }
+            if k < tokens.len() && is_punct(&tokens[k], "<") {
+                k = skip_generics(tokens, k);
+            }
+            self_type = Some(name);
+            j = k;
+            // Keep scanning: a later `for` re-targets the self type.
+            if after_for {
+                break;
+            }
+            continue;
+        }
+        j += 1;
+    }
+    while j < tokens.len() && !is_punct(&tokens[j], "{") && !is_punct(&tokens[j], ";") {
+        j += 1;
+    }
+    (self_type, j)
+}
+
+/// True if an `impl` token opens an impl *item*, as opposed to an
+/// `impl Trait` type in return (`-> impl Iterator`) or argument
+/// (`x: impl Ord`) position. Item-position `impl` follows the end of a
+/// previous item or attribute, or an `unsafe` qualifier.
+fn impl_is_item_position(tokens: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| &tokens[p]) {
+        None => true,
+        Some(prev) => {
+            matches!(prev.text.as_str(), "{" | "}" | ";" | "]") && prev.kind == TokenKind::Punct
+                || is_ident(prev, "unsafe")
+        }
+    }
+}
+
+/// True if a `fn` token at `i` is a function *definition* keyword and not
+/// part of a fn-pointer/`Fn` trait type (`fn(u32) -> u32`, `impl Fn()`).
+fn is_fn_item(tokens: &[Token], i: usize) -> bool {
+    tokens
+        .get(i + 1)
+        .is_some_and(|t| t.kind == TokenKind::Ident)
+}
+
+/// Scan backwards from the `fn` keyword over its modifiers (`const`,
+/// `async`, `unsafe`, `extern "C"`, visibility) looking for `pub`.
+fn fn_is_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if is_ident(t, "pub") {
+            return true;
+        }
+        let modifier = matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern")
+            || t.kind == TokenKind::Str // the ABI string of `extern "C"`
+            || is_punct(t, ")")
+            || is_punct(t, "(")
+            || matches!(t.text.as_str(), "crate" | "super" | "self" | "in");
+        if !modifier {
+            return false;
+        }
+    }
+    false
+}
+
+/// Parse one file into its fn table.
+pub fn parse_file(source: &str) -> ParsedFile {
+    let lexed = lex(source);
+    let in_test = mark_test_regions(&lexed.tokens);
+    let tokens = &lexed.tokens;
+    let mut fns = Vec::new();
+
+    // Impl-block scope stack: (brace_depth_of_block, self_type).
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
+    let mut depth = 0usize;
+    // Brace index the next `{` belongs to an impl header, if set.
+    let mut pending_impl: Option<Option<String>> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, "{") {
+            depth += 1;
+            if let Some(ty) = pending_impl.take() {
+                impl_stack.push((depth, ty));
+            }
+            i += 1;
+            continue;
+        }
+        if is_punct(t, "}") {
+            if impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                impl_stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if is_ident(t, "impl") && impl_is_item_position(tokens, i) {
+            let (ty, brace) = parse_impl_header(tokens, i);
+            // A `;` header (`impl Trait for Type;`? not real Rust, but be
+            // safe) opens no scope.
+            if brace < tokens.len() && is_punct(&tokens[brace], "{") {
+                pending_impl = Some(ty);
+            }
+            i = brace;
+            continue;
+        }
+        if is_ident(t, "fn") && is_fn_item(tokens, i) {
+            let name_tok = i + 1;
+            let name = tokens[name_tok].text.clone();
+            let mut j = name_tok + 1;
+            if j < tokens.len() && is_punct(&tokens[j], "<") {
+                j = skip_generics(tokens, j);
+            }
+            if j >= tokens.len() || !is_punct(&tokens[j], "(") {
+                i = name_tok + 1;
+                continue;
+            }
+            let params_open = j;
+            let params_close = skip_balanced(tokens, params_open, "(", ")");
+            // Find the body `{` or a `;` (trait declaration). The return
+            // type and where clause contain no braces.
+            let mut b = params_close;
+            while b < tokens.len() && !is_punct(&tokens[b], "{") && !is_punct(&tokens[b], ";") {
+                b += 1;
+            }
+            let body = if b < tokens.len() && is_punct(&tokens[b], "{") {
+                Some((b, skip_balanced(tokens, b, "{", "}")))
+            } else {
+                None
+            };
+            let impl_type = impl_stack
+                .last()
+                .filter(|(d, _)| *d == depth)
+                .and_then(|(_, ty)| ty.clone());
+            fns.push(FnDef {
+                name,
+                name_tok,
+                is_pub: fn_is_pub(tokens, i),
+                impl_type,
+                params: (params_open + 1, params_close.saturating_sub(1)),
+                body,
+                in_test: in_test[name_tok],
+            });
+            // Continue *inside* the signature/body so nested items are
+            // still discovered; brace bookkeeping above handles depth.
+            i = params_close;
+            continue;
+        }
+        i += 1;
+    }
+
+    ParsedFile {
+        lexed,
+        in_test,
+        fns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(src: &str) -> Vec<(String, Option<String>, bool)> {
+        parse_file(src)
+            .fns
+            .into_iter()
+            .map(|f| (f.name, f.impl_type, f.is_pub))
+            .collect()
+    }
+
+    #[test]
+    fn free_and_method_fns() {
+        let got = names(
+            "pub fn free(x: u32) {}\n\
+             impl Plb { pub fn balance(&mut self) {} fn helper() {} }\n\
+             impl fmt::Display for Node { fn fmt(&self) -> R { ok() } }",
+        );
+        assert_eq!(
+            got,
+            vec![
+                ("free".into(), None, true),
+                ("balance".into(), Some("Plb".into()), true),
+                ("helper".into(), Some("Plb".into()), false),
+                ("fmt".into(), Some("Node".into()), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_and_visibility_forms() {
+        let got = names(
+            "pub(crate) fn g<T: Ord>(x: T) -> Vec<T> { v }\n\
+             impl<K: Ord, V> Store<K, V> { pub const fn len(&self) -> usize { 0 } }",
+        );
+        assert_eq!(got[0], ("g".into(), None, true));
+        assert_eq!(got[1], ("len".into(), Some("Store".into()), true));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let parsed = parse_file("pub struct S { callback: fn(u32) -> u32 }");
+        assert!(parsed.fns.is_empty());
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let parsed = parse_file("trait T { fn required(&self); fn provided(&self) {} }");
+        assert_eq!(parsed.fns.len(), 2);
+        assert!(parsed.fns[0].body.is_none());
+        assert!(parsed.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_discovered_and_bodies_span_correctly() {
+        let src = "fn outer() { let x = 1; fn inner() { helper(); } inner(); }";
+        let parsed = parse_file(src);
+        assert_eq!(parsed.fns.len(), 2);
+        let outer = &parsed.fns[0];
+        let (s, e) = outer.body.expect("outer has a body");
+        let texts: Vec<&str> = parsed.lexed.tokens[s..e]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(texts.contains(&"inner"));
+        assert_eq!(texts.first(), Some(&"{"));
+        assert_eq!(texts.last(), Some(&"}"));
+    }
+
+    #[test]
+    fn test_regions_mark_fns() {
+        let src = "fn lib_fn() {}\n#[cfg(test)]\nmod tests { fn test_fn() {} }";
+        let parsed = parse_file(src);
+        assert!(!parsed.fns[0].in_test);
+        assert!(parsed.fns[1].in_test);
+    }
+
+    #[test]
+    fn return_position_impl_trait_opens_no_scope() {
+        let got = names(
+            "fn make(x: impl Ord) -> impl Iterator<Item = u32> { it() }\n\
+             impl Real { fn m(&self) {} }",
+        );
+        assert_eq!(got[0], ("make".into(), None, false));
+        assert_eq!(got[1], ("m".into(), Some("Real".into()), false));
+    }
+
+    #[test]
+    fn impl_for_generic_path_types() {
+        let got = names("impl std::fmt::Debug for crate::plb::Plb<'_> { fn fmt(&self) {} }");
+        assert_eq!(got[0].1, Some("Plb".into()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace-analysis tests: the flow-aware rules (D004 reachability,
+//! T001 trace coverage) run over synthetic multi-crate fixtures through
+//! the same `analyze_files` pipeline `scan_workspace` uses, so what
+//! fires here is exactly what fires on the real tree. Also pins the
+//! deterministic diagnostic ordering and the zero-false-positive
+//! baseline of the deliberately-clean fixture.
+
+use std::collections::BTreeMap;
+
+use toto_lint::analyze_files;
+use toto_lint::config::Config;
+use toto_lint::Diagnostic;
+
+fn deps(edges: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+    edges
+        .iter()
+        .map(|(f, ts)| (f.to_string(), ts.iter().map(|t| t.to_string()).collect()))
+        .collect()
+}
+
+fn analyze(files: &[(&str, &str)], edges: &[(&str, &[&str])]) -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_files(&sources, &deps(edges), &Config::default())
+}
+
+#[test]
+fn d004_fires_on_cross_crate_chain_with_full_chain_printed() {
+    // The sink file reuses the real executor path, which is D002-allowed
+    // in the default config — exactly the blind spot D004 closes.
+    let diags = analyze(
+        &[
+            (
+                "crates/core/src/entry.rs",
+                include_str!("fixtures/d004_entry.rs"),
+            ),
+            (
+                "crates/fleet/src/executor.rs",
+                include_str!("fixtures/d004_executor.rs"),
+            ),
+        ],
+        &[("core", &["fleet"])],
+    );
+    let d004: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "D004").collect();
+    assert_eq!(d004.len(), 1, "{diags:?}");
+    let d = d004[0];
+    assert_eq!(d.file, "crates/fleet/src/executor.rs");
+    assert!(
+        d.message.contains(
+            "core::entry::Driver::run_campaign → fleet::executor::launch_jobs → Instant::now()"
+        ),
+        "chain must name every hop, entry to sink: {}",
+        d.message
+    );
+    // Nothing else fires: the entry file is clean, and the sink's D002 is
+    // legitimately allowed.
+    assert!(diags.iter().all(|d| d.rule == "D004"), "{diags:?}");
+}
+
+#[test]
+fn d004_does_not_fire_without_a_path_from_sim_code() {
+    // Same two files, but no dependency edge: the call cannot resolve
+    // cross-crate, so the sink is unreachable.
+    let diags = analyze(
+        &[
+            (
+                "crates/core/src/entry.rs",
+                include_str!("fixtures/d004_entry.rs"),
+            ),
+            (
+                "crates/fleet/src/executor.rs",
+                include_str!("fixtures/d004_executor.rs"),
+            ),
+        ],
+        &[],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn t001_fires_on_untraced_mutator() {
+    let diags = analyze(
+        &[(
+            "crates/rgmanager/src/grants.rs",
+            include_str!("fixtures/t001_bad.rs"),
+        )],
+        &[],
+    );
+    let t001: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "T001").collect();
+    assert_eq!(t001.len(), 1, "{diags:?}");
+    assert!(t001[0].message.contains("rewrite_grants"), "{:?}", t001[0]);
+    // bump_version is not pub and not flagged.
+    assert!(!diags.iter().any(|d| d.message.contains("bump_version")));
+}
+
+#[test]
+fn t001_accepts_direct_and_transitive_trace_emission() {
+    let diags = analyze(
+        &[(
+            "crates/rgmanager/src/grants.rs",
+            include_str!("fixtures/t001_good.rs"),
+        )],
+        &[],
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "T001"),
+        "both mutators are trace-covered: {diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_produces_zero_diagnostics() {
+    // Linted at a path where every rule family applies: sim-path crate,
+    // library code, R002/T001 mutator paths.
+    let diags = analyze(
+        &[(
+            "crates/rgmanager/src/clean.rs",
+            include_str!("fixtures/clean.rs"),
+        )],
+        &[],
+    );
+    assert!(diags.is_empty(), "false positives: {diags:?}");
+}
+
+#[test]
+fn diagnostics_come_back_in_stable_file_line_rule_order() {
+    let noisy_a = "pub fn a() { let t = thread_rng(); let i = Instant::now(); }\n";
+    let noisy_b = "pub fn b() { let x: std::collections::HashMap<u8, u8>; }\n";
+    let files = [
+        ("crates/simcore/src/zz.rs", noisy_a),
+        ("crates/simcore/src/aa.rs", noisy_b),
+    ];
+    let forward = analyze(&files, &[]);
+    let mut reversed_input = files;
+    reversed_input.reverse();
+    let reversed = analyze(&reversed_input, &[]);
+    assert_eq!(forward, reversed, "order must not depend on input order");
+    let keys: Vec<(&str, usize, &str)> = forward
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.rule.as_str()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics must sort by (file, line, rule)");
+    assert!(!forward.is_empty());
+}

@@ -251,3 +251,55 @@ reason = "fixture test: vetted invariant expects"
         "allowlisted file still flagged: {diags:?}"
     );
 }
+
+#[test]
+fn d005_flags_duplicate_seed_derivations_in_one_scope() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d005_bad.rs"));
+    let d005: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "D005").collect();
+    // One duplicate in build_streams, one in nested_scope — the
+    // child/child_rng spelling difference must not hide the collision.
+    assert_eq!(d005.len(), 2, "{diags:?}");
+    assert!(d005.iter().all(|d| d.level == Level::Error));
+    assert!(d005[0].message.contains("placement"), "{:?}", d005[0]);
+    assert!(
+        d005[0].message.contains("line 5"),
+        "should point back at the first derivation: {:?}",
+        d005[0]
+    );
+    assert!(d005[1].message.contains("workload"), "{:?}", d005[1]);
+}
+
+#[test]
+fn d005_permits_distinct_indices_labels_and_scopes() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d005_good.rs"));
+    assert!(diags.is_empty(), "clean derivations produced {diags:?}");
+}
+
+#[test]
+fn d006_flags_float_equality_and_partial_cmp() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d006_bad.rs"));
+    let d006: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "D006").collect();
+    // used == 0.0, != 1.0, partial_cmp, == 1e-9 (exponent literals lex
+    // as single Num tokens, so the comparison is visible).
+    assert_eq!(d006.len(), 4, "{diags:?}");
+    assert!(d006.iter().any(|d| d.message.contains("partial_cmp")));
+    assert!(d006.iter().any(|d| d.snippet.contains("1e-9")));
+}
+
+#[test]
+fn d006_permits_total_cmp_epsilons_and_allowed_guards() {
+    let diags = lint(SIM_LIB, include_str!("fixtures/d006_good.rs"));
+    assert!(diags.is_empty(), "approved idioms produced {diags:?}");
+}
+
+#[test]
+fn d006_does_not_apply_outside_sim_path_crates() {
+    let diags = lint(
+        "crates/fleet/src/sample.rs",
+        include_str!("fixtures/d006_bad.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "D006"),
+        "fleet is not a sim-path crate: {diags:?}"
+    );
+}

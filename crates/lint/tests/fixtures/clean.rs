@@ -1,0 +1,61 @@
+//! Deliberately-clean fixture: idiomatic sim-path code exercising the
+//! syntax neighborhoods of every rule without violating any of them.
+//! Pins the zero-false-positive baseline — if any rule fires here, the
+//! matcher regressed.
+
+use std::collections::BTreeMap;
+
+pub struct Sampler {
+    streams: BTreeMap<u64, DetRng>,
+}
+
+impl Sampler {
+    /// Seed discipline: same label, distinct indices.
+    pub fn new(seeds: SeedTree, nodes: u64) -> Self {
+        let mut streams = BTreeMap::new();
+        for node in 0..nodes {
+            streams.insert(node, seeds.clone().child_rng("node", node));
+        }
+        Sampler { streams }
+    }
+
+    /// Float handling: total_cmp and an epsilon, never `==`.
+    pub fn hottest(&self, loads: &[f64]) -> Option<f64> {
+        loads
+            .iter()
+            .copied()
+            .filter(|l| l.abs() > 1e-12)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Durations are fine under D002 — only wall-clock reads are not.
+    pub fn window(&self) -> std::time::Duration {
+        std::time::Duration::from_secs(900)
+    }
+
+    /// Error handling without unwrap/expect; raw identifiers and float
+    /// exponents lex cleanly.
+    pub fn r#yield(&self, node: u64) -> Result<f64, String> {
+        self.streams
+            .get(&node)
+            .map(|_| 2.5e-3)
+            .ok_or_else(|| format!("unknown node {node}"))
+    }
+}
+
+/// A guarded mutator: debug_assert present, trace event emitted.
+pub fn apply_grant(cluster: &mut Cluster, cores: f64) {
+    debug_assert!(cores >= 0.0, "grants cannot be negative");
+    cluster.grant(cores);
+    toto_trace::emit(toto_trace::EventKind::MetricReport, || body(cores));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let xs: Vec<u64> = vec![1];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

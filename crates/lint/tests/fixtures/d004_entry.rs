@@ -1,0 +1,19 @@
+//! D004 fixture, sim-path side: a public entry point that reaches a
+//! wall-clock read only through a cross-crate call chain. Nothing in
+//! this file violates any per-file rule.
+
+pub struct Driver {
+    runs: u64,
+}
+
+impl Driver {
+    pub fn run_campaign(&mut self, spec: &Spec) -> Summary {
+        self.runs += 1;
+        let plan = expand_plan(spec);
+        launch_jobs(&plan)
+    }
+}
+
+fn expand_plan(spec: &Spec) -> Plan {
+    Plan::from(spec)
+}

@@ -1,0 +1,13 @@
+//! D004 fixture, helper side: a D002-allowed executor file whose
+//! wall-clock read is therefore invisible to the per-file rules — but
+//! reachable from the sim-path entry in `d004_entry.rs`.
+
+pub fn launch_jobs(plan: &Plan) -> Summary {
+    let started = Instant::now();
+    let result = drive(plan);
+    finish(result, started.elapsed())
+}
+
+fn drive(plan: &Plan) -> RawResult {
+    RawResult::from(plan)
+}

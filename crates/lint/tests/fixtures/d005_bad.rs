@@ -1,0 +1,16 @@
+//! D005 fixture: duplicate (label, index) SeedTree derivations in one
+//! function body — two consumers end up on the same random stream.
+
+pub fn build_streams(seeds: SeedTree) {
+    let placement = seeds.clone().child_rng("placement", 0);
+    let anneal = seeds.clone().child_rng("anneal", 0);
+    // Same label AND same index as the first derivation: correlated.
+    let tie_break = seeds.clone().child_rng("placement", 0);
+    run(placement, anneal, tie_break);
+}
+
+pub fn nested_scope(seeds: SeedTree) {
+    let outer = seeds.clone().child("workload", 1);
+    let inner = seeds.child("workload", 1).rng();
+    drive(outer, inner);
+}

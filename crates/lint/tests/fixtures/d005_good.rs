@@ -1,0 +1,30 @@
+//! D005 negative fixture: the legitimate derivation idioms. Same label
+//! with distinct indices (per-node streams), distinct labels with the
+//! same index, and identical derivations in *separate* function bodies
+//! are all fine.
+
+pub fn per_node_streams(seeds: SeedTree, nodes: usize) {
+    for node in 0..nodes {
+        let rng = seeds.clone().child_rng("node", node as u64);
+        drive(node, rng);
+    }
+}
+
+pub fn distinct_labels(seeds: SeedTree) {
+    let placement = seeds.clone().child_rng("placement", 0);
+    let anneal = seeds.clone().child_rng("anneal", 0);
+    run(placement, anneal);
+}
+
+pub fn same_derivation_elsewhere(seeds: SeedTree) {
+    // Identical to a derivation in `distinct_labels` — different scope,
+    // different run phase, not correlated within one derivation scope.
+    let placement = seeds.child_rng("placement", 0);
+    run_alone(placement);
+}
+
+pub fn dynamic_indices(seeds: SeedTree, epoch: u64) {
+    let a = seeds.clone().child_rng("refresh", epoch);
+    let b = seeds.child_rng("refresh", epoch + 1);
+    run(a, b);
+}

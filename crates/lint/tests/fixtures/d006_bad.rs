@@ -1,0 +1,23 @@
+//! D006 fixture: float comparisons that break under representation
+//! drift — exact equality against literals and partial_cmp ordering.
+
+pub fn check_headroom(used: f64, capacity: f64) -> bool {
+    if used == 0.0 {
+        return true;
+    }
+    used / capacity != 1.0
+}
+
+pub fn pick_larger(xs: &[f64]) -> Option<f64> {
+    let mut best = f64::MIN;
+    for x in xs {
+        if x.partial_cmp(&best) == Some(std::cmp::Ordering::Greater) {
+            best = *x;
+        }
+    }
+    Some(best)
+}
+
+pub fn exponent_literals(rate: f64) -> bool {
+    rate == 1e-9
+}

@@ -1,0 +1,25 @@
+//! D006 negative fixture: the approved float-comparison idioms —
+//! total_cmp, explicit epsilons, integer comparisons, and an
+//! inline-allowed deliberate exact guard.
+
+pub fn pick_larger(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+pub fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn integer_compare(count: usize) -> bool {
+    count == 0 && count != 7
+}
+
+pub fn hex_is_not_float(flags: u32) -> bool {
+    // 0x1E contains an `E` but is an integer literal, not an exponent.
+    flags == 0x1E
+}
+
+pub fn deliberate_point_mass(sigma: f64) -> bool {
+    // toto-lint: allow(D006)
+    sigma == 0.0
+}

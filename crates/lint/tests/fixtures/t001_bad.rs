@@ -1,0 +1,15 @@
+//! T001 fixture: a public mutator of protected cluster state that emits
+//! no trace event — directly or through anything it calls. Replay
+//! diffing cannot see it. (The debug_assert keeps R002 satisfied so the
+//! fixture isolates T001.)
+
+pub fn rewrite_grants(naming: &mut NamingService, node: u64) {
+    debug_assert!(node < 4096, "node id out of range");
+    let key = grant_key(node);
+    naming.write_silent(&key, "{}");
+    bump_version(naming);
+}
+
+fn bump_version(naming: &mut NamingService) {
+    naming.counter += 1;
+}

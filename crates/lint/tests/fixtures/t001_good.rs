@@ -1,0 +1,19 @@
+//! T001 negative fixture: both remediation shapes. `record_grant`
+//! emits directly; `rotate_grants` is covered transitively through the
+//! shared helper it calls — the flow-aware pass must follow the call.
+
+pub fn record_grant(naming: &mut NamingService, node: u64) {
+    debug_assert!(node < 4096, "node id out of range");
+    naming.write_silent(&grant_key(node), "{}");
+    toto_trace::emit(toto_trace::EventKind::NamingWrite, || body(node));
+}
+
+pub fn rotate_grants(naming: &mut NamingService, epoch: u64) {
+    debug_assert!(epoch > 0, "epoch must advance");
+    apply_rotation(naming, epoch);
+}
+
+fn apply_rotation(naming: &mut NamingService, epoch: u64) {
+    naming.counter = epoch;
+    toto_trace::emit(toto_trace::EventKind::ModelRefresh, || body(epoch));
+}

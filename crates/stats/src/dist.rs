@@ -66,6 +66,9 @@ impl Normal {
 
     /// Quantile (inverse CDF).
     pub fn quantile(&self, p: f64) -> f64 {
+        // Deliberate exact guard: sigma == 0.0 only when constructed as a
+        // point mass, never from arithmetic.
+        // toto-lint: allow(D006)
         if self.sigma == 0.0 {
             return self.mu;
         }
@@ -75,6 +78,8 @@ impl Normal {
 
 impl Distribution for Normal {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Deliberate exact guard: point-mass construction, see quantile().
+        // toto-lint: allow(D006)
         if self.sigma == 0.0 {
             return self.mu;
         }
@@ -88,6 +93,8 @@ impl Distribution for Normal {
     }
 
     fn cdf(&self, x: f64) -> f64 {
+        // Deliberate exact guard: point-mass construction, see quantile().
+        // toto-lint: allow(D006)
         if self.sigma == 0.0 {
             return if x < self.mu { 0.0 } else { 1.0 };
         }

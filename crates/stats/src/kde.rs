@@ -27,6 +27,9 @@ impl GaussianKde {
         }
         let n = xs.len() as f64;
         let sd = describe::std_dev(xs);
+        // Deliberate exact guard: only a constant sample gives sd == 0.0,
+        // and any nonzero sd — however tiny — is a usable bandwidth.
+        // toto-lint: allow(D006)
         let sd = if sd.is_nan() || sd == 0.0 { 1e-9 } else { sd };
         // Silverman: 0.9 * min(sd, IQR/1.34) * n^(-1/5); we use sd alone
         // when the IQR degenerates.

@@ -94,6 +94,9 @@ pub fn ks_test_with_cdf(xs: &[f64], cdf: impl Fn(f64) -> f64) -> Option<KsResult
 /// the plain K-S p-value via scipy, so we do too.
 pub fn ks_test_normal(xs: &[f64]) -> Option<KsResult> {
     let fitted = Normal::fit(xs)?;
+    // Deliberate exact guard: fit() yields sigma == 0.0 only for a
+    // constant sample, the degenerate case handled below.
+    // toto-lint: allow(D006)
     if fitted.sigma() == 0.0 {
         // A degenerate sample: the empirical CDF is a step function and the
         // point-mass CDF matches it exactly.

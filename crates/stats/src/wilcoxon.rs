@@ -41,6 +41,9 @@ pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Option<WilcoxonResult> {
         .iter()
         .zip(ys)
         .map(|(a, b)| a - b)
+        // Deliberate exact guard: Wilcoxon discards exactly-zero
+        // differences by definition; near-zero ties must stay in.
+        // toto-lint: allow(D006)
         .filter(|d| *d != 0.0)
         .collect();
     let n = diffs.len();

@@ -502,6 +502,10 @@ pub fn retype(file: &TraceFile, ev: &DecodedEvent) -> Option<EventBody> {
             tenants: u(1)?,
             cores: f(2)?,
         },
+        EventKind::NamingDelete => EventBody::NamingDelete {
+            key: s(0)?,
+            existed: u(1)?,
+        },
     })
 }
 

@@ -70,10 +70,12 @@ pub enum EventKind {
     /// Ring lifecycle: a ring left region admission and drained its
     /// tenants to sibling rings (decommission).
     RegionRingDrain = 26,
+    /// A delete against the naming service (tombstone removal on drop).
+    NamingDelete = 27,
 }
 
 /// Number of defined event kinds (kind ids are `0..COUNT`).
-pub const KIND_COUNT: usize = 27;
+pub const KIND_COUNT: usize = 28;
 
 /// All kinds, in kind-id order.
 pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
@@ -104,6 +106,7 @@ pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::RegionRingRedirect,
     EventKind::RegionRingUp,
     EventKind::RegionRingDrain,
+    EventKind::NamingDelete,
 ];
 
 /// Bit masks for selecting which kinds a sink records.
@@ -162,6 +165,7 @@ impl EventKind {
             EventKind::RegionRingRedirect => "region_ring_redirect",
             EventKind::RegionRingUp => "region_ring_up",
             EventKind::RegionRingDrain => "region_ring_drain",
+            EventKind::NamingDelete => "naming_delete",
         }
     }
 
@@ -256,6 +260,7 @@ impl EventKind {
             FieldDef::u64("tenants"),
             FieldDef::f64("cores"),
         ];
+        const NAMING_DELETE: &[FieldDef] = &[FieldDef::str("key"), FieldDef::u64("existed")];
         match self {
             EventKind::Phase => PHASE,
             EventKind::Dispatch => DISPATCH,
@@ -284,6 +289,7 @@ impl EventKind {
             EventKind::RegionRingRedirect => REGION_RING_REDIRECT,
             EventKind::RegionRingUp => REGION_RING_UP,
             EventKind::RegionRingDrain => REGION_RING_DRAIN,
+            EventKind::NamingDelete => NAMING_DELETE,
         }
     }
 }
@@ -498,6 +504,11 @@ pub enum EventBody {
         tenants: u64,
         cores: f64,
     },
+    NamingDelete {
+        key: String,
+        /// 1 when the key existed (a record was removed), 0 for a no-op.
+        existed: u64,
+    },
 }
 
 impl EventBody {
@@ -531,6 +542,7 @@ impl EventBody {
             EventBody::RegionRingRedirect { .. } => EventKind::RegionRingRedirect,
             EventBody::RegionRingUp { .. } => EventKind::RegionRingUp,
             EventBody::RegionRingDrain { .. } => EventKind::RegionRingDrain,
+            EventBody::NamingDelete { .. } => EventKind::NamingDelete,
         }
     }
 
@@ -682,6 +694,9 @@ impl EventBody {
                 Value::U64(*tenants),
                 Value::F64(*cores),
             ],
+            EventBody::NamingDelete { key, existed } => {
+                vec![Value::Str(key.clone()), Value::U64(*existed)]
+            }
         }
     }
 }
@@ -845,6 +860,10 @@ mod tests {
                 ring: "ring-1".into(),
                 tenants: 42,
                 cores: 380.0,
+            },
+            EventBody::NamingDelete {
+                key: "services/gp_4-17".into(),
+                existed: 1,
             },
         ];
         assert_eq!(bodies.len(), KIND_COUNT);

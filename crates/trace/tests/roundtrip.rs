@@ -125,6 +125,10 @@ fn one_event_per_kind() -> Vec<TraceEvent> {
             tenants: 42,
             cores: 380.0,
         },
+        EventBody::NamingDelete {
+            key: "services/gp_4-17".into(),
+            existed: 1,
+        },
     ];
     assert_eq!(bodies.len(), KIND_COUNT, "one sample body per kind");
     for (i, (body, kind)) in bodies.iter().zip(ALL_KINDS).enumerate() {
