@@ -1,70 +1,145 @@
-//! Declarative benchmark submission: run any scenario from its XML spec.
+//! Declarative benchmark submission: run any scenario from its spec.
 //!
 //! This is the paper's §1 promise made concrete — "Toto allows for
 //! declarative benchmark submission … to reliably and repeatably evaluate
-//! different service settings and configurations":
+//! different service settings and configurations". Two spec dialects
+//! share one resolution path in `toto_scenario::cli`:
 //!
 //! ```text
-//! # write the default gen5 scenario to a file, edit it, run it
+//! # write the default gen5 scenario XML to a file, edit it, run it
 //! cargo run --release -p toto-bench --bin run_scenario -- --emit 120 > my.xml
 //! cargo run --release -p toto-bench --bin run_scenario -- my.xml
+//!
+//! # run a scenario DSL file or built-in by name
+//! cargo run --release -p toto-bench --bin run_scenario -- --scenario density_sweep
 //! ```
+//!
+//! The XML path compiles the spec into a single pinned fleet job
+//! ([`toto_scenario::cli::xml_spec_plan`]) and runs it through the same
+//! executor-and-store pipeline as every other run, so artifacts land
+//! under `results/runs/<name>/` instead of vanishing into stdout.
 
-use toto::experiment::{DensityExperiment, ExperimentOverrides};
+use toto_fleet::{
+    FleetExecutor, FleetManifest, ManifestJob, RunRecord, RunStore, StderrProgress,
+    RUN_SCHEMA_VERSION,
+};
+use toto_scenario::cli::{run_cli, xml_spec_plan, CliArgs};
 use toto_spec::{EditionKind, ScenarioSpec};
 
+fn run_xml(path: &str) {
+    let xml = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario '{path}': {e}"));
+    let scenario =
+        ScenarioSpec::from_xml_str(&xml).unwrap_or_else(|e| panic!("invalid scenario XML: {e}"));
+    eprintln!(
+        "running '{}' ({} nodes, {}% density, {}h)…",
+        scenario.name, scenario.node_count, scenario.density_percent, scenario.duration_hours
+    );
+    let plan = xml_spec_plan(scenario, 0);
+    let report = FleetExecutor::new(1).run(plan.jobs(), &StderrProgress);
+    let Some((job, out)) = report.completed().next() else {
+        eprintln!("run_scenario: experiment failed");
+        std::process::exit(1);
+    };
+    let r = &out.result;
+    println!(
+        "bootstrap: {} databases, {:.0} free cores, {:.1}% disk",
+        r.bootstrap.services.len(),
+        r.bootstrap.free_cores,
+        r.bootstrap.disk_utilization * 100.0
+    );
+    println!(
+        "final:     {:.0} reserved cores, {:.1} TB disk",
+        r.final_reserved_cores,
+        r.final_disk_gb / 1024.0
+    );
+    println!(
+        "redirects: {} (first at hour {:?})",
+        r.redirect_count, r.first_redirect_hour
+    );
+    println!(
+        "failovers: {} ({:.0} cores, {:.0} BC cores)",
+        r.telemetry.failover_count(None),
+        r.telemetry.failed_over_cores(None),
+        r.telemetry.failed_over_cores(Some(EditionKind::PremiumBc))
+    );
+    println!(
+        "revenue:   ${:.0} adjusted (${:.2} penalty)",
+        r.revenue.adjusted(),
+        r.revenue.penalty
+    );
+    let manifest = FleetManifest {
+        schema_version: RUN_SCHEMA_VERSION,
+        fleet: job.label.clone(),
+        root_seed: plan.root_seed(),
+        threads: report.threads as u64,
+        wall_secs: report.wall_secs,
+        jobs: report
+            .jobs
+            .iter()
+            .map(|j| ManifestJob {
+                label: j.label.clone(),
+                seed: j.seed,
+                status: j.outcome.status().to_string(),
+                wall_secs: j.wall_secs,
+            })
+            .collect(),
+    };
+    let records = [RunRecord::from_result(&job.label, job.seed, r)];
+    let store = RunStore::new("results");
+    match store.save_fleet(&manifest, &records) {
+        Ok(dir) => println!("artifacts:  {}", dir.display()),
+        Err(e) => {
+            eprintln!("run_scenario: cannot write artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    match args.get(1).map(String::as_str) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
         Some("--emit") => {
-            let density: u32 = args.get(2).and_then(|d| d.parse().ok()).unwrap_or(100);
+            let density: u32 = argv.get(1).and_then(|d| d.parse().ok()).unwrap_or(100);
             print!(
                 "{}",
                 ScenarioSpec::gen5_stage_cluster(density).to_xml_string()
             );
         }
-        Some(path) => {
-            let xml = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read scenario '{path}': {e}"));
-            let scenario = ScenarioSpec::from_xml_str(&xml)
-                .unwrap_or_else(|e| panic!("invalid scenario XML: {e}"));
-            eprintln!(
-                "running '{}' ({} nodes, {}% density, {}h)…",
-                scenario.name,
-                scenario.node_count,
-                scenario.density_percent,
-                scenario.duration_hours
-            );
-            let r = DensityExperiment::new(scenario, ExperimentOverrides::default()).run();
-            println!(
-                "bootstrap: {} databases, {:.0} free cores, {:.1}% disk",
-                r.bootstrap.services.len(),
-                r.bootstrap.free_cores,
-                r.bootstrap.disk_utilization * 100.0
-            );
-            println!(
-                "final:     {:.0} reserved cores, {:.1} TB disk",
-                r.final_reserved_cores,
-                r.final_disk_gb / 1024.0
-            );
-            println!(
-                "redirects: {} (first at hour {:?})",
-                r.redirect_count, r.first_redirect_hour
-            );
-            println!(
-                "failovers: {} ({:.0} cores, {:.0} BC cores)",
-                r.telemetry.failover_count(None),
-                r.telemetry.failed_over_cores(None),
-                r.telemetry.failed_over_cores(Some(EditionKind::PremiumBc))
-            );
-            println!(
-                "revenue:   ${:.0} adjusted (${:.2} penalty)",
-                r.revenue.adjusted(),
-                r.revenue.penalty
-            );
+        Some(path) if argv.len() == 1 && !path.starts_with("--") => run_xml(path),
+        Some(_) => {
+            // Scenario DSL: same flag set as `scenario_runner`.
+            let args = match CliArgs::parse(&argv) {
+                Ok(args) => args,
+                Err(e) => {
+                    eprintln!("run_scenario: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match run_cli(&args, &StderrProgress) {
+                Ok(summary) => {
+                    println!(
+                        "scenario {}: {} completed, {} failed -> {}",
+                        summary.fleet_name,
+                        summary.completed,
+                        summary.failed,
+                        summary.dir.display()
+                    );
+                    if summary.chaos_violations > 0 || summary.failed > 0 {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("run_scenario: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         None => {
-            eprintln!("usage: run_scenario <scenario.xml> | --emit [density]");
+            eprintln!(
+                "usage: run_scenario <scenario.xml> | --emit [density] | \
+                 --scenario NAME|FILE [--seeds N] [--threads T] [--hours H] [--out DIR] [--trace]"
+            );
             std::process::exit(2);
         }
     }

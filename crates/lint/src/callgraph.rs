@@ -303,9 +303,8 @@ impl CallGraph {
                                 if let Some(cands) =
                                     by_type_name.get(&(self_ty.as_str(), name.as_str()))
                                 {
-                                    callees.extend(
-                                        cands.iter().copied().filter(|&c| in_closure(c)),
-                                    );
+                                    callees
+                                        .extend(cands.iter().copied().filter(|&c| in_closure(c)));
                                 }
                             }
                         } else if matches!(parent, "self" | "crate" | "super") {

@@ -103,6 +103,7 @@ impl Default for Config {
                 "crates/trace",
                 "crates/chaos",
                 "crates/region",
+                "crates/scenario",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -119,11 +120,13 @@ impl Default for Config {
                 "crates/fabric/src/plb.rs".to_string(),
                 "crates/rgmanager/src".to_string(),
                 "crates/controlplane/src/ring.rs".to_string(),
+                "crates/scenario/src/oracle.rs".to_string(),
             ],
             r002_mut_state_types: vec![
                 "Cluster".to_string(),
                 "NamingService".to_string(),
                 "RingSet".to_string(),
+                "KsOracle".to_string(),
             ],
             exclude: vec!["crates/lint/tests/fixtures".to_string()],
             allow: Vec::new(),

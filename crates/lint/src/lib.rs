@@ -83,8 +83,7 @@ pub fn analyze_files(
     deps: &BTreeMap<String, Vec<String>>,
     config: &Config,
 ) -> Vec<Diagnostic> {
-    let flow_aware =
-        config.level("D004") != Level::Off || config.level("T001") != Level::Off;
+    let flow_aware = config.level("D004") != Level::Off || config.level("T001") != Level::Off;
     let extra: BTreeMap<String, Vec<rules::Finding>> = if flow_aware {
         let lib_sources: Vec<(String, String)> = sources
             .iter()
@@ -104,8 +103,12 @@ pub fn analyze_files(
         diagnostics.extend(scan_file_with(path, source, config, file_extra));
     }
     diagnostics.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule.as_str(), a.col)
-            .cmp(&(b.file.as_str(), b.line, b.rule.as_str(), b.col))
+        (a.file.as_str(), a.line, a.rule.as_str(), a.col).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.as_str(),
+            b.col,
+        ))
     });
     diagnostics
 }
@@ -138,7 +141,8 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
 /// true` / `key = { … }` keys, which is the entire grammar the
 /// workspace manifests use.
 pub fn workspace_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
-    let mut manifests: Vec<(String, PathBuf)> = vec![("suite".to_string(), root.join("Cargo.toml"))];
+    let mut manifests: Vec<(String, PathBuf)> =
+        vec![("suite".to_string(), root.join("Cargo.toml"))];
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
         let mut dirs: Vec<PathBuf> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
@@ -207,7 +211,9 @@ pub fn workspace_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
             // `toto-simcore.workspace = true` → key `toto-simcore`.
             let key = key.trim().split('.').next().unwrap_or("").trim();
             if let Some(dep_short) = pkg_to_short.get(key) {
-                deps.entry(short.clone()).or_default().push(dep_short.clone());
+                deps.entry(short.clone())
+                    .or_default()
+                    .push(dep_short.clone());
             }
         }
     }

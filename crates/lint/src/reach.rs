@@ -98,7 +98,11 @@ fn std_hash_imports(tokens: &[Token]) -> BTreeSet<&str> {
 }
 
 /// Lexical nondeterminism sinks inside one fn body.
-fn sinks_in_body(tokens: &[Token], range: (usize, usize), hash_imports: &BTreeSet<&str>) -> Vec<Sink> {
+fn sinks_in_body(
+    tokens: &[Token],
+    range: (usize, usize),
+    hash_imports: &BTreeSet<&str>,
+) -> Vec<Sink> {
     let (start, end) = range;
     let mut out = Vec::new();
     for i in start..end.min(tokens.len()) {
@@ -187,7 +191,10 @@ fn covered_sites(
             (a.line == f.line || a.line + 1 == f.line) && a.rules.iter().any(|r| r == f.rule)
         })
     });
-    findings.into_iter().map(|f| (f.rule, f.line, f.col)).collect()
+    findings
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect()
 }
 
 /// `&mut <Type>` with `Type` in the configured state-type set, anywhere
@@ -274,8 +281,7 @@ pub fn analyze(
                     chain.push(parent[*chain.last().unwrap()]);
                 }
                 chain.reverse();
-                let rendered: Vec<String> =
-                    chain.iter().map(|&f| ws.fn_qualified(f)).collect();
+                let rendered: Vec<String> = chain.iter().map(|&f| ws.fn_qualified(f)).collect();
                 let (what, advice) = match sink.kind {
                     SinkKind::WallClock => (
                         "wall-clock read",
@@ -395,10 +401,7 @@ mod tests {
     fn d004_reports_cross_crate_chain() {
         let out = run(
             &[
-                (
-                    "crates/core/src/lib.rs",
-                    "pub fn run() { helper_tick(); }",
-                ),
+                ("crates/core/src/lib.rs", "pub fn run() { helper_tick(); }"),
                 (
                     "crates/fleet/src/lib.rs",
                     "pub fn helper_tick() { let _ = Instant::now(); }",

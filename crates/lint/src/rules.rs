@@ -476,7 +476,9 @@ fn rule_d006(tokens: &[Token], in_test: &[bool], findings: &mut Vec<Finding>) {
         }
         // `.partial_cmp(` — a call, not the `fn partial_cmp` definition.
         if is_punct(&tokens[i], ".")
-            && tokens.get(i + 1).is_some_and(|t| is_ident(t, "partial_cmp"))
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| is_ident(t, "partial_cmp"))
             && tokens.get(i + 2).is_some_and(|t| is_punct(t, "("))
         {
             findings.push(Finding::at(
@@ -491,8 +493,7 @@ fn rule_d006(tokens: &[Token], in_test: &[bool], findings: &mut Vec<Finding>) {
         let op = if is_punct(&tokens[i], "=") && tokens.get(i + 1).is_some_and(|t| is_punct(t, "="))
         {
             Some("==")
-        } else if is_punct(&tokens[i], "!") && tokens.get(i + 1).is_some_and(|t| is_punct(t, "="))
-        {
+        } else if is_punct(&tokens[i], "!") && tokens.get(i + 1).is_some_and(|t| is_punct(t, "=")) {
             Some("!=")
         } else {
             None

@@ -188,6 +188,22 @@ fn chaos_crate_is_under_the_full_sim_path_contract() {
 }
 
 #[test]
+fn r002_covers_the_scenario_oracle_mutator() {
+    // `crates/scenario/src/oracle.rs` is an R002 path and `KsOracle` a
+    // guarded state type: recording a K-S verdict without asserting the
+    // oracle's invariants is a contract violation, while the shipped
+    // guarded mutator and read-only accessors stay clean.
+    let diags = lint(
+        "crates/scenario/src/oracle.rs",
+        include_str!("fixtures/r002_oracle_record.rs"),
+    );
+    let r002: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "R002").collect();
+    assert_eq!(r002.len(), 1, "one unguarded oracle mutator: {diags:?}");
+    assert!(r002[0].message.contains("record_family_unguarded"));
+    assert_eq!(r002[0].level, Level::Error);
+}
+
+#[test]
 fn r002_fires_on_unguarded_set_node_down() {
     let diags = lint(
         "crates/fabric/src/plb.rs",

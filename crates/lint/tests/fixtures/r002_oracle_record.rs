@@ -1,0 +1,16 @@
+// Fixture: the K-S oracle mutator contract. `record_family` mutates the
+// oracle's verdict state, so the R002 invariant-check rule applies to it
+// exactly as it does to cluster mutators — an unguarded variant must be
+// flagged, the shipped guarded shape must stay clean.
+pub fn record_family_unguarded(oracle: &mut KsOracle, family: &str, tested: u64) {
+    oracle.push_unchecked(family, tested);
+}
+
+pub fn record_family(oracle: &mut KsOracle, family: &str, tested: u64) {
+    debug_assert!(!family.is_empty(), "family names are non-empty");
+    oracle.push_unchecked(family, tested);
+}
+
+pub fn acceptance(oracle: &KsOracle) -> f64 {
+    oracle.rate()
+}

@@ -1,0 +1,67 @@
+//! `scenario_runner` — execute a data-driven scenario.
+//!
+//! ```text
+//! scenario_runner --scenario NAME|FILE [--seeds N] [--threads T]
+//!                 [--hours H] [--out DIR] [--trace]
+//! ```
+//!
+//! NAME is a built-in scenario (`density_sweep`, `chaos_storm`,
+//! `region_mixed4`, `pool_packing`, `cohort_mix`) or a path to a
+//! scenario TOML file. Every run is gated by the K-S validation oracle:
+//! a scenario whose synthesized workload does not fit its trained
+//! models aborts with the failing family's verdict before any
+//! simulation output is written. Artifacts (run records, manifest, the
+//! scenario source, `oracle.json`, and `sweep.json` for `--seeds N > 1`)
+//! land under `<out>/runs/<name>/`, byte-identical at any `--threads`.
+
+use toto_scenario::cli::{run_cli, CliArgs};
+use toto_scenario::NAMED_SCENARIOS;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: scenario_runner --scenario NAME|FILE [--seeds N] [--threads T] \
+             [--hours H] [--out DIR] [--trace]\nbuilt-in scenarios: {}",
+            NAMED_SCENARIOS.join(", ")
+        );
+        return;
+    }
+    let args = match CliArgs::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("scenario_runner: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "[scenario_runner] {} on {} threads ({} seed{})",
+        args.scenario,
+        args.threads,
+        args.seeds,
+        if args.seeds == 1 { "" } else { "s" }
+    );
+    match run_cli(&args, &toto_fleet::StderrProgress) {
+        Ok(summary) => {
+            println!(
+                "scenario {}: {} completed, {} failed, {} oracle families fitted -> {}",
+                summary.fleet_name,
+                summary.completed,
+                summary.failed,
+                summary.oracle_families,
+                summary.dir.display()
+            );
+            if summary.chaos_violations > 0 {
+                println!("chaos oracle violations: {}", summary.chaos_violations);
+                std::process::exit(1);
+            }
+            if summary.failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("scenario_runner: {e}");
+            std::process::exit(1);
+        }
+    }
+}

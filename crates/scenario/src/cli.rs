@@ -1,0 +1,230 @@
+//! The shared scenario-resolution and run path.
+//!
+//! Both the `scenario_runner` bin here and the `run_scenario` bench bin
+//! go through this module, so there is exactly one way a scenario name
+//! becomes a run: built-in name → embedded text; anything else → file
+//! path. Legacy `<Scenario>` XML specs are folded into the same path by
+//! compiling them to a single pinned fleet job — ad-hoc per-bin parsing
+//! is gone.
+
+use crate::builtin::{builtin, NAMED_SCENARIOS};
+use crate::doc::ScenarioDoc;
+use crate::error::ScenarioError;
+use crate::runner::{run, RunOptions, RunSummary};
+use toto::experiment::ExperimentOverrides;
+use toto_fleet::{FleetObserver, FleetPlan};
+use toto_spec::ScenarioSpec;
+
+/// A resolved scenario: its source text plus where it came from.
+#[derive(Clone, Debug)]
+pub struct ResolvedScenario {
+    /// The scenario source text (TOML).
+    pub source: String,
+    /// The validated document.
+    pub doc: ScenarioDoc,
+}
+
+/// Resolve a scenario argument: a built-in name ([`NAMED_SCENARIOS`]) or
+/// a path to a `.toml` scenario file.
+pub fn resolve(name_or_path: &str) -> Result<ResolvedScenario, ScenarioError> {
+    let source = match builtin(name_or_path) {
+        Some(text) => text.to_string(),
+        None => std::fs::read_to_string(name_or_path).map_err(|e| ScenarioError::Io {
+            path: name_or_path.to_string(),
+            message: format!(
+                "{e} (not a built-in scenario either; built-ins: {})",
+                NAMED_SCENARIOS.join(", ")
+            ),
+        })?,
+    };
+    let doc = ScenarioDoc::parse(&source)?;
+    Ok(ResolvedScenario { source, doc })
+}
+
+/// Parsed command line shared by the scenario front-ends.
+#[derive(Clone, Debug)]
+pub struct CliArgs {
+    /// Scenario name or path (`--scenario`).
+    pub scenario: String,
+    /// Seed replicas (`--seeds`, default 1).
+    pub seeds: u64,
+    /// Worker threads (`--threads`).
+    pub threads: usize,
+    /// Run-length override, hours (`--hours`).
+    pub hours: Option<u64>,
+    /// Artifact store root (`--out`, default `results`).
+    pub out: String,
+    /// Record per-job trace sidecars (`--trace`).
+    pub trace: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            scenario: String::new(),
+            seeds: 1,
+            threads: std::thread::available_parallelism().map_or(4, usize::from),
+            hours: None,
+            out: "results".to_string(),
+            trace: false,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parse an argument list (without the program name). Unknown flags
+    /// and malformed values are typed errors so front-ends can print
+    /// usage and exit non-zero.
+    pub fn parse(argv: &[String]) -> Result<CliArgs, ScenarioError> {
+        let mut args = CliArgs::default();
+        let mut it = argv.iter();
+        let missing = |flag: &str| ScenarioError::invalid(format!("{flag} requires a value"));
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scenario" => {
+                    args.scenario = it.next().ok_or_else(|| missing("--scenario"))?.clone();
+                }
+                "--seeds" => {
+                    let v = it.next().ok_or_else(|| missing("--seeds"))?;
+                    args.seeds = v.parse().map_err(|_| {
+                        ScenarioError::invalid(format!("--seeds: not an integer: {v:?}"))
+                    })?;
+                    if args.seeds == 0 {
+                        return Err(ScenarioError::invalid("--seeds must be at least 1"));
+                    }
+                }
+                "--threads" => {
+                    let v = it.next().ok_or_else(|| missing("--threads"))?;
+                    args.threads = v.parse().map_err(|_| {
+                        ScenarioError::invalid(format!("--threads: not an integer: {v:?}"))
+                    })?;
+                }
+                "--hours" => {
+                    let v = it.next().ok_or_else(|| missing("--hours"))?;
+                    args.hours = Some(v.parse().map_err(|_| {
+                        ScenarioError::invalid(format!("--hours: not an integer: {v:?}"))
+                    })?);
+                }
+                "--out" => {
+                    args.out = it.next().ok_or_else(|| missing("--out"))?.clone();
+                }
+                "--trace" => args.trace = true,
+                other => {
+                    return Err(ScenarioError::invalid(format!(
+                        "unknown flag {other:?}; usage: --scenario NAME|FILE [--seeds N] \
+                         [--threads T] [--hours H] [--out DIR] [--trace]"
+                    )));
+                }
+            }
+        }
+        if args.scenario.is_empty() {
+            return Err(ScenarioError::invalid(format!(
+                "--scenario is required; built-ins: {}",
+                NAMED_SCENARIOS.join(", ")
+            )));
+        }
+        Ok(args)
+    }
+}
+
+/// Resolve and run a scenario per the parsed arguments.
+pub fn run_cli(args: &CliArgs, observer: &dyn FleetObserver) -> Result<RunSummary, ScenarioError> {
+    let mut resolved = resolve(&args.scenario)?;
+    if let Some(hours) = args.hours {
+        if hours == 0 {
+            return Err(ScenarioError::invalid("--hours must be positive"));
+        }
+        resolved.doc.hours = Some(hours);
+    }
+    if args.trace {
+        resolved.doc.trace = true;
+    }
+    let options = RunOptions {
+        threads: args.threads.max(1),
+        seeds: args.seeds,
+        out: args.out.clone(),
+    };
+    run(&resolved.doc, &resolved.source, &options, observer)
+}
+
+/// Compile a legacy `<Scenario>` XML spec into a single pinned fleet
+/// job, so the old `run_scenario <file.xml>` path flows through the same
+/// executor-and-store pipeline as everything else. The spec's own
+/// component seeds are kept (that is what an XML spec *is*).
+pub fn xml_spec_plan(spec: ScenarioSpec, root_seed: u64) -> FleetPlan {
+    let mut plan = FleetPlan::new(root_seed);
+    plan.add_pinned(spec.name.clone(), spec, ExperimentOverrides::default());
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let args = CliArgs::parse(&argv(&[
+            "--scenario",
+            "density_sweep",
+            "--seeds",
+            "3",
+            "--threads",
+            "2",
+            "--hours",
+            "24",
+            "--out",
+            "/tmp/x",
+            "--trace",
+        ]))
+        .expect("parses");
+        assert_eq!(args.scenario, "density_sweep");
+        assert_eq!(args.seeds, 3);
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.hours, Some(24));
+        assert_eq!(args.out, "/tmp/x");
+        assert!(args.trace);
+    }
+
+    #[test]
+    fn unknown_flag_and_missing_scenario_are_typed_errors() {
+        assert!(matches!(
+            CliArgs::parse(&argv(&["--bogus"])),
+            Err(ScenarioError::Invalid { .. })
+        ));
+        assert!(matches!(
+            CliArgs::parse(&argv(&[])),
+            Err(ScenarioError::Invalid { .. })
+        ));
+        assert!(matches!(
+            CliArgs::parse(&argv(&["--scenario", "x", "--seeds", "0"])),
+            Err(ScenarioError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_prefers_builtins_and_reports_unknowns() {
+        let resolved = resolve("density_sweep").expect("builtin resolves");
+        assert_eq!(resolved.doc.name, "density-sweep");
+        let err = resolve("no_such_scenario_anywhere").unwrap_err();
+        match err {
+            ScenarioError::Io { message, .. } => {
+                assert!(message.contains("built-ins"), "{message}")
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xml_spec_plan_pins_the_spec_seeds() {
+        let mut spec = ScenarioSpec::gen5_stage_cluster(110);
+        spec.plb_seed = 777;
+        let plan = xml_spec_plan(spec, 42);
+        assert_eq!(plan.jobs().len(), 1);
+        assert_eq!(plan.jobs()[0].scenario.plb_seed, 777);
+        assert_eq!(plan.jobs()[0].label, "gen5-stage-density-110");
+    }
+}

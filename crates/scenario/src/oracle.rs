@@ -1,0 +1,216 @@
+//! The K-S validation oracle.
+//!
+//! The paper validates every trained model with per-cell
+//! Kolmogorov–Smirnov normality checks (Figure 7). Scenarios make that
+//! check an *in-run gate*: every stream family a scenario synthesizes is
+//! fitted and scored, and a family whose acceptance rate falls below the
+//! scenario's floor aborts the run with a typed
+//! [`crate::error::ScenarioError::Oracle`] before any simulation output
+//! is written — the same discipline as the chaos invariant oracles,
+//! which refuse to report results from a run whose premises are broken.
+
+use crate::error::OracleFailure;
+use toto_fleet::json::Json;
+use toto_models::training::TrainingReport;
+
+/// The fit verdict for one synthesized stream family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilyFit {
+    /// Family label, e.g. `"creates/gp"` or `"serverless/pause"`.
+    pub family: String,
+    /// Cells with enough observations to run the K-S test.
+    pub tested: u64,
+    /// Tested cells whose normality hypothesis was not rejected.
+    pub accepted: u64,
+    /// Smallest p-value across tested cells (1.0 when none tested).
+    pub min_p: f64,
+    /// `accepted / tested` (1.0 when no cell was testable — an untested
+    /// family never blocks a run; sparse streams are legitimate).
+    pub acceptance: f64,
+}
+
+/// Accumulated K-S verdicts for one scenario, plus the thresholds they
+/// are judged against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KsOracle {
+    /// Significance level each cell was tested at.
+    pub alpha: f64,
+    /// Required acceptance rate per family.
+    pub min_acceptance: f64,
+    families: Vec<FamilyFit>,
+}
+
+impl KsOracle {
+    /// An empty oracle with the scenario's thresholds.
+    pub fn new(alpha: f64, min_acceptance: f64) -> Self {
+        KsOracle {
+            alpha,
+            min_acceptance,
+            families: Vec::new(),
+        }
+    }
+
+    /// The recorded family verdicts, in recording order.
+    pub fn families(&self) -> &[FamilyFit] {
+        &self.families
+    }
+
+    /// The gate: `Err` with the first family whose acceptance rate is
+    /// below the floor, `Ok` when every family fits.
+    pub fn check(&self) -> Result<(), OracleFailure> {
+        for fit in &self.families {
+            if fit.acceptance < self.min_acceptance {
+                return Err(OracleFailure {
+                    family: fit.family.clone(),
+                    tested: fit.tested,
+                    accepted: fit.accepted,
+                    min_p: fit.min_p,
+                    acceptance: fit.acceptance,
+                    min_acceptance: self.min_acceptance,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the verdicts as the `oracle.json` artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("alpha", Json::Num(self.alpha)),
+            ("min_acceptance", Json::Num(self.min_acceptance)),
+            (
+                "families",
+                Json::Arr(
+                    self.families
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("family", Json::Str(f.family.clone())),
+                                ("tested", Json::Uint(f.tested)),
+                                ("accepted", Json::Uint(f.accepted)),
+                                ("min_p", Json::Num(f.min_p)),
+                                ("acceptance", Json::Num(f.acceptance)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Score one stream family's [`TrainingReport`] into `oracle` and emit
+/// the verdict as a [`toto_trace::EventKind::ScenarioFit`] trace event.
+pub fn record_family(oracle: &mut KsOracle, family: &str, report: &TrainingReport) {
+    debug_assert!(
+        !family.is_empty() && oracle.alpha > 0.0 && oracle.alpha < 1.0,
+        "oracle families need a label and a proper significance level"
+    );
+    let p_values = report.p_values();
+    let tested = p_values.len() as u64;
+    let accepted = p_values.iter().filter(|p| **p > oracle.alpha).count() as u64;
+    let min_p = p_values.iter().copied().fold(1.0_f64, f64::min);
+    let acceptance = if tested == 0 {
+        1.0
+    } else {
+        accepted as f64 / tested as f64
+    };
+    toto_trace::emit(toto_trace::EventKind::ScenarioFit, || {
+        toto_trace::EventBody::ScenarioFit {
+            family: family.to_string(),
+            tested,
+            accepted,
+            min_p,
+        }
+    });
+    oracle.families.push(FamilyFit {
+        family: family.to_string(),
+        tested,
+        accepted,
+        min_p,
+        acceptance,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toto_models::training::train_hourly_table;
+    use toto_models::training::HourlyObservation;
+    use toto_simcore::rng::DetRng;
+    use toto_simcore::time::SimTime;
+
+    fn normal_report(seed: u64, sigma: f64) -> TrainingReport {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut obs = Vec::new();
+        for week in 0..6u64 {
+            for hour in 0..168u64 {
+                let t = SimTime::from_secs((week * 168 + hour) * 3600);
+                // Box-Muller normal around 20.
+                let u1: f64 = rng.next_f64().max(1e-12);
+                let u2 = rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                obs.push(HourlyObservation {
+                    time: t,
+                    value: 20.0 + sigma * z,
+                });
+            }
+        }
+        train_hourly_table(&obs).1
+    }
+
+    #[test]
+    fn well_fitted_family_passes_the_gate() {
+        let mut oracle = KsOracle::new(0.05, 0.6);
+        let report = normal_report(7, 3.0);
+        record_family(&mut oracle, "creates/gp", &report);
+        assert_eq!(oracle.families().len(), 1);
+        let fit = &oracle.families()[0];
+        assert_eq!(fit.tested, 48);
+        assert!(fit.acceptance > 0.8, "acceptance = {}", fit.acceptance);
+        oracle.check().expect("well-fitted family passes");
+    }
+
+    #[test]
+    fn misfit_family_fails_with_its_verdict() {
+        let mut oracle = KsOracle::new(0.05, 0.6);
+        // A two-point mass is maximally non-normal: every cell rejects.
+        let mut obs = Vec::new();
+        for week in 0..6u64 {
+            for hour in 0..168u64 {
+                let t = SimTime::from_secs((week * 168 + hour) * 3600);
+                obs.push(HourlyObservation {
+                    time: t,
+                    value: if week % 2 == 0 { 0.0 } else { 100.0 },
+                });
+            }
+        }
+        let report = train_hourly_table(&obs).1;
+        record_family(&mut oracle, "creates/bimodal", &report);
+        let failure = oracle.check().expect_err("bimodal stream must fail");
+        assert_eq!(failure.family, "creates/bimodal");
+        assert!(failure.acceptance < 0.6);
+        assert_eq!(failure.min_acceptance, 0.6);
+    }
+
+    #[test]
+    fn untested_family_never_blocks() {
+        let mut oracle = KsOracle::new(0.05, 0.9);
+        let report = train_hourly_table(&[]).1;
+        record_family(&mut oracle, "sparse", &report);
+        assert_eq!(oracle.families()[0].tested, 0);
+        assert_eq!(oracle.families()[0].acceptance, 1.0);
+        oracle.check().expect("untested family passes");
+    }
+
+    #[test]
+    fn oracle_json_lists_every_family() {
+        let mut oracle = KsOracle::new(0.05, 0.6);
+        record_family(&mut oracle, "a", &normal_report(1, 2.0));
+        record_family(&mut oracle, "b", &normal_report(2, 2.0));
+        let rendered = oracle.to_json().render();
+        assert!(rendered.contains("\"a\""), "{rendered}");
+        assert!(rendered.contains("\"b\""), "{rendered}");
+        assert!(rendered.contains("min_acceptance"), "{rendered}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Workload fitting: synthesized streams → population model + oracle.
+//!
+//! A scenario's `[workload]` section describes a statistical workload
+//! (cohorts, launch spikes, serverless populations, ETL seasons). This
+//! module turns it into the same artifact the paper's training pipeline
+//! produces — an hourly-normal [`PopulationModelSpec`] — by actually
+//! *running* that pipeline: synthesize region-level streams with
+//! `toto_telemetry::WorkloadGenerator`, fit them with
+//! `toto_models::train_hourly_table`, and record every family's K-S
+//! verdict in the [`KsOracle`]. Scenarios without a `[workload]` section
+//! still fit (and validate) the baseline streams, but inject no
+//! population override — keeping the built-in studies byte-identical to
+//! their hard-coded counterparts.
+
+use crate::doc::{OracleConfig, WorkloadConfig};
+use crate::oracle::{record_family, KsOracle};
+use toto::defaults::gen5_population_model;
+use toto_models::training::{train_hourly_table, train_steady_state, HourlyObservation};
+use toto_simcore::time::SimTime;
+use toto_spec::model::HourlyTable;
+use toto_spec::population::PopulationModelSpec;
+use toto_spec::EditionKind;
+use toto_telemetry::{WorkloadGenerator, WorkloadProfile};
+
+/// A fitted population model minus its per-job seed: the compiler stamps
+/// each job's derived `population_seed` onto it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PopulationTemplate {
+    create: [HourlyTable; 2],
+    drop: [HourlyTable; 2],
+}
+
+impl PopulationTemplate {
+    /// Materialize the template as a job's population model. SLO mix and
+    /// initial-disk bins come from the gen5 defaults — the workload DSL
+    /// shapes *volumes*, not the SLO demographics.
+    pub fn with_seed(&self, seed: u64) -> PopulationModelSpec {
+        let base = gen5_population_model(seed);
+        PopulationModelSpec {
+            seed,
+            create: self.create.clone(),
+            drop: self.drop.clone(),
+            slo_mix: base.slo_mix,
+            initial_disk_bins: base.initial_disk_bins,
+        }
+    }
+}
+
+/// Scale a region-level table to ring level: means scale linearly, count
+/// dispersion scales with the square root (thinning a counting process).
+fn scale_table(table: &HourlyTable, fraction: f64) -> HourlyTable {
+    let mut out = table.clone();
+    let sd_scale = fraction.sqrt();
+    for day in 0..2 {
+        for hour in 0..24 {
+            let (mu, sd) = out.cells[day][hour];
+            out.cells[day][hour] = (mu * fraction, sd * sd_scale);
+        }
+    }
+    out
+}
+
+/// Fold an independent stream's table into a base table: means add,
+/// standard deviations combine in quadrature.
+fn fold_into(dst: &mut HourlyTable, src: &HourlyTable) {
+    for day in 0..2 {
+        for hour in 0..24 {
+            let (m1, s1) = dst.cells[day][hour];
+            let (m2, s2) = src.cells[day][hour];
+            dst.cells[day][hour] = (m1 + m2, (s1 * s1 + s2 * s2).sqrt());
+        }
+    }
+}
+
+fn profile_from(config: &WorkloadConfig) -> WorkloadProfile {
+    let mut profile = WorkloadProfile::baseline(config.region.clone());
+    if !config.cohorts.is_empty() {
+        profile.cohorts = config.cohorts.clone();
+    }
+    profile.spikes = config.spikes.clone();
+    profile.serverless = config.serverless.clone();
+    profile.etl = config.etl.clone();
+    profile
+}
+
+/// Synthesize, fit and K-S-score a scenario's workload.
+///
+/// Always records the create/drop families (plus serverless and ETL
+/// families when configured) into `oracle`. Returns a population
+/// template only when a `[workload]` section was present — the gate runs
+/// either way, the override is opt-in.
+pub fn fit_workload(
+    config: Option<&WorkloadConfig>,
+    oracle_cfg: &OracleConfig,
+    oracle: &mut KsOracle,
+    seed: u64,
+) -> Option<PopulationTemplate> {
+    let (profile, ring_fraction) = match config {
+        Some(c) => (profile_from(c), c.ring_fraction),
+        None => (
+            WorkloadProfile::baseline(toto_telemetry::RegionProfile::region1()),
+            0.05,
+        ),
+    };
+    let generator = WorkloadGenerator::new(seed, profile);
+    let weeks = oracle_cfg.weeks;
+
+    let mut create = [
+        HourlyTable::constant(0.0, 0.0),
+        HourlyTable::constant(0.0, 0.0),
+    ];
+    let mut drop = create.clone();
+    for edition in EditionKind::ALL {
+        let i = edition.index();
+        let tag = match edition {
+            EditionKind::StandardGp => "gp",
+            EditionKind::PremiumBc => "bc",
+        };
+        let obs = generator.hourly_creates(edition, weeks);
+        let (table, report) = train_hourly_table(&obs);
+        record_family(oracle, &format!("creates/{tag}"), &report);
+        create[i] = scale_table(&table, ring_fraction);
+
+        let obs = generator.hourly_drops(edition, weeks);
+        let (table, report) = train_hourly_table(&obs);
+        record_family(oracle, &format!("drops/{tag}"), &report);
+        drop[i] = scale_table(&table, ring_fraction);
+    }
+
+    if generator.profile().serverless.is_some() {
+        // Serverless auto-pause behaves like a drop of an active database
+        // and a resume like a create: fold the fitted streams into the GP
+        // tables after scoring them as their own families.
+        let gp = EditionKind::StandardGp.index();
+        let obs = generator.serverless_pauses(weeks);
+        let (table, report) = train_hourly_table(&obs);
+        record_family(oracle, "serverless/pause", &report);
+        fold_into(&mut drop[gp], &scale_table(&table, ring_fraction));
+
+        let obs = generator.serverless_resumes(weeks);
+        let (table, report) = train_hourly_table(&obs);
+        record_family(oracle, "serverless/resume", &report);
+        fold_into(&mut create[gp], &scale_table(&table, ring_fraction));
+    }
+
+    if generator.profile().etl.is_some() {
+        // The ETL season modulates per-database disk deltas; it is scored
+        // as a family (the oracle must see every synthesized stream) but
+        // the population tables are unaffected — disk growth lives in the
+        // metric model set, not the population model.
+        let trace = generator.seasonal_disk_trace(0, (weeks * 7 * 24 * 3) as usize);
+        let obs: Vec<HourlyObservation> = trace
+            .deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| HourlyObservation {
+                time: SimTime::from_secs(i as u64 * trace.period_secs),
+                value,
+            })
+            .collect();
+        let (_, report) = train_steady_state(&obs);
+        record_family(oracle, "disk/etl-season", &report);
+    }
+
+    config.map(|_| PopulationTemplate { create, drop })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::ScenarioDoc;
+
+    fn oracle() -> KsOracle {
+        KsOracle::new(0.05, 0.6)
+    }
+
+    #[test]
+    fn baseline_fit_records_families_but_no_template() {
+        let cfg = OracleConfig::default();
+        let mut oracle = oracle();
+        let template = fit_workload(None, &cfg, &mut oracle, 42);
+        assert!(template.is_none());
+        let families: Vec<&str> = oracle
+            .families()
+            .iter()
+            .map(|f| f.family.as_str())
+            .collect();
+        assert_eq!(
+            families,
+            ["creates/gp", "drops/gp", "creates/bc", "drops/bc"]
+        );
+        oracle.check().expect("baseline streams are hourly-normal");
+    }
+
+    #[test]
+    fn workload_fit_produces_a_scaled_template() {
+        let doc = ScenarioDoc::parse(
+            r#"
+[scenario]
+name = "wl"
+kind = "fleet"
+
+[schedule]
+densities = [110]
+
+[workload]
+region = "region1"
+ring_fraction = 0.05
+"#,
+        )
+        .expect("parses");
+        let mut oracle = oracle();
+        let template =
+            fit_workload(doc.workload.as_ref(), &doc.oracle, &mut oracle, 42).expect("template");
+        oracle.check().expect("baseline workload fits");
+        let spec = template.with_seed(9);
+        assert_eq!(spec.seed, 9);
+        // Region 1 peaks at 60 GP creates/hour; 5 % of that ring-level.
+        let gp = &spec.create[EditionKind::StandardGp.index()];
+        let peak = gp.cells[0][14].0;
+        assert!((2.0..4.5).contains(&peak), "ring-level peak = {peak}");
+        // SLO demographics come from the defaults.
+        assert_eq!(spec.slo_mix, gen5_population_model(9).slo_mix);
+    }
+
+    #[test]
+    fn serverless_families_fold_into_gp_tables() {
+        let doc = ScenarioDoc::parse(
+            r#"
+[scenario]
+name = "sls"
+kind = "fleet"
+
+[schedule]
+densities = [110]
+
+[workload]
+region = "region1"
+
+[workload.serverless]
+pause_peak = 40.0
+resume_hour = 8
+"#,
+        )
+        .expect("parses");
+        let mut with_sls = oracle();
+        let sls_template =
+            fit_workload(doc.workload.as_ref(), &doc.oracle, &mut with_sls, 42).expect("template");
+        let families: Vec<&str> = with_sls
+            .families()
+            .iter()
+            .map(|f| f.family.as_str())
+            .collect();
+        assert!(families.contains(&"serverless/pause"), "{families:?}");
+        assert!(families.contains(&"serverless/resume"), "{families:?}");
+        with_sls.check().expect("serverless streams fit");
+
+        let plain = ScenarioDoc::parse(
+            "[scenario]\nname = \"p\"\nkind = \"fleet\"\n[schedule]\ndensities = [110]\n\
+             [workload]\nregion = \"region1\"\n",
+        )
+        .expect("parses");
+        let mut base_oracle = oracle();
+        let base_template =
+            fit_workload(plain.workload.as_ref(), &plain.oracle, &mut base_oracle, 42)
+                .expect("template");
+        let gp = EditionKind::StandardGp.index();
+        let sls_spec = sls_template.with_seed(1);
+        let base_spec = base_template.with_seed(1);
+        // Resumes raise GP create volume at the resume hour.
+        assert!(sls_spec.create[gp].cells[0][8].0 > base_spec.create[gp].cells[0][8].0 + 0.5);
+        // Pauses raise GP drop volume overnight.
+        assert!(sls_spec.drop[gp].cells[0][3].0 > base_spec.drop[gp].cells[0][3].0 + 0.5);
+    }
+
+    #[test]
+    fn etl_season_is_scored_without_touching_population_tables() {
+        let doc = ScenarioDoc::parse(
+            r#"
+[scenario]
+name = "etl"
+kind = "fleet"
+
+[schedule]
+densities = [110]
+
+[workload]
+region = "region1"
+
+[workload.etl]
+amplitude = 0.3
+period_days = 90
+"#,
+        )
+        .expect("parses");
+        let mut with_etl = oracle();
+        let etl_template =
+            fit_workload(doc.workload.as_ref(), &doc.oracle, &mut with_etl, 42).expect("template");
+        assert!(with_etl
+            .families()
+            .iter()
+            .any(|f| f.family == "disk/etl-season"));
+        with_etl.check().expect("seasonal disk deltas fit");
+
+        let plain = ScenarioDoc::parse(
+            "[scenario]\nname = \"p\"\nkind = \"fleet\"\n[schedule]\ndensities = [110]\n\
+             [workload]\nregion = \"region1\"\n",
+        )
+        .expect("parses");
+        let mut base_oracle = oracle();
+        let base_template =
+            fit_workload(plain.workload.as_ref(), &plain.oracle, &mut base_oracle, 42)
+                .expect("template");
+        assert_eq!(etl_template, base_template);
+    }
+}

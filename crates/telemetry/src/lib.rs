@@ -23,4 +23,7 @@ pub mod synth;
 
 pub use kpi::{FailoverRecord, NodeSnapshot, Telemetry, TimeSeries};
 pub use revenue::{BillingRecord, RevenueBreakdown, RevenueParams};
-pub use synth::{RegionProfile, SynthConfig, TraceGenerator};
+pub use synth::{
+    CohortProfile, EtlSeason, LaunchSpike, RegionProfile, ServerlessProfile, SynthConfig,
+    TraceGenerator, WorkloadGenerator, WorkloadProfile,
+};

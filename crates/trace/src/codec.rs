@@ -506,6 +506,12 @@ pub fn retype(file: &TraceFile, ev: &DecodedEvent) -> Option<EventBody> {
             key: s(0)?,
             existed: u(1)?,
         },
+        EventKind::ScenarioFit => EventBody::ScenarioFit {
+            family: s(0)?,
+            tested: u(1)?,
+            accepted: u(2)?,
+            min_p: f(3)?,
+        },
     })
 }
 

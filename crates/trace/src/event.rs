@@ -72,10 +72,12 @@ pub enum EventKind {
     RegionRingDrain = 26,
     /// A delete against the naming service (tombstone removal on drop).
     NamingDelete = 27,
+    /// Scenario K-S oracle scored one synthesized stream family.
+    ScenarioFit = 28,
 }
 
 /// Number of defined event kinds (kind ids are `0..COUNT`).
-pub const KIND_COUNT: usize = 28;
+pub const KIND_COUNT: usize = 29;
 
 /// All kinds, in kind-id order.
 pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
@@ -107,6 +109,7 @@ pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::RegionRingUp,
     EventKind::RegionRingDrain,
     EventKind::NamingDelete,
+    EventKind::ScenarioFit,
 ];
 
 /// Bit masks for selecting which kinds a sink records.
@@ -166,6 +169,7 @@ impl EventKind {
             EventKind::RegionRingUp => "region_ring_up",
             EventKind::RegionRingDrain => "region_ring_drain",
             EventKind::NamingDelete => "naming_delete",
+            EventKind::ScenarioFit => "scenario_fit",
         }
     }
 
@@ -261,6 +265,12 @@ impl EventKind {
             FieldDef::f64("cores"),
         ];
         const NAMING_DELETE: &[FieldDef] = &[FieldDef::str("key"), FieldDef::u64("existed")];
+        const SCENARIO_FIT: &[FieldDef] = &[
+            FieldDef::str("family"),
+            FieldDef::u64("tested"),
+            FieldDef::u64("accepted"),
+            FieldDef::f64("min_p"),
+        ];
         match self {
             EventKind::Phase => PHASE,
             EventKind::Dispatch => DISPATCH,
@@ -290,6 +300,7 @@ impl EventKind {
             EventKind::RegionRingUp => REGION_RING_UP,
             EventKind::RegionRingDrain => REGION_RING_DRAIN,
             EventKind::NamingDelete => NAMING_DELETE,
+            EventKind::ScenarioFit => SCENARIO_FIT,
         }
     }
 }
@@ -509,6 +520,13 @@ pub enum EventBody {
         /// 1 when the key existed (a record was removed), 0 for a no-op.
         existed: u64,
     },
+    ScenarioFit {
+        family: String,
+        tested: u64,
+        accepted: u64,
+        /// Smallest K-S p-value across tested cells (1.0 when none tested).
+        min_p: f64,
+    },
 }
 
 impl EventBody {
@@ -543,6 +561,7 @@ impl EventBody {
             EventBody::RegionRingUp { .. } => EventKind::RegionRingUp,
             EventBody::RegionRingDrain { .. } => EventKind::RegionRingDrain,
             EventBody::NamingDelete { .. } => EventKind::NamingDelete,
+            EventBody::ScenarioFit { .. } => EventKind::ScenarioFit,
         }
     }
 
@@ -697,6 +716,17 @@ impl EventBody {
             EventBody::NamingDelete { key, existed } => {
                 vec![Value::Str(key.clone()), Value::U64(*existed)]
             }
+            EventBody::ScenarioFit {
+                family,
+                tested,
+                accepted,
+                min_p,
+            } => vec![
+                Value::Str(family.clone()),
+                Value::U64(*tested),
+                Value::U64(*accepted),
+                Value::F64(*min_p),
+            ],
         }
     }
 }
@@ -864,6 +894,12 @@ mod tests {
             EventBody::NamingDelete {
                 key: "services/gp_4-17".into(),
                 existed: 1,
+            },
+            EventBody::ScenarioFit {
+                family: "creates/gp".into(),
+                tested: 48,
+                accepted: 47,
+                min_p: 0.03,
             },
         ];
         assert_eq!(bodies.len(), KIND_COUNT);

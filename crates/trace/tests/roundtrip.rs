@@ -129,6 +129,12 @@ fn one_event_per_kind() -> Vec<TraceEvent> {
             key: "services/gp_4-17".into(),
             existed: 1,
         },
+        EventBody::ScenarioFit {
+            family: "creates/gp".into(),
+            tested: 48,
+            accepted: 47,
+            min_p: 0.03,
+        },
     ];
     assert_eq!(bodies.len(), KIND_COUNT, "one sample body per kind");
     for (i, (body, kind)) in bodies.iter().zip(ALL_KINDS).enumerate() {
