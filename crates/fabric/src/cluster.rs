@@ -7,8 +7,23 @@
 
 use crate::ids::{MetricId, NodeId, ReplicaId, ServiceId};
 use crate::metrics::{LoadVec, MetricRegistry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use toto_simcore::time::SimTime;
+
+/// Map an `f64` cost to a `u64` whose unsigned order matches
+/// [`f64::total_cmp`]. Used as the ordering key of the candidate-node
+/// index so membership updates are integer comparisons and the stored
+/// key is exactly reconstructible from the cached cost bits (which
+/// [`Cluster::invariants_ok`] verifies bitwise).
+#[inline]
+fn cost_key(cost: f64) -> u64 {
+    let bits = cost.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
 
 /// Role of a replica. Single-replica services have a primary only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,6 +155,30 @@ pub struct Cluster {
     /// hot-path base cost: placement evaluates it once per candidate node
     /// per decision instead of once per comparator call.
     node_costs: Vec<f64>,
+    /// Violating `(node, metric)` pairs, maintained incrementally by
+    /// [`Cluster::refresh_node_cost`] — the same refresh-on-mutate hook
+    /// that keeps `node_costs` exact. `BTreeSet` iteration order (node
+    /// id, then metric id) is exactly the order the full scan produced,
+    /// so [`Cluster::violations`] is O(violations) without changing a
+    /// single PLB decision. Down nodes stay tracked: a violation does
+    /// not vanish because its host was drained.
+    violation_set: BTreeSet<(NodeId, MetricId)>,
+    /// Per-node bitmask of currently violated metrics (bit = raw metric
+    /// id), indexed by raw node id. Lets the refresh hook detect
+    /// membership changes without probing `violation_set` when nothing
+    /// changed — the overwhelmingly common case.
+    violation_bits: Vec<u64>,
+    /// All **up** nodes ordered by `(cost_key(node_cost), id)`: the
+    /// PLB's candidate-node index. Walking it ascending visits the
+    /// cheapest-by-cached-cost failover targets first, so target
+    /// selection can stop after a bounded prefix instead of scanning
+    /// every node. Maintained by `refresh_node_cost` / `set_node_up`
+    /// in O(log n) per mutation.
+    cost_index: BTreeSet<(u64, NodeId)>,
+    /// The same index partitioned by fault domain, so spread
+    /// constraints (sibling-domain avoidance) prune whole partitions
+    /// before any candidate is costed.
+    domain_cost_index: Vec<BTreeSet<(u64, NodeId)>>,
 }
 
 impl Cluster {
@@ -154,6 +193,10 @@ impl Cluster {
             config.fault_domains > 0,
             "cluster needs at least one fault domain"
         );
+        assert!(
+            config.metrics.len() <= 64,
+            "violation tracking supports at most 64 metrics"
+        );
         let nodes = (0..config.node_count)
             .map(|i| Node {
                 id: NodeId(i),
@@ -165,6 +208,14 @@ impl Cluster {
             })
             .collect();
         let node_costs = vec![0.0; config.node_count as usize];
+        let domain_count = config.fault_domains.min(config.node_count) as usize;
+        let mut domain_cost_index = vec![BTreeSet::new(); domain_count];
+        let mut cost_index = BTreeSet::new();
+        for i in 0..config.node_count {
+            let key = (cost_key(0.0), NodeId(i));
+            cost_index.insert(key);
+            domain_cost_index[(i % config.fault_domains) as usize].insert(key);
+        }
         Cluster {
             metrics: config.metrics,
             nodes,
@@ -173,15 +224,48 @@ impl Cluster {
             next_service: 0,
             next_replica: 0,
             node_costs,
+            violation_set: BTreeSet::new(),
+            violation_bits: vec![0; config.node_count as usize],
+            cost_index,
+            domain_cost_index,
         }
     }
 
     /// Recompute one node's cached cost from its current aggregate load.
     /// Called by every mutation that touches the node's load, keeping the
     /// cache exact (not incrementally drifted): the stored value is always
-    /// `cost_of` applied to the present load bits.
+    /// `cost_of` applied to the present load bits. The same hook keeps
+    /// the candidate-node index and the violation dirty-set exact, so
+    /// every derived structure refreshes from one place.
     fn refresh_node_cost(&mut self, node: NodeId) {
-        self.node_costs[node.0 as usize] = self.metrics.cost_of(&self.nodes[node.0 as usize].load);
+        let i = node.0 as usize;
+        let old_cost = self.node_costs[i];
+        let new_cost = self.metrics.cost_of(&self.nodes[i].load);
+        self.node_costs[i] = new_cost;
+        if self.nodes[i].up && old_cost.to_bits() != new_cost.to_bits() {
+            let domain = self.nodes[i].fault_domain as usize;
+            self.cost_index.remove(&(cost_key(old_cost), node));
+            self.cost_index.insert((cost_key(new_cost), node));
+            self.domain_cost_index[domain].remove(&(cost_key(old_cost), node));
+            self.domain_cost_index[domain].insert((cost_key(new_cost), node));
+        }
+        let mut bits = 0u64;
+        for (mid, def) in self.metrics.iter() {
+            if self.nodes[i].load[mid] > def.node_capacity {
+                bits |= 1 << mid.0;
+            }
+        }
+        let mut changed = bits ^ self.violation_bits[i];
+        while changed != 0 {
+            let m = changed.trailing_zeros();
+            if bits >> m & 1 == 1 {
+                self.violation_set.insert((node, MetricId(m)));
+            } else {
+                self.violation_set.remove(&(node, MetricId(m)));
+            }
+            changed &= changed - 1;
+        }
+        self.violation_bits[i] = bits;
     }
 
     /// The metric registry.
@@ -415,21 +499,59 @@ impl Cluster {
     /// Nodes whose aggregate load exceeds logical capacity, with the
     /// violated metric. A node can appear once per violated metric.
     /// Deterministic order: by node id, then metric id.
+    ///
+    /// O(violations): reads the dirty-set maintained by the
+    /// refresh-on-mutate hook instead of scanning every (node, metric)
+    /// pair. The set's iteration order is exactly the order the full
+    /// scan produced, so callers see identical vectors.
     pub fn violations(&self) -> Vec<(NodeId, MetricId)> {
-        let mut out = Vec::new();
-        for node in &self.nodes {
-            for (mid, def) in self.metrics.iter() {
-                if node.load[mid] > def.node_capacity {
-                    out.push((node.id, mid));
-                }
-            }
-        }
-        out
+        self.violation_set.iter().copied().collect()
+    }
+
+    /// True iff no node violates any metric's capacity. O(1).
+    pub fn has_violations(&self) -> bool {
+        !self.violation_set.is_empty()
+    }
+
+    /// All up nodes in ascending order of cached node cost (ties broken
+    /// by node id): the PLB's pruned candidate walk. Down nodes are
+    /// excluded — they are never feasible targets.
+    pub fn candidate_nodes_by_cost(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.cost_index.iter().map(|&(_, n)| n)
+    }
+
+    /// Up nodes of one fault domain in ascending order of cached cost.
+    /// Domains `>= fault_domain_count()` are empty.
+    pub fn domain_nodes_by_cost(&self, domain: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.domain_cost_index
+            .get(domain as usize)
+            .into_iter()
+            .flat_map(|set| set.iter().map(|&(_, n)| n))
+    }
+
+    /// Number of distinct fault domains nodes can occupy.
+    pub fn fault_domain_count(&self) -> usize {
+        self.domain_cost_index.len()
     }
 
     /// Mark a node as draining (excluded as a placement/failover target).
+    /// Down nodes leave the candidate index; their violations stay
+    /// tracked (the load is still there).
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
-        self.nodes[node.0 as usize].up = up;
+        let i = node.0 as usize;
+        if self.nodes[i].up == up {
+            return;
+        }
+        self.nodes[i].up = up;
+        let key = (cost_key(self.node_costs[i]), node);
+        let domain = self.nodes[i].fault_domain as usize;
+        if up {
+            self.cost_index.insert(key);
+            self.domain_cost_index[domain].insert(key);
+        } else {
+            self.cost_index.remove(&key);
+            self.domain_cost_index[domain].remove(&key);
+        }
     }
 
     /// Change one metric's node-level logical capacity mid-run (chaos
@@ -455,11 +577,68 @@ impl Cluster {
         self.node_costs[node.0 as usize] = value;
     }
 
+    /// Deliberately desync the violation dirty-set. Exists solely so
+    /// tests can prove the dirty-set oracle fires; never call from sim
+    /// code.
+    #[doc(hidden)]
+    pub fn corrupt_violation_set_for_test(&mut self, node: NodeId, metric: MetricId) {
+        if !self.violation_set.remove(&(node, metric)) {
+            self.violation_set.insert((node, metric));
+        }
+    }
+
+    /// Deliberately desync the candidate index. Exists solely so tests
+    /// can prove the candidate-index oracle fires; never call from sim
+    /// code.
+    #[doc(hidden)]
+    pub fn corrupt_cost_index_for_test(&mut self, node: NodeId) {
+        let key = (cost_key(self.node_costs[node.0 as usize]), node);
+        if !self.cost_index.remove(&key) {
+            self.cost_index.insert(key);
+        }
+    }
+
+    /// Rebuild the violation dirty-set, its per-node bitmask, and the
+    /// candidate-node index from scratch. The maintained copies must
+    /// equal these *exactly* (set equality over bit-derived keys — no
+    /// tolerance), which is what the invariant checks verify.
+    #[allow(clippy::type_complexity)]
+    fn recompute_derived(
+        &self,
+    ) -> (
+        BTreeSet<(NodeId, MetricId)>,
+        Vec<u64>,
+        BTreeSet<(u64, NodeId)>,
+        Vec<BTreeSet<(u64, NodeId)>>,
+    ) {
+        let mut violations = BTreeSet::new();
+        let mut bits = vec![0u64; self.nodes.len()];
+        let mut index = BTreeSet::new();
+        let mut domains = vec![BTreeSet::new(); self.domain_cost_index.len()];
+        for node in &self.nodes {
+            for (mid, def) in self.metrics.iter() {
+                if node.load[mid] > def.node_capacity {
+                    violations.insert((node.id, mid));
+                    bits[node.id.0 as usize] |= 1 << mid.0;
+                }
+            }
+            if node.up {
+                let key = (cost_key(self.node_costs[node.id.0 as usize]), node.id);
+                index.insert(key);
+                domains[node.fault_domain as usize].insert(key);
+            }
+        }
+        (violations, bits, index, domains)
+    }
+
     /// Non-panicking consistency check: node aggregates match the sum of
     /// hosted replica loads, every service has exactly one primary, and no
-    /// service co-locates replicas. Intended for `debug_assert!` guards on
-    /// mutating entry points (lint rule R002); see [`Cluster::check_invariants`]
-    /// for the panicking variant with diagnostics.
+    /// service co-locates replicas. The incrementally maintained derived
+    /// structures — cost cache, violation dirty-set, candidate index —
+    /// must match a full recompute bitwise. Intended for `debug_assert!`
+    /// guards on mutating entry points (lint rule R002); see
+    /// [`Cluster::check_invariants`] for the panicking variant with
+    /// diagnostics.
     pub fn invariants_ok(&self) -> bool {
         for node in &self.nodes {
             let mut expect = self.metrics.zero_load();
@@ -513,7 +692,11 @@ impl Cluster {
                 return false;
             }
         }
-        true
+        let (violations, bits, index, domains) = self.recompute_derived();
+        violations == self.violation_set
+            && bits == self.violation_bits
+            && index == self.cost_index
+            && domains == self.domain_cost_index
     }
 
     /// Verify internal consistency; used by tests and property checks.
@@ -574,6 +757,27 @@ impl Cluster {
                 svc.id
             );
         }
+        let (violations, bits, index, domains) = self.recompute_derived();
+        assert!(
+            violations == self.violation_set,
+            "violation dirty-set diverged from full scan: maintained {:?}, recomputed {:?}",
+            self.violation_set,
+            violations
+        );
+        assert_eq!(
+            bits, self.violation_bits,
+            "violation bitmask diverged from full scan"
+        );
+        assert!(
+            index == self.cost_index,
+            "candidate index diverged from full recompute: maintained {:?}, recomputed {:?}",
+            self.cost_index,
+            index
+        );
+        assert!(
+            domains == self.domain_cost_index,
+            "per-domain candidate index diverged from full recompute"
+        );
     }
 }
 
@@ -735,6 +939,113 @@ mod tests {
         // Node 0: cpu 100 > 96, disk 1200 > 1000 -> two violations.
         let v = c.violations();
         assert_eq!(v, vec![(NodeId(0), cpu), (NodeId(0), disk)]);
+    }
+
+    #[test]
+    fn violation_dirty_set_tracks_every_mutation() {
+        let (mut c, cpu, disk) = two_metric_cluster(3);
+        let full_scan = |c: &Cluster| {
+            let mut out = Vec::new();
+            for node in c.nodes() {
+                for (mid, def) in c.metrics().iter() {
+                    if node.load[mid] > def.node_capacity {
+                        out.push((node.id, mid));
+                    }
+                }
+            }
+            out
+        };
+        let s = spec(&c, 50.0, 600.0, 1);
+        let a = c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        let b = c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        assert_eq!(c.violations(), vec![(NodeId(0), cpu), (NodeId(0), disk)]);
+        assert_eq!(c.violations(), full_scan(&c));
+        // Moving one replica clears both violations on node 0.
+        let rid = c.service(b).unwrap().replicas[0];
+        c.move_replica(rid, NodeId(1));
+        assert_eq!(c.violations(), full_scan(&c));
+        assert!(!c.has_violations());
+        // A load report re-violates just one metric.
+        c.report_load(rid, disk, 1200.0);
+        assert_eq!(c.violations(), vec![(NodeId(1), disk)]);
+        // Draining the host does NOT clear the violation: the load is
+        // still there (the old full scan included down nodes too).
+        c.set_node_up(NodeId(1), false);
+        assert_eq!(c.violations(), vec![(NodeId(1), disk)]);
+        c.set_node_up(NodeId(1), true);
+        // Capacity change re-derives membership for every node.
+        c.set_metric_capacity(cpu, 40.0);
+        assert_eq!(c.violations(), full_scan(&c));
+        assert!(c.violations().contains(&(NodeId(0), cpu)));
+        c.remove_service(a);
+        c.remove_service(b);
+        assert_eq!(c.violations(), full_scan(&c));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn candidate_index_orders_up_nodes_by_cached_cost() {
+        let (mut c, _, _) = two_metric_cluster(4);
+        // Distinct loads: node 2 cheapest (empty), then 3, 1, 0.
+        c.add_service(&spec(&c, 30.0, 10.0, 1), &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&spec(&c, 20.0, 10.0, 1), &[NodeId(1)], SimTime::ZERO);
+        c.add_service(&spec(&c, 10.0, 10.0, 1), &[NodeId(3)], SimTime::ZERO);
+        let order: Vec<NodeId> = c.candidate_nodes_by_cost().collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(3), NodeId(1), NodeId(0)]);
+        // A down node leaves the index; restoring it returns it.
+        c.set_node_up(NodeId(3), false);
+        let order: Vec<NodeId> = c.candidate_nodes_by_cost().collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        c.set_node_up(NodeId(3), true);
+        assert_eq!(c.candidate_nodes_by_cost().count(), 4);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn domain_index_partitions_by_fault_domain() {
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let mut c = Cluster::new(ClusterConfig {
+            node_count: 6,
+            metrics,
+            fault_domains: 3,
+        });
+        assert_eq!(c.fault_domain_count(), 3);
+        // Load node 0 so node 3 becomes domain 0's cheapest.
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 12.0;
+        let s = ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: 1,
+            default_load: load,
+        };
+        c.add_service(&s, &[NodeId(0)], SimTime::ZERO);
+        let d0: Vec<NodeId> = c.domain_nodes_by_cost(0).collect();
+        assert_eq!(d0, vec![NodeId(3), NodeId(0)]);
+        let d1: Vec<NodeId> = c.domain_nodes_by_cost(1).collect();
+        assert_eq!(d1, vec![NodeId(1), NodeId(4)]);
+        assert_eq!(c.domain_nodes_by_cost(99).count(), 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn derived_state_oracles_fire_on_corruption() {
+        let (mut c, cpu, _) = two_metric_cluster(2);
+        c.add_service(&spec(&c, 50.0, 10.0, 1), &[NodeId(0)], SimTime::ZERO);
+        assert!(c.invariants_ok());
+        c.corrupt_violation_set_for_test(NodeId(0), cpu);
+        assert!(!c.invariants_ok(), "dirty-set oracle must fire");
+        c.corrupt_violation_set_for_test(NodeId(0), cpu);
+        assert!(c.invariants_ok());
+        c.corrupt_cost_index_for_test(NodeId(1));
+        assert!(!c.invariants_ok(), "candidate-index oracle must fire");
+        c.corrupt_cost_index_for_test(NodeId(1));
+        assert!(c.invariants_ok());
     }
 
     #[test]

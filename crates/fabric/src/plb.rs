@@ -47,6 +47,18 @@ pub struct PlbConfig {
     /// Utilization spread (max − min, per metric) beyond which proactive
     /// balancing kicks in.
     pub balancing_threshold: f64,
+    /// Node count at and above which failover targeting walks the
+    /// cluster's cost-ordered candidate index instead of scanning every
+    /// node. Pruning changes which RNG draws the anneal consumes, so
+    /// the default sits well above the paper-scale rings (14 gen5
+    /// nodes): their pinned seeded traces keep replaying byte-for-byte
+    /// while hyperscale rings get the O(k) walk.
+    pub candidate_prune_min_nodes: u32,
+    /// Number of feasible candidates collected from the pruned index
+    /// walk before the anneal runs. The walk visits nodes cheapest
+    /// cached cost first, so the greedy best is always in the set; the
+    /// limit only bounds how much of the tail the anneal may explore.
+    pub candidate_limit: u32,
 }
 
 impl Default for PlbConfig {
@@ -58,6 +70,8 @@ impl Default for PlbConfig {
             max_moves_per_pass: 16,
             placement_headroom: 1.0,
             balancing_threshold: 0.30,
+            candidate_prune_min_nodes: 64,
+            candidate_limit: 32,
         }
     }
 }
@@ -476,24 +490,20 @@ impl Plb {
     /// Per-candidate target costs are memoized once before the anneal
     /// loop — the cluster cannot change mid-decision, so every iteration
     /// is a table lookup instead of a fresh cost evaluation.
+    ///
+    /// On rings with at least `candidate_prune_min_nodes` nodes the
+    /// candidate set comes from the cluster's cost-ordered index instead
+    /// of a full scan: walk up nodes cheapest-first, prune sibling fault
+    /// domains *before* costing, and stop after `candidate_limit`
+    /// feasible candidates. Sibling-domain partitions are only consulted
+    /// (with the collision penalty) when the non-sibling walk comes up
+    /// short, so the search stays complete: `None` still means no up
+    /// node anywhere can absorb the replica.
     fn pick_target(&mut self, cluster: &Cluster, replica: ReplicaId) -> Option<NodeId> {
         let rep = cluster.replica(replica)?;
         let service = rep.service;
         let load = &rep.load;
         let from = rep.node;
-        let candidates = &mut self.scratch.candidates;
-        candidates.clear();
-        for n in cluster.nodes() {
-            if n.id == from || n.hosts_service(service) {
-                continue;
-            }
-            if Self::fits(cluster, n.id, load, self.config.placement_headroom) {
-                candidates.push(n.id);
-            }
-        }
-        if candidates.is_empty() {
-            return None;
-        }
         // Domains already hosting a sibling replica are penalised so the
         // spread survives failovers where possible.
         let sibling_domains = &mut self.scratch.sibling_domains;
@@ -507,14 +517,79 @@ impl Plb {
                     .map(|r| cluster.node(r.node).fault_domain),
             );
         }
+        let candidates = &mut self.scratch.candidates;
+        candidates.clear();
         let costs = &mut self.scratch.costs;
         costs.clear();
-        for &c in candidates.iter() {
-            let mut cost = Self::add_cost(cluster, c, load);
-            if sibling_domains.contains(&cluster.node(c).fault_domain) {
-                cost += Self::DOMAIN_COLLISION_PENALTY;
+        let headroom = self.config.placement_headroom;
+        if cluster.node_count() >= self.config.candidate_prune_min_nodes as usize {
+            let limit = (self.config.candidate_limit as usize).max(1);
+            // Phase 1: cheapest-first over non-sibling domains. Sibling
+            // membership is a domain comparison, so pruned nodes are
+            // never costed.
+            for n in cluster.candidate_nodes_by_cost() {
+                if candidates.len() >= limit {
+                    break;
+                }
+                if n == from
+                    || sibling_domains.contains(&cluster.node(n).fault_domain)
+                    || cluster.node(n).hosts_service(service)
+                {
+                    continue;
+                }
+                if Self::fits(cluster, n, load, headroom) {
+                    candidates.push(n);
+                    costs.push(Self::add_cost(cluster, n, load));
+                }
             }
-            costs.push(cost);
+            // Phase 2: too few spread-preserving targets — fall back to
+            // the sibling domains' partitions, penalised exactly as the
+            // full scan penalised them.
+            if candidates.len() < limit {
+                let doms = &mut self.scratch.domains;
+                doms.clear();
+                doms.extend_from_slice(sibling_domains);
+                doms.sort_unstable();
+                doms.dedup();
+                'domains: for &d in doms.iter() {
+                    for n in cluster.domain_nodes_by_cost(d) {
+                        if candidates.len() >= limit {
+                            break 'domains;
+                        }
+                        if n == from || cluster.node(n).hosts_service(service) {
+                            continue;
+                        }
+                        if Self::fits(cluster, n, load, headroom) {
+                            candidates.push(n);
+                            costs.push(
+                                Self::add_cost(cluster, n, load) + Self::DOMAIN_COLLISION_PENALTY,
+                            );
+                        }
+                    }
+                }
+            }
+        } else {
+            // Paper-scale rings: the exhaustive scan, byte-identical to
+            // the pre-index behaviour (same candidates, same order, same
+            // RNG consumption).
+            for n in cluster.nodes() {
+                if n.id == from || n.hosts_service(service) {
+                    continue;
+                }
+                if Self::fits(cluster, n.id, load, headroom) {
+                    candidates.push(n.id);
+                }
+            }
+            for &c in candidates.iter() {
+                let mut cost = Self::add_cost(cluster, c, load);
+                if sibling_domains.contains(&cluster.node(c).fault_domain) {
+                    cost += Self::DOMAIN_COLLISION_PENALTY;
+                }
+                costs.push(cost);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
         }
         // Greedy best with annealing-style random exploration among the
         // near-best alternatives.
@@ -1444,6 +1519,117 @@ mod tests {
         );
         assert_eq!(events[0].role, ReplicaRole::Secondary);
         c.check_invariants();
+    }
+
+    #[test]
+    fn pruned_pick_target_matches_full_scan_best() {
+        // 80 nodes — above candidate_prune_min_nodes, so pick_target
+        // walks the index. Distinct loads make the cheapest feasible
+        // target unique (the untouched node 0); the pruned walk visits
+        // cheapest-first, so the greedy best must be in the candidate
+        // set and best-seen selection must return it, every seed.
+        let (mut c, _, _) = cluster(80, 96.0, 1000.0);
+        for i in 1..80u32 {
+            let f = spec(&c, 1.0, 10.0 + f64::from(i), 1);
+            c.add_service(&f, &[NodeId(i)], SimTime::ZERO);
+        }
+        let a = spec(&c, 1.0, 50.0, 1);
+        let id = c.add_service(&a, &[NodeId(5)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        for seed in 0..8 {
+            let mut p = plb(seed);
+            assert!(c.node_count() >= p.config().candidate_prune_min_nodes as usize);
+            assert_eq!(p.pick_target(&c, rid), Some(NodeId(0)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pruned_target_avoids_sibling_domains() {
+        // 70 nodes over 7 fault domains, all empty: plenty of feasible
+        // non-sibling capacity, so phase 1 alone fills the candidate set
+        // and the chosen target can never share a domain with a sibling.
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let mut c = Cluster::new(ClusterConfig {
+            node_count: 70,
+            metrics,
+            fault_domains: 7,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 4.0;
+        let s = ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: 3,
+            default_load: load,
+        };
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1), NodeId(2)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        for seed in 0..8 {
+            let mut p = plb(seed);
+            let target = p
+                .pick_target(&c, rid)
+                .unwrap_or_else(|| panic!("seed {seed}: no target"));
+            let d = c.node(target).fault_domain;
+            assert!(
+                d != 1 && d != 2,
+                "seed {seed}: target {target} in sibling domain {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_pick_target_is_complete_under_scarcity() {
+        // Every node is packed except one — and that one sits in a
+        // sibling fault domain. Phase 1 finds nothing; the sibling-
+        // partition fallback (phase 2) must still find it rather than
+        // report the replica unplaceable.
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Disk".into(),
+            node_capacity: 100.0,
+            balancing_weight: 1.0,
+        });
+        let mut c = Cluster::new(ClusterConfig {
+            node_count: 70,
+            metrics,
+            fault_domains: 7,
+        });
+        let mut load = c.metrics().zero_load();
+        load[MetricId(0)] = 10.0;
+        let s = ServiceSpec {
+            name: "db".into(),
+            tag: 0,
+            replica_count: 2,
+            default_load: load,
+        };
+        // Replicas on node 0 (domain 0) and node 1 (domain 1).
+        let id = c.add_service(&s, &[NodeId(0), NodeId(1)], SimTime::ZERO);
+        let rid = c.service(id).unwrap().replicas[0];
+        // Pack every other node except node 8 (domain 1 — a sibling
+        // domain) past the point where the 10-unit replica fits.
+        let filler = ServiceSpec {
+            name: "filler".into(),
+            tag: 0,
+            replica_count: 1,
+            default_load: {
+                let mut l = c.metrics().zero_load();
+                l[MetricId(0)] = 95.0;
+                l
+            },
+        };
+        for i in 2..70u32 {
+            if i == 8 {
+                continue;
+            }
+            c.add_service(&filler, &[NodeId(i)], SimTime::ZERO);
+        }
+        let mut p = plb(5);
+        assert_eq!(p.pick_target(&c, rid), Some(NodeId(8)));
     }
 
     #[test]

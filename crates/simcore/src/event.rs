@@ -7,7 +7,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// An event callback: receives the mutable simulation state and the
 /// scheduler (through which follow-up events can be scheduled).
@@ -41,11 +41,104 @@ impl<S> Ord for QueuedEvent<S> {
     }
 }
 
+/// Width of one calendar bucket, as a power of two of seconds (256 s).
+/// Small enough that the draining heap holds only the near future, large
+/// enough that a six-sim-day run touches only a few thousand buckets.
+const BUCKET_WIDTH_BITS: u32 = 8;
+
+/// A bucketed ("calendar") event queue: a `BTreeMap` of far-future
+/// buckets feeding one small [`BinaryHeap`] that holds the bucket being
+/// drained. Pushes into the far future are an O(log buckets) map insert
+/// plus a `Vec` push — no heap sift through every pending event — and
+/// pops only ever sift the current bucket's heap.
+///
+/// Exact (time, seq) FIFO order is preserved, not approximated:
+///
+/// * the current heap orders its contents totally by `(at, seq)`;
+/// * every far bucket's index is strictly greater than the current
+///   bucket's (pushes land in the current heap whenever their bucket is
+///   `<= current_bucket`, and `pull` consumes far buckets in ascending
+///   order), so every far event's time strictly exceeds every time the
+///   current bucket can contain;
+/// * two events with equal times share a bucket by construction, so a
+///   seq tie-break can never straddle the current/far boundary.
+///
+/// Hence the minimum of the current heap is the global minimum, and the
+/// pop sequence is byte-identical to the flat heap it replaced.
+struct CalendarQueue<S> {
+    current: BinaryHeap<QueuedEvent<S>>,
+    /// Bucket index the current heap is draining; `None` before the
+    /// first pull and after the queue fully drains.
+    current_bucket: Option<u64>,
+    far: BTreeMap<u64, Vec<QueuedEvent<S>>>,
+    len: usize,
+}
+
+impl<S> CalendarQueue<S> {
+    fn new() -> Self {
+        CalendarQueue {
+            current: BinaryHeap::new(),
+            current_bucket: None,
+            far: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(at: SimTime) -> u64 {
+        at.as_secs() >> BUCKET_WIDTH_BITS
+    }
+
+    fn push(&mut self, ev: QueuedEvent<S>) {
+        self.len += 1;
+        let b = Self::bucket(ev.at);
+        match self.current_bucket {
+            Some(cb) if b <= cb => self.current.push(ev),
+            _ => self.far.entry(b).or_default().push(ev),
+        }
+    }
+
+    /// Refill the current heap from the earliest far bucket once it
+    /// drains. Far buckets are strictly later than the current one, so
+    /// ascending consumption keeps the ordering invariant.
+    fn pull(&mut self) {
+        if self.current.is_empty() {
+            match self.far.pop_first() {
+                Some((b, evs)) => {
+                    self.current_bucket = Some(b);
+                    self.current.extend(evs);
+                }
+                None => self.current_bucket = None,
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent<S>> {
+        self.pull();
+        let ev = self.current.pop();
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    /// Timestamp of the next event without dispatching it. `&mut`
+    /// because peeking may pull the next bucket into the heap.
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.pull();
+        self.current.peek().map(|ev| ev.at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// The scheduling half of the simulation, passed to every event callback.
 pub struct Scheduler<S> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<QueuedEvent<S>>,
+    queue: CalendarQueue<S>,
 }
 
 impl<S> Scheduler<S> {
@@ -53,7 +146,7 @@ impl<S> Scheduler<S> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
         }
     }
 
@@ -177,8 +270,8 @@ impl<S> Simulation<S> {
     /// Run all events with timestamps `<= end`, then advance the clock to
     /// exactly `end`. Events scheduled beyond `end` remain queued.
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(ev) = self.scheduler.queue.peek() {
-            if ev.at > end {
+        while let Some(at) = self.scheduler.queue.peek_at() {
+            if at > end {
                 break;
             }
             self.step();
@@ -299,5 +392,91 @@ mod tests {
         let mut sim: Simulation<()> = Simulation::new(());
         sim.run_until(SimTime::from_secs(1234));
         assert_eq!(sim.now(), SimTime::from_secs(1234));
+    }
+
+    #[test]
+    fn calendar_buckets_preserve_global_time_seq_order() {
+        // Events scattered across many buckets (256 s wide), pushed in a
+        // deterministic shuffled order, must still pop in exact
+        // (time, seq) order — including seq ties within one second and
+        // times straddling bucket boundaries (255/256/257).
+        let mut sim: Simulation<Vec<(u64, usize)>> = Simulation::new(Vec::new());
+        let mut rng = crate::rng::DetRng::seed_from_u64(7);
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for i in 0..500usize {
+            let t = match i % 5 {
+                0 => 255,
+                1 => 256,
+                2 => 257,
+                _ => rng.next_below(100_000),
+            };
+            expected.push((t, i));
+            sim.scheduler().schedule_at(
+                SimTime::from_secs(t),
+                move |s: &mut Vec<(u64, usize)>, _| s.push((t, i)),
+            );
+        }
+        // Stable by time: equal times keep scheduling (seq) order.
+        expected.sort_by_key(|&(t, _)| t);
+        sim.run_to_completion();
+        assert_eq!(sim.state(), &expected);
+    }
+
+    #[test]
+    fn events_scheduled_mid_dispatch_into_current_bucket_stay_ordered() {
+        // While draining bucket k, an event may schedule a follow-up
+        // that lands in bucket k (or the same second). It must be
+        // dispatched from the current heap in correct order, not lost
+        // behind the far map.
+        let mut sim: Simulation<Vec<&'static str>> = Simulation::new(Vec::new());
+        sim.scheduler().schedule_at(
+            SimTime::from_secs(10),
+            |s: &mut Vec<&'static str>, sched| {
+                s.push("a");
+                // Same bucket (secs 10..255), later time.
+                sched.schedule_at(SimTime::from_secs(40), |s: &mut Vec<&'static str>, _| {
+                    s.push("followup-same-bucket")
+                });
+                // Same second: FIFO after already-queued "b".
+                sched.schedule_at(SimTime::from_secs(20), |s: &mut Vec<&'static str>, _| {
+                    s.push("followup-same-second")
+                });
+                // Far bucket.
+                sched.schedule_at(SimTime::from_secs(5000), |s: &mut Vec<&'static str>, _| {
+                    s.push("far")
+                });
+            },
+        );
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(20), |s: &mut Vec<&'static str>, _| {
+                s.push("b")
+            });
+        sim.run_to_completion();
+        assert_eq!(
+            sim.state(),
+            &vec![
+                "a",
+                "b",
+                "followup-same-second",
+                "followup-same-bucket",
+                "far"
+            ]
+        );
+    }
+
+    #[test]
+    fn pending_counts_across_buckets() {
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        for t in [5u64, 300, 70_000, 70_001, 5] {
+            sim.scheduler().schedule_at(SimTime::from_secs(t), |s, _| {
+                *s += 1;
+            });
+        }
+        assert_eq!(sim.scheduler().pending(), 5);
+        sim.run_until(SimTime::from_secs(400));
+        assert_eq!(sim.scheduler().pending(), 2);
+        sim.run_to_completion();
+        assert_eq!(*sim.state(), 5);
+        assert_eq!(sim.scheduler().pending(), 0);
     }
 }
