@@ -23,6 +23,8 @@
 //! * **Balancing** proactively moves replicas from the hottest node when
 //!   utilization spread exceeds a threshold.
 
+use std::collections::BTreeSet;
+
 use crate::cluster::{Cluster, ReplicaRole, ServiceSpec};
 use crate::ids::{MetricId, NodeId, ReplicaId, ServiceId};
 use crate::metrics::LoadVec;
@@ -683,6 +685,10 @@ impl Plb {
     pub fn fix_violations(&mut self, cluster: &mut Cluster, now: SimTime) -> Vec<FailoverEvent> {
         let mut events = Vec::new();
         let mut moves = 0u32;
+        // One ViolationUnresolved per (node, metric) per call: the outer
+        // loop revisits standing violations every pass, and trace
+        // summaries must count unresolved violations, not passes.
+        let mut reported: BTreeSet<(NodeId, MetricId)> = BTreeSet::new();
         loop {
             if moves >= self.config.max_moves_per_pass {
                 break;
@@ -701,13 +707,16 @@ impl Plb {
                 if cluster.node(node).load[metric] <= def {
                     continue;
                 }
-                let unresolved = || {
-                    toto_trace::emit(toto_trace::EventKind::ViolationUnresolved, || {
-                        toto_trace::EventBody::ViolationUnresolved {
-                            node: u64::from(node.raw()),
-                            resource: u64::from(metric.raw()),
-                        }
-                    });
+                let reported = &mut reported;
+                let mut unresolved = move || {
+                    if reported.insert((node, metric)) {
+                        toto_trace::emit(toto_trace::EventKind::ViolationUnresolved, || {
+                            toto_trace::EventBody::ViolationUnresolved {
+                                node: u64::from(node.raw()),
+                                resource: u64::from(metric.raw()),
+                            }
+                        });
+                    }
                 };
                 let Some(victim) = Self::pick_eviction(cluster, node, metric) else {
                     unresolved();
@@ -760,13 +769,30 @@ impl Plb {
             let mut moved = false;
             for (_, rid) in replicas {
                 if let Some(target) = self.pick_target(cluster, rid) {
-                    let load = &cluster.replica(rid).expect("exists").load;
+                    let rep = cluster.replica(rid).expect("exists");
+                    let load = &rep.load;
                     // Only move if it strictly improves the imbalance.
                     let gain = before
                         - cluster
                             .metrics()
                             .cost_without(&cluster.node(hot).load, load);
-                    let pay = Self::add_cost(cluster, target, load);
+                    let mut pay = Self::add_cost(cluster, target, load);
+                    // Price the move the way pick_target priced the
+                    // target: landing in a fault domain that already
+                    // hosts a sibling replica pays the collision
+                    // penalty, so balancing never judges a
+                    // spread-breaking move an improvement.
+                    let target_domain = cluster.node(target).fault_domain;
+                    let collides = cluster.service(rep.service).is_some_and(|svc| {
+                        svc.replicas
+                            .iter()
+                            .filter(|r| **r != rid)
+                            .filter_map(|r| cluster.replica(*r))
+                            .any(|s| cluster.node(s.node).fault_domain == target_domain)
+                    });
+                    if collides {
+                        pay += Self::DOMAIN_COLLISION_PENALTY;
+                    }
                     if gain > pay {
                         events.push(self.execute_move(
                             cluster,
@@ -1639,5 +1665,101 @@ mod tests {
         let a = plb(42).place_new_service(&c, &s).unwrap();
         let b = plb(42).place_new_service(&c, &s).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balance_charges_domain_collision_penalty() {
+        // Regression: balance accepted a move when `gain > pay` with
+        // `pay = add_cost(target)`, but pick_target had charged
+        // DOMAIN_COLLISION_PENALTY when *selecting* that target — so
+        // balancing judged a spread-breaking move an improvement that
+        // placement would have penalised. Four nodes over two fault
+        // domains (0,1,0,1): service `a` has replicas on nodes 0 and 1,
+        // node 0 also carries a 30-unit filler, node 2 (the only
+        // non-sibling target) is packed so the 45-unit replica cannot
+        // fit there. The only target for replica a@0 is node 3 — domain
+        // 1, a collision with the sibling on node 1. The raw costs say
+        // "move" (gain ≈ 0.51 > pay ≈ 0.22); the penalised accept test
+        // must refuse and leave the spread intact (the filler moves
+        // instead).
+        let mut metrics = MetricRegistry::new();
+        metrics.register(MetricDef {
+            name: "Cpu".into(),
+            node_capacity: 96.0,
+            balancing_weight: 1.0,
+        });
+        let mut c = Cluster::new(ClusterConfig {
+            node_count: 4,
+            metrics,
+            fault_domains: 2,
+        });
+        let mk = |c: &Cluster, cpu: f64, replicas: u32| {
+            let mut load = c.metrics().zero_load();
+            load[MetricId(0)] = cpu;
+            ServiceSpec {
+                name: "db".into(),
+                tag: 0,
+                replica_count: replicas,
+                default_load: load,
+            }
+        };
+        let a = c.add_service(&mk(&c, 45.0, 2), &[NodeId(0), NodeId(1)], SimTime::ZERO);
+        c.add_service(&mk(&c, 30.0, 1), &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&mk(&c, 60.0, 1), &[NodeId(2)], SimTime::ZERO);
+        for seed in 0..8 {
+            let mut cl = c.clone();
+            let mut p = plb(seed);
+            let events = p.balance(&mut cl, SimTime::ZERO);
+            for ev in &events {
+                assert_ne!(
+                    ev.service, a,
+                    "seed {seed}: balance moved the spread-critical replica: {ev:?}"
+                );
+            }
+            let domains: Vec<u32> = cl
+                .service(a)
+                .unwrap()
+                .replicas
+                .iter()
+                .map(|&r| cl.node(cl.replica(r).unwrap().node).fault_domain)
+                .collect();
+            assert_ne!(
+                domains[0], domains[1],
+                "seed {seed}: balance created a fault-domain collision"
+            );
+        }
+    }
+
+    #[test]
+    fn fix_violations_reports_each_unresolved_violation_once() {
+        // Regression: the outer loop of fix_violations re-emitted a
+        // ViolationUnresolved trace event for the same (node, metric) on
+        // every pass whenever any *other* violation progressed, so trace
+        // summaries counted passes, not unresolved violations. Node 0
+        // violates and is fixable (the 30-unit replica relocates to
+        // node 2); node 1 violates and is hopeless (150 > every node's
+        // capacity). Pass 1 fixes node 0 and reports node 1; progress
+        // forces pass 2, which must not report node 1 again.
+        let sink = toto_trace::Shared::new(toto_trace::BufferSink::new());
+        let guard = toto_trace::SessionGuard::install(Box::new(sink.clone()));
+        let (mut c, _, _) = cluster(3, 96.0, 100.0);
+        let small = spec(&c, 1.0, 30.0, 1);
+        let big = spec(&c, 1.0, 80.0, 1);
+        let hopeless = spec(&c, 1.0, 150.0, 1);
+        c.add_service(&small, &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&big, &[NodeId(0)], SimTime::ZERO);
+        c.add_service(&hopeless, &[NodeId(1)], SimTime::ZERO);
+        let mut p = plb(11);
+        let events = p.fix_violations(&mut c, SimTime::ZERO);
+        drop(guard);
+        assert_eq!(events.len(), 1, "node 0 must be fixed: {events:?}");
+        let bytes = sink.with(|b| b.bytes().to_vec());
+        let file = toto_trace::codec::decode(&bytes).unwrap();
+        let summary = toto_trace::report::summarize(&file);
+        assert_eq!(
+            summary.by_kind.get("violation_unresolved").copied(),
+            Some(1),
+            "one unresolved violation must be reported exactly once per call"
+        );
     }
 }
