@@ -185,7 +185,10 @@ impl<S> Scheduler<S> {
         delay: SimDuration,
         event: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
     ) {
-        let at = self.now + delay;
+        // Saturate rather than wrap: a delay that lands past the end of
+        // representable time schedules at `SimTime::MAX` instead of
+        // tripping the "in the past" assert with a bogus wrapped time.
+        let at = self.now.checked_add(delay).unwrap_or(SimTime::MAX);
         self.schedule_at(at, event);
     }
 }
@@ -462,6 +465,23 @@ mod tests {
                 "far"
             ]
         );
+    }
+
+    #[test]
+    fn schedule_in_saturates_at_the_end_of_time() {
+        // Regression: `schedule_in` computed `self.now + delay` with
+        // unchecked arithmetic, so a near-`SimTime::MAX` schedule wrapped
+        // and tripped the "cannot schedule event in the past" assert (or
+        // wrapped silently in release). A delay past the end of time now
+        // saturates at `SimTime::MAX` and still fires.
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(u64::MAX - 10), |_, sched| {
+                sched.schedule_in(SimDuration::from_secs(100), |s: &mut u32, _| *s += 1);
+            });
+        sim.run_to_completion();
+        assert_eq!(*sim.state(), 1, "saturated event must still fire");
+        assert_eq!(sim.now(), SimTime::MAX);
     }
 
     #[test]

@@ -59,6 +59,9 @@ impl SimTime {
     /// The simulation epoch (Monday 00:00).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of simulated time; additions saturate here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Construct from a raw number of seconds since the epoch.
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
