@@ -11,7 +11,8 @@
 //! a scenario whose synthesized workload does not fit its trained
 //! models aborts with the failing family's verdict before any
 //! simulation output is written. Artifacts (run records, manifest, the
-//! scenario source, `oracle.json`, and `sweep.json` for `--seeds N > 1`)
+//! scenario source, `oracle.json`, and `sweep.json` — single-sample
+//! verdict at `--seeds 1`, dispersion statistics for `N > 1`)
 //! land under `<out>/runs/<name>/`, byte-identical at any `--threads`.
 
 use toto_scenario::cli::{run_cli, CliArgs};

@@ -37,8 +37,9 @@ use toto_stats::describe;
 pub struct RunOptions {
     /// Fleet worker threads.
     pub threads: usize,
-    /// Seed replicas: 1 runs the scenario as written; N > 1 adds N−1
-    /// re-rooted replicas and emits `sweep.json` dispersion statistics.
+    /// Seed replicas: 1 runs the scenario as written (its `sweep.json`
+    /// carries the single-sample verdict); N > 1 adds N−1 re-rooted
+    /// replicas and emits full dispersion statistics.
     pub seeds: u64,
     /// Artifact store root (conventionally `results`).
     pub out: String,
@@ -192,27 +193,41 @@ fn sweep_json(records: &[RunRecord], seeds: u64) -> Json {
             let stats: Vec<(&str, Json)> = kpis
                 .iter()
                 .map(|(kpi, xs)| {
-                    let n = xs.len();
-                    let mean = describe::mean(xs);
-                    let sd = if n > 1 { describe::std_dev(xs) } else { 0.0 };
-                    let ci95 = if n > 1 {
-                        1.96 * sd / (n as f64).sqrt()
-                    } else {
-                        0.0
-                    };
                     let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
                     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                    (
-                        kpi.as_str(),
-                        Json::obj(vec![
+                    // The typed verdict keeps a single-seed sweep honest:
+                    // one sample has *unknown* spread, so std_dev/ci95
+                    // are null rather than a false-certainty 0.0.
+                    let stat = match describe::dispersion(xs) {
+                        describe::Dispersion::Empty => Json::obj(vec![
+                            ("verdict", Json::Str("empty".into())),
+                            ("n", Json::Uint(0)),
+                        ]),
+                        describe::Dispersion::SingleSample { value } => Json::obj(vec![
+                            ("verdict", Json::Str("single_sample".into())),
+                            ("mean", Json::Num(value)),
+                            ("std_dev", Json::Null),
+                            ("ci95", Json::Null),
+                            ("min", Json::Num(value)),
+                            ("max", Json::Num(value)),
+                            ("n", Json::Uint(1)),
+                        ]),
+                        describe::Dispersion::Spread {
+                            n,
+                            mean,
+                            std_dev,
+                            ci95,
+                        } => Json::obj(vec![
+                            ("verdict", Json::Str("spread".into())),
                             ("mean", Json::Num(mean)),
-                            ("std_dev", Json::Num(sd)),
+                            ("std_dev", Json::Num(std_dev)),
                             ("ci95", Json::Num(ci95)),
                             ("min", Json::Num(min)),
                             ("max", Json::Num(max)),
                             ("n", Json::Uint(n as u64)),
                         ]),
-                    )
+                    };
+                    (kpi.as_str(), stat)
                 })
                 .collect();
             (*label, Json::obj(stats))
@@ -289,15 +304,18 @@ fn run_fleet(
         }
     }
     save_scenario_artifacts(&store, &fleet.fleet_name, source, &fleet.oracle.to_json())?;
-    if options.seeds > 1 {
-        store
-            .save_artifact(
-                &fleet.fleet_name,
-                "sweep.json",
-                sweep_json(&records, options.seeds).render().as_bytes(),
-            )
-            .map_err(io_err("sweep.json"))?;
-    }
+    // Always written, even at --seeds 1: the single-sample verdict in the
+    // stats says "spread unknown" explicitly instead of the file silently
+    // not existing (or, worse, reporting a zero CI).
+    store
+        .save_artifact(
+            &fleet.fleet_name,
+            "sweep.json",
+            sweep_json(&records, options.seeds.max(1))
+                .render()
+                .as_bytes(),
+        )
+        .map_err(io_err("sweep.json"))?;
     store
         .append_bench_entries(&[toto_fleet::BenchEntry {
             name: format!("{}/jobs_per_sec", manifest.fleet),
@@ -494,5 +512,75 @@ mod tests {
         assert_ne!(s1, 42);
         assert_ne!(s1, s2);
         assert_eq!(s1, sweep_seed(42, 1));
+    }
+
+    fn record(label: &str, seed: u64, revenue_adjusted: f64) -> RunRecord {
+        let revenue = toto_telemetry::revenue::RevenueBreakdown {
+            compute: revenue_adjusted,
+            ..Default::default()
+        };
+        RunRecord {
+            schema_version: RUN_SCHEMA_VERSION,
+            label: label.to_string(),
+            seed,
+            scenario_xml: String::new(),
+            kpis: Default::default(),
+            revenue,
+            redirect_count: 0,
+            created_during_run: 0,
+        }
+    }
+
+    #[test]
+    fn sweep_stats_single_seed_yields_single_sample_verdict() {
+        // Regression: a --seeds 1 sweep used to report std_dev 0 / ci95 0
+        // — false certainty from a Bessel n−1 = 0 denominator. One sample
+        // now gets the typed verdict with null spread fields.
+        let records = vec![record("density-110", 42, 1000.0)];
+        let json = sweep_json(&records, 1);
+        assert_eq!(json.get("seeds"), Some(&Json::Uint(1)));
+        let stat = json
+            .get("labels")
+            .and_then(|l| l.get("density-110"))
+            .and_then(|l| l.get("adjusted_revenue"))
+            .expect("adjusted_revenue stats");
+        assert_eq!(
+            stat.get("verdict"),
+            Some(&Json::Str("single_sample".into()))
+        );
+        assert_eq!(stat.get("n"), Some(&Json::Uint(1)));
+        assert_eq!(stat.get("mean"), Some(&Json::Num(1000.0)));
+        assert_eq!(stat.get("std_dev"), Some(&Json::Null));
+        assert_eq!(stat.get("ci95"), Some(&Json::Null));
+        // The rendered artifact must stay valid JSON — no NaN tokens.
+        assert!(!json.render().contains("NaN"));
+    }
+
+    #[test]
+    fn sweep_stats_two_seeds_yield_finite_spread() {
+        let records = vec![
+            record("density-110", 42, 1000.0),
+            record("s1-density-110", 43, 1010.0),
+        ];
+        let json = sweep_json(&records, 2);
+        let stat = json
+            .get("labels")
+            .and_then(|l| l.get("density-110"))
+            .and_then(|l| l.get("adjusted_revenue"))
+            .expect("adjusted_revenue stats");
+        assert_eq!(stat.get("verdict"), Some(&Json::Str("spread".into())));
+        assert_eq!(stat.get("n"), Some(&Json::Uint(2)));
+        assert_eq!(stat.get("mean"), Some(&Json::Num(1005.0)));
+        let Some(&Json::Num(sd)) = stat.get("std_dev") else {
+            panic!("std_dev must be numeric at n = 2");
+        };
+        let Some(&Json::Num(ci)) = stat.get("ci95") else {
+            panic!("ci95 must be numeric at n = 2");
+        };
+        // Sample sd of {1000, 1010} is 10/√2; ci95 = 1.96·sd/√2.
+        assert!((sd - 10.0 / 2.0_f64.sqrt()).abs() < 1e-9);
+        assert!((ci - 1.96 * sd / 2.0_f64.sqrt()).abs() < 1e-9);
+        assert_eq!(stat.get("min"), Some(&Json::Num(1000.0)));
+        assert_eq!(stat.get("max"), Some(&Json::Num(1010.0)));
     }
 }

@@ -37,6 +37,84 @@ pub fn std_dev_population(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
+/// Sample dispersion with the degenerate cases made explicit.
+///
+/// A single observation has *unknown* spread — Bessel's correction
+/// divides by `n − 1 = 0` — so reporting `0.0` (false certainty) or `NaN`
+/// (poisons downstream JSON) are both wrong. Callers match on the verdict
+/// instead of special-casing `n` at every call site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dispersion {
+    /// No observations: no statistics at all.
+    Empty,
+    /// Exactly one observation: the mean is the sample itself; spread
+    /// cannot be estimated.
+    SingleSample {
+        /// The lone observation.
+        value: f64,
+    },
+    /// Two or more observations: Bessel-corrected spread plus a normal
+    /// 95% confidence half-width for the mean.
+    Spread {
+        /// Sample size.
+        n: usize,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Bessel-corrected sample standard deviation.
+        std_dev: f64,
+        /// `1.96 · std_dev / √n`, the normal-approximation 95% CI
+        /// half-width.
+        ci95: f64,
+    },
+}
+
+impl Dispersion {
+    /// Stable string tag for reports: `"empty"`, `"single_sample"` or
+    /// `"spread"`.
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            Dispersion::Empty => "empty",
+            Dispersion::SingleSample { .. } => "single_sample",
+            Dispersion::Spread { .. } => "spread",
+        }
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        match self {
+            Dispersion::Empty => 0,
+            Dispersion::SingleSample { .. } => 1,
+            Dispersion::Spread { n, .. } => *n,
+        }
+    }
+
+    /// The mean, when at least one observation exists.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Dispersion::Empty => None,
+            Dispersion::SingleSample { value } => Some(*value),
+            Dispersion::Spread { mean, .. } => Some(*mean),
+        }
+    }
+}
+
+/// Classify a sample's dispersion; see [`Dispersion`].
+pub fn dispersion(xs: &[f64]) -> Dispersion {
+    match xs.len() {
+        0 => Dispersion::Empty,
+        1 => Dispersion::SingleSample { value: xs[0] },
+        n => {
+            let sd = std_dev(xs);
+            Dispersion::Spread {
+                n,
+                mean: mean(xs),
+                std_dev: sd,
+                ci95: 1.96 * sd / (n as f64).sqrt(),
+            }
+        }
+    }
+}
+
 /// Linear-interpolated quantile of a **sorted** slice, `q` in `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
@@ -167,6 +245,38 @@ mod tests {
         assert!(mean(&[]).is_nan());
         assert!(variance(&[1.0]).is_nan());
         assert!(std_dev_population(&[]).is_nan());
+    }
+
+    #[test]
+    fn dispersion_classifies_degenerate_samples() {
+        assert_eq!(dispersion(&[]), Dispersion::Empty);
+        assert_eq!(dispersion(&[]).verdict(), "empty");
+        assert_eq!(dispersion(&[]).mean(), None);
+
+        let one = dispersion(&[7.5]);
+        assert_eq!(one, Dispersion::SingleSample { value: 7.5 });
+        assert_eq!(one.verdict(), "single_sample");
+        assert_eq!(one.n(), 1);
+        assert_eq!(one.mean(), Some(7.5));
+
+        let two = dispersion(&[1.0, 3.0]);
+        let Dispersion::Spread {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        } = two.clone()
+        else {
+            panic!("expected spread, got {two:?}");
+        };
+        assert_eq!(n, 2);
+        assert_eq!(two.verdict(), "spread");
+        assert!((mean - 2.0).abs() < 1e-12);
+        // Sample sd of {1, 3} is √2; every statistic must be finite —
+        // the n = 1 NaN/0.0 ambiguity is exactly what this type removes.
+        assert!((std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((ci95 - 1.96 * 2.0_f64.sqrt() / 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(std_dev.is_finite() && ci95.is_finite());
     }
 
     #[test]

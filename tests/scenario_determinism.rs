@@ -246,11 +246,26 @@ fn seed_sweep_keeps_the_base_replica_and_emits_dispersion_stats() {
         stats.contains("\"n\": 3"),
         "three samples per KPI:\n{stats}"
     );
-    assert!(
+    // Single-seed runs also get a sweep.json, but its stats carry the
+    // typed single-sample verdict: spread is unknown, not zero.
+    let single_stats = String::from_utf8(
         single
             .artifact_bytes("density-sweep", "sweep.json")
-            .is_err(),
-        "single-seed runs stay byte-identical to today: no sweep.json"
+            .expect("single-seed sweep.json written"),
+    )
+    .expect("sweep.json is utf-8");
+    assert!(single_stats.contains("\"seeds\": 1"), "{single_stats}");
+    assert!(
+        single_stats.contains("\"verdict\": \"single_sample\""),
+        "one sample must be flagged, not given a zero CI:\n{single_stats}"
+    );
+    assert!(
+        single_stats.contains("\"std_dev\": null") && single_stats.contains("\"ci95\": null"),
+        "single-sample spread must be null:\n{single_stats}"
+    );
+    assert!(
+        !single_stats.contains("NaN"),
+        "sweep.json must stay valid JSON:\n{single_stats}"
     );
 
     let _ = fs::remove_dir_all(&single_dir);
