@@ -1,6 +1,9 @@
 //! PLB benchmarks: placement decisions, violation-fixing and balancing
 //! passes on a realistically loaded 14-node/220-service ring (the paper's
-//! Table 2 population on its gen5 stage-ring node count).
+//! Table 2 population on its gen5 stage-ring node count), plus
+//! pruned-candidate variants at 100 and 1,000 nodes — the hyperscale
+//! rings where `pick_target` walks the cost-ordered candidate index
+//! instead of scanning every node.
 //!
 //! These are the simulator's hottest paths: every density-study tick runs
 //! placement and violation fixing, so a six-day 140%-density fleet calls
@@ -19,7 +22,10 @@ use toto_simcore::time::SimTime;
 const NODES: u32 = 14;
 const SERVICES: u64 = 220;
 
-fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
+/// The gen5 Table-2 mix stretched to `nodes`: ~16 services per node, one
+/// BC (4 replicas) per seven services, same per-service loads as the
+/// 14-node fixture.
+fn loaded_cluster_at(nodes: u32, services: u64) -> (Cluster, MetricId, MetricId) {
     let mut metrics = MetricRegistry::new();
     let cpu = metrics.register(MetricDef {
         name: "Cpu".into(),
@@ -32,13 +38,13 @@ fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
         balancing_weight: 1.0,
     });
     let mut cluster = Cluster::new(ClusterConfig {
-        node_count: NODES,
+        node_count: nodes,
         metrics,
-        fault_domains: 7,
+        fault_domains: (nodes / 2).max(7).min(nodes),
     });
     let mut plb = Plb::new(PlbConfig::default(), 9);
     let mut rng = DetRng::seed_from_u64(5);
-    for i in 0..SERVICES {
+    for i in 0..services {
         let mut load = cluster.metrics().zero_load();
         let bc = i % 7 == 0;
         load[cpu] = if bc { 4.0 } else { 2.0 };
@@ -56,8 +62,12 @@ fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
         plb.create_service(&mut cluster, &spec, SimTime::ZERO)
             .expect("bench fixture must stay feasible");
     }
-    assert_eq!(cluster.service_count(), SERVICES as usize);
+    assert_eq!(cluster.service_count(), services as usize);
     (cluster, cpu, disk)
+}
+
+fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
+    loaded_cluster_at(NODES, SERVICES)
 }
 
 fn bench_placement(c: &mut Criterion) {
@@ -139,10 +149,59 @@ fn bench_balancing(c: &mut Criterion) {
     });
 }
 
+/// Pruned-candidate paths on hyperscale rings. On ≥ 64 nodes
+/// `pick_target` walks the cost-ordered candidate index (capped at
+/// `candidate_limit`), so per-decision cost must stay roughly flat from
+/// 100 to 1,000 nodes — the gate script compares these ids against the
+/// committed baselines and fails CI when the asymptotic win regresses.
+fn bench_hyperscale_rings(c: &mut Criterion) {
+    for &nodes in &[100u32, 1000] {
+        let services = nodes as u64 * 16;
+        let (cluster, cpu, disk) = loaded_cluster_at(nodes, services);
+        let mut spec_load = cluster.metrics().zero_load();
+        spec_load[cpu] = 8.0;
+        spec_load[disk] = 300.0;
+        let spec = ServiceSpec {
+            name: "new-bc".into(),
+            tag: 0,
+            replica_count: 4,
+            default_load: spec_load,
+        };
+        c.bench_function(&format!("plb_place_bc_x4_ring_{nodes}"), |b| {
+            let mut plb = Plb::new(PlbConfig::default(), 77);
+            b.iter(|| black_box(plb.place_new_service(&cluster, &spec).unwrap()))
+        });
+        c.bench_function(&format!("plb_fix_violations_pass_ring_{nodes}"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut cluster, _, disk) = loaded_cluster_at(nodes, services);
+                    for n in 0..3 {
+                        let node_load = cluster.node(NodeId(n)).load[disk];
+                        let victim = cluster.node(NodeId(n)).replicas[0];
+                        let old = cluster.replica(victim).expect("exists").load[disk];
+                        cluster.report_load(victim, disk, old + (7_000.0 - node_load) + 150.0);
+                    }
+                    assert_eq!(cluster.violations().len(), 3, "fixture must violate");
+                    (cluster, Plb::new(PlbConfig::default(), 3))
+                },
+                |(mut cluster, mut plb)| {
+                    black_box(plb.fix_violations(&mut cluster, SimTime::from_secs(60)));
+                    cluster
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        c.bench_function(&format!("plb_violation_scan_ring_{nodes}"), |b| {
+            b.iter(|| black_box(cluster.violations()))
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_placement,
     bench_violation_fixing,
-    bench_balancing
+    bench_balancing,
+    bench_hyperscale_rings
 );
 criterion_main!(benches);

@@ -8,12 +8,14 @@
 //! exactly the hard-coded plans.
 
 /// Names accepted by [`builtin`], in display order.
-pub const NAMED_SCENARIOS: [&str; 5] = [
+pub const NAMED_SCENARIOS: [&str; 7] = [
     "density_sweep",
     "chaos_storm",
     "region_mixed4",
     "pool_packing",
     "cohort_mix",
+    "hyperscale",
+    "hyperscale_smoke",
 ];
 
 /// The source text of a built-in scenario, or `None` for unknown names.
@@ -24,6 +26,8 @@ pub fn builtin(name: &str) -> Option<&'static str> {
         "region_mixed4" => Some(include_str!("../scenarios/region_mixed4.toml")),
         "pool_packing" => Some(include_str!("../scenarios/pool_packing.toml")),
         "cohort_mix" => Some(include_str!("../scenarios/cohort_mix.toml")),
+        "hyperscale" => Some(include_str!("../scenarios/hyperscale.toml")),
+        "hyperscale_smoke" => Some(include_str!("../scenarios/hyperscale_smoke.toml")),
         _ => None,
     }
 }

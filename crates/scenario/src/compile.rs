@@ -169,6 +169,18 @@ fn compile_fleet(doc: &ScenarioDoc) -> Result<CompiledFleet, ScenarioError> {
             scenario.node_count = nodes;
             scenario.fault_domains = (nodes / 2).max(2);
         }
+        if let Some(gp) = schedule.bootstrap_gp {
+            scenario.bootstrap_standard_gp = gp;
+        }
+        if let Some(bc) = schedule.bootstrap_bc {
+            scenario.bootstrap_premium_bc = bc;
+        }
+        if let Some(cores) = schedule.cores_per_node {
+            scenario.cores_per_node = cores;
+        }
+        if let Some(mem) = schedule.memory_per_node_gb {
+            scenario.memory_per_node_gb = mem;
+        }
         let label = if positional {
             format!("job{i:03}-density-{density}")
         } else {

@@ -45,6 +45,16 @@ pub struct ScheduleConfig {
     pub densities: Vec<u32>,
     /// Override the ring's node count (default: the gen5 stage ring's 14).
     pub node_count: Option<u32>,
+    /// Override the bootstrap Standard/GP population (default: Table 2's
+    /// 187). Hyperscale rings bootstrap tens of thousands.
+    pub bootstrap_gp: Option<u32>,
+    /// Override the bootstrap Premium/BC population (default: Table 2's
+    /// 33).
+    pub bootstrap_bc: Option<u32>,
+    /// Override physical CPU cores per node (default: gen5's 128).
+    pub cores_per_node: Option<f64>,
+    /// Override physical DRAM per node in GB (default: gen5's 512).
+    pub memory_per_node_gb: Option<f64>,
 }
 
 /// The `[chaos]` table: a named fault-injection plan.
@@ -398,10 +408,33 @@ impl ScenarioDoc {
                         "[schedule] node_count must be positive",
                     ));
                 }
+                let bootstrap_gp = keys.take_uint("bootstrap_gp")?;
+                let bootstrap_bc = keys.take_uint("bootstrap_bc")?;
+                if bootstrap_gp == Some(0) && bootstrap_bc == Some(0) {
+                    return Err(ScenarioError::invalid(
+                        "[schedule] bootstrap_gp and bootstrap_bc must not both be zero",
+                    ));
+                }
+                let cores_per_node = keys.take_num("cores_per_node")?;
+                if cores_per_node.is_some_and(|c| !c.is_finite() || c <= 0.0) {
+                    return Err(ScenarioError::invalid(
+                        "[schedule] cores_per_node must be a positive number",
+                    ));
+                }
+                let memory_per_node_gb = keys.take_num("memory_per_node_gb")?;
+                if memory_per_node_gb.is_some_and(|m| !m.is_finite() || m <= 0.0) {
+                    return Err(ScenarioError::invalid(
+                        "[schedule] memory_per_node_gb must be a positive number",
+                    ));
+                }
                 keys.finish()?;
                 Some(ScheduleConfig {
                     densities: densities.iter().map(|&d| d as u32).collect(),
                     node_count: node_count.map(|n| n as u32),
+                    bootstrap_gp: bootstrap_gp.map(|n| n as u32),
+                    bootstrap_bc: bootstrap_bc.map(|n| n as u32),
+                    cores_per_node,
+                    memory_per_node_gb,
                 })
             }
         };

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# PLB bench gate: run the plb criterion benches and compare the
+# pruned-candidate ids against the committed baselines in
+# crates/bench/baselines/plb.txt.
+#
+# A bench fails the gate when its measured mean exceeds
+# baseline * FACTOR (default 5). The factor absorbs machine-to-machine
+# wall-clock variance; the asymptotic regressions this gate guards
+# against (pick_target reverting to a full ring scan, violations()
+# rescanning every node) are one to two orders of magnitude, far past
+# any reasonable factor.
+#
+# Usage: scripts/plb_bench_gate.sh [factor]
+set -euo pipefail
+
+FACTOR="${1:-5}"
+BASELINES="$(dirname "$0")/../crates/bench/baselines/plb.txt"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+cargo bench --offline -p toto-bench --bench plb | tee "$OUT"
+
+fail=0
+while read -r id baseline; do
+    case "$id" in ''|\#*) continue ;; esac
+    # bench lines look like: "bench: <id>  12.34 µs / iter (N iterations)"
+    line="$(grep -E "^bench: ${id} " "$OUT" || true)"
+    if [ -z "$line" ]; then
+        echo "GATE FAIL: bench id '${id}' missing from output" >&2
+        fail=1
+        continue
+    fi
+    verdict="$(echo "$line" | awk -v baseline="$baseline" -v factor="$FACTOR" '
+        {
+            # $1 = "bench:", $2 = id, $3 = value, $4 = unit
+            ns = $3
+            if ($4 == "µs") ns *= 1000
+            else if ($4 == "ms") ns *= 1000000
+            else if ($4 == "s") ns *= 1000000000
+            else if ($4 != "ns") { print "unparseable"; exit }
+            limit = baseline * factor
+            if (ns > limit) printf "over %f %f", ns, limit
+            else printf "ok %f %f", ns, limit
+        }')"
+    read -r status ns limit <<< "$verdict"
+    case "$status" in
+        ok)   echo "gate ok: ${id} ${ns} ns <= ${limit} ns" ;;
+        over) echo "GATE FAIL: ${id} measured ${ns} ns > ${limit} ns (baseline ${baseline} x ${FACTOR})" >&2
+              fail=1 ;;
+        *)    echo "GATE FAIL: unparseable bench line for '${id}': ${line}" >&2
+              fail=1 ;;
+    esac
+done < "$BASELINES"
+
+exit "$fail"
