@@ -7,80 +7,25 @@
 //!
 //! These are the simulator's hottest paths: every density-study tick runs
 //! placement and violation fixing, so a six-day 140%-density fleet calls
-//! them hundreds of thousands of times. The fixture intentionally leaves
-//! headroom (≈66% CPU, ≈48% disk) so placement always succeeds; a `create`
-//! failure here is a broken fixture, not a benchmark result.
+//! them hundreds of thousands of times. The fixtures live in
+//! `toto_bench::fixtures` and are shared with the `bench_track` pinned
+//! suite, so criterion numbers and the recorded benchmark history measure
+//! identical work. The fixture intentionally leaves headroom (≈66% CPU,
+//! ≈48% disk) so placement always succeeds; a `create` failure here is a
+//! broken fixture, not a benchmark result.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use toto_fabric::cluster::{Cluster, ClusterConfig, ServiceSpec};
-use toto_fabric::ids::{MetricId, NodeId};
-use toto_fabric::metrics::{MetricDef, MetricRegistry};
+use toto_bench::fixtures::{
+    bc_spec, loaded_cluster, loaded_cluster_at, push_three_disk_violations,
+};
+use toto_fabric::cluster::ServiceSpec;
+use toto_fabric::ids::NodeId;
 use toto_fabric::plb::{Plb, PlbConfig};
-use toto_simcore::rng::DetRng;
 use toto_simcore::time::SimTime;
-
-const NODES: u32 = 14;
-const SERVICES: u64 = 220;
-
-/// The gen5 Table-2 mix stretched to `nodes`: ~16 services per node, one
-/// BC (4 replicas) per seven services, same per-service loads as the
-/// 14-node fixture.
-fn loaded_cluster_at(nodes: u32, services: u64) -> (Cluster, MetricId, MetricId) {
-    let mut metrics = MetricRegistry::new();
-    let cpu = metrics.register(MetricDef {
-        name: "Cpu".into(),
-        node_capacity: 96.0,
-        balancing_weight: 1.0,
-    });
-    let disk = metrics.register(MetricDef {
-        name: "Disk".into(),
-        node_capacity: 7000.0,
-        balancing_weight: 1.0,
-    });
-    let mut cluster = Cluster::new(ClusterConfig {
-        node_count: nodes,
-        metrics,
-        fault_domains: (nodes / 2).max(7).min(nodes),
-    });
-    let mut plb = Plb::new(PlbConfig::default(), 9);
-    let mut rng = DetRng::seed_from_u64(5);
-    for i in 0..services {
-        let mut load = cluster.metrics().zero_load();
-        let bc = i % 7 == 0;
-        load[cpu] = if bc { 4.0 } else { 2.0 };
-        load[disk] = if bc {
-            350.0
-        } else {
-            5.0 + rng.next_f64() * 10.0
-        };
-        let spec = ServiceSpec {
-            name: format!("db-{i}"),
-            tag: 0,
-            replica_count: if bc { 4 } else { 1 },
-            default_load: load,
-        };
-        plb.create_service(&mut cluster, &spec, SimTime::ZERO)
-            .expect("bench fixture must stay feasible");
-    }
-    assert_eq!(cluster.service_count(), services as usize);
-    (cluster, cpu, disk)
-}
-
-fn loaded_cluster() -> (Cluster, MetricId, MetricId) {
-    loaded_cluster_at(NODES, SERVICES)
-}
 
 fn bench_placement(c: &mut Criterion) {
     let (cluster, cpu, disk) = loaded_cluster();
-    let mut spec_load = cluster.metrics().zero_load();
-    spec_load[cpu] = 8.0;
-    spec_load[disk] = 300.0;
-    let spec = ServiceSpec {
-        name: "new-bc".into(),
-        tag: 0,
-        replica_count: 4,
-        default_load: spec_load,
-    };
+    let spec = bc_spec(&cluster, cpu, disk);
     c.bench_function("plb_place_bc_x4_on_loaded_ring", |b| {
         let mut plb = Plb::new(PlbConfig::default(), 77);
         b.iter(|| black_box(plb.place_new_service(&cluster, &spec).unwrap()))
@@ -100,16 +45,7 @@ fn bench_violation_fixing(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut cluster, _, disk) = loaded_cluster();
-                // Push three nodes just past disk capacity (overshoot 150)
-                // so a mid-size replica clears each violation and the pass
-                // performs three real evict/retarget/move decisions.
-                for n in 0..3 {
-                    let node_load = cluster.node(NodeId(n)).load[disk];
-                    let victim = cluster.node(NodeId(n)).replicas[0];
-                    let old = cluster.replica(victim).expect("exists").load[disk];
-                    cluster.report_load(victim, disk, old + (7_000.0 - node_load) + 150.0);
-                }
-                assert_eq!(cluster.violations().len(), 3, "fixture must violate");
+                push_three_disk_violations(&mut cluster, disk);
                 (cluster, Plb::new(PlbConfig::default(), 3))
             },
             |(mut cluster, mut plb)| {
@@ -152,21 +88,14 @@ fn bench_balancing(c: &mut Criterion) {
 /// Pruned-candidate paths on hyperscale rings. On ≥ 64 nodes
 /// `pick_target` walks the cost-ordered candidate index (capped at
 /// `candidate_limit`), so per-decision cost must stay roughly flat from
-/// 100 to 1,000 nodes — the gate script compares these ids against the
-/// committed baselines and fails CI when the asymptotic win regresses.
+/// 100 to 1,000 nodes — `bench_track --gate` compares these ids against
+/// the recorded benchmark history and fails CI when the asymptotic win
+/// regresses.
 fn bench_hyperscale_rings(c: &mut Criterion) {
     for &nodes in &[100u32, 1000] {
         let services = nodes as u64 * 16;
         let (cluster, cpu, disk) = loaded_cluster_at(nodes, services);
-        let mut spec_load = cluster.metrics().zero_load();
-        spec_load[cpu] = 8.0;
-        spec_load[disk] = 300.0;
-        let spec = ServiceSpec {
-            name: "new-bc".into(),
-            tag: 0,
-            replica_count: 4,
-            default_load: spec_load,
-        };
+        let spec = bc_spec(&cluster, cpu, disk);
         c.bench_function(&format!("plb_place_bc_x4_ring_{nodes}"), |b| {
             let mut plb = Plb::new(PlbConfig::default(), 77);
             b.iter(|| black_box(plb.place_new_service(&cluster, &spec).unwrap()))
@@ -175,13 +104,7 @@ fn bench_hyperscale_rings(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let (mut cluster, _, disk) = loaded_cluster_at(nodes, services);
-                    for n in 0..3 {
-                        let node_load = cluster.node(NodeId(n)).load[disk];
-                        let victim = cluster.node(NodeId(n)).replicas[0];
-                        let old = cluster.replica(victim).expect("exists").load[disk];
-                        cluster.report_load(victim, disk, old + (7_000.0 - node_load) + 150.0);
-                    }
-                    assert_eq!(cluster.violations().len(), 3, "fixture must violate");
+                    push_three_disk_violations(&mut cluster, disk);
                     (cluster, Plb::new(PlbConfig::default(), 3))
                 },
                 |(mut cluster, mut plb)| {

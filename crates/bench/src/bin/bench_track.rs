@@ -1,0 +1,122 @@
+//! `bench_track` — run the pinned benchmark suite, append the
+//! commit-stamped record to `results/benchdata.json`, and (with
+//! `--gate`) fail on regressions against the trailing median.
+//!
+//! ```text
+//! bench_track [--gate] [--dry-run] [--out DIR] [--commit HASH] [--date YYYY-MM-DD]
+//! ```
+//!
+//! * default: run the suite, print the typed per-metric verdict table,
+//!   append the record.
+//! * `--gate`: additionally exit 1 when any suite metric is worse than
+//!   the trailing median of its last 5 recorded samples by strictly
+//!   more than 10% (the record is appended either way — a regression
+//!   should be *visible* in the history, not erased by the gate).
+//! * `--dry-run`: never write; measure and judge only.
+//! * `--out DIR`: store root (default `results`).
+//! * `--commit HASH`: override the commit stamp (default: `git
+//!   rev-parse --short HEAD`, falling back to `unknown`).
+//! * `--date YYYY-MM-DD`: also write the new record alone to
+//!   `DIR/BENCH_<date>.json`, the per-run snapshot CI uploads.
+//!
+//! Replaces `scripts/plb_bench_gate.sh`: the shell gate compared six
+//! criterion point estimates against a committed baseline file with a
+//! blunt 5× factor; this gate compares median-of-K samples of ten
+//! metrics — including end-to-end sim-events/sec and fleet wall-clock —
+//! against a rolling median with a 10% threshold, and its verdict logic
+//! is unit-tested (`crates/bench/tests/gate.rs`).
+
+use toto_bench::track::{any_regression, gate_record, render_verdicts, run_suite};
+use toto_fleet::{current_commit, BenchRecord, RunStore};
+
+struct Args {
+    gate: bool,
+    dry_run: bool,
+    out: String,
+    commit: Option<String>,
+    date: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        gate: false,
+        dry_run: false,
+        out: "results".to_string(),
+        commit: None,
+        date: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--gate" => args.gate = true,
+            "--dry-run" => args.dry_run = true,
+            "--out" => args.out = value("--out"),
+            "--commit" => args.commit = Some(value("--commit")),
+            "--date" => args.date = Some(value("--date")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_track [--gate] [--dry-run] [--out DIR] \
+                     [--commit HASH] [--date YYYY-MM-DD]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let store = RunStore::new(&args.out);
+    let prior = match store.load_bench_records() {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_track: cannot read benchmark history: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut progress = |name: &str| eprintln!("bench_track: measuring {name} ...");
+    let entries = run_suite(&mut progress);
+    let commit = args.commit.clone().unwrap_or_else(current_commit);
+    let record = BenchRecord::new(commit, entries);
+
+    let verdicts = match gate_record(&prior, &record) {
+        Ok(verdicts) => verdicts,
+        Err(e) => {
+            eprintln!("bench_track: gate error: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render_verdicts(&verdicts));
+
+    if !args.dry_run {
+        let path = store
+            .append_bench_record(&record)
+            .expect("append benchdata.json");
+        println!(
+            "recorded {} entries at commit {} -> {}",
+            record.entries.len(),
+            record.commit,
+            path.display()
+        );
+        if let Some(date) = &args.date {
+            let snapshot = std::path::Path::new(&args.out).join(format!("BENCH_{date}.json"));
+            std::fs::write(&snapshot, record.to_json().render()).expect("write BENCH snapshot");
+            println!("snapshot -> {}", snapshot.display());
+        }
+    }
+
+    if args.gate && any_regression(&verdicts) {
+        eprintln!(
+            "bench_track: GATE FAILED: at least one metric regressed >10% \
+             vs its trailing median (see table above)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Regression tests for the `bench_track` gate itself — the shell gate
+//! it replaced had zero tests.
+//!
+//! The threshold contract is exact: a metric may be up to and including
+//! 10% worse than the trailing median of its last five samples; 10.1%
+//! fails. Malformed input (a suite metric missing from the current
+//! record, a series entry without a value) yields a *typed* error, not
+//! a panic and not a silent pass.
+
+use toto_bench::track::{any_regression, gate_record, TrackError, SUITE};
+use toto_fleet::{BenchEntry, BenchRecord, RunStore};
+use toto_stats::regression::{GateError, GateVerdict};
+
+/// A record carrying every suite metric at `value` (latency metrics and
+/// the throughput metric alike; tests pick the metric they care about).
+fn uniform_record(commit: &str, value: f64) -> BenchRecord {
+    BenchRecord::new(
+        commit,
+        SUITE
+            .iter()
+            .map(|m| BenchEntry {
+                name: m.name.to_string(),
+                unit: m.unit.to_string(),
+                value,
+            })
+            .collect(),
+    )
+}
+
+/// Five prior records, all at 100.0 — a flat history whose trailing
+/// median is exactly 100.0 for every suite metric.
+fn flat_history() -> Vec<BenchRecord> {
+    (0..5)
+        .map(|i| uniform_record(&format!("c{i}"), 100.0))
+        .collect()
+}
+
+/// Override one metric of a record.
+fn with_metric(mut record: BenchRecord, name: &str, value: f64) -> BenchRecord {
+    for e in &mut record.entries {
+        if e.name == name {
+            e.value = value;
+        }
+    }
+    record
+}
+
+#[test]
+fn exactly_ten_percent_worse_passes() {
+    let latency = "plb_place_bc_x4_ring_100";
+    let current = with_metric(uniform_record("head", 100.0), latency, 110.0);
+    let verdicts = gate_record(&flat_history(), &current).unwrap();
+    assert!(
+        !any_regression(&verdicts),
+        "a 10.0% worsening is within the gate: {verdicts:?}"
+    );
+    let v = verdicts.iter().find(|v| v.name == latency).unwrap();
+    assert_eq!(v.verdict.verdict(), "pass");
+}
+
+#[test]
+fn ten_point_one_percent_worse_fails() {
+    let latency = "plb_place_bc_x4_ring_100";
+    let current = with_metric(uniform_record("head", 100.0), latency, 110.1);
+    let verdicts = gate_record(&flat_history(), &current).unwrap();
+    assert!(any_regression(&verdicts), "10.1% must trip the gate");
+    let v = verdicts.iter().find(|v| v.name == latency).unwrap();
+    let GateVerdict::Regressed {
+        baseline, current, ..
+    } = &v.verdict
+    else {
+        panic!("expected a regression verdict, got {:?}", v.verdict);
+    };
+    assert_eq!(*baseline, 100.0);
+    assert_eq!(*current, 110.1);
+    // Every other metric still passes: the verdict is per-metric.
+    assert_eq!(
+        verdicts
+            .iter()
+            .filter(|v| v.verdict.is_regression())
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn throughput_direction_gates_drops_not_rises() {
+    let throughput = "sim_density140/events_per_sec";
+    // Throughput falling 10.1% regresses...
+    let drop = with_metric(uniform_record("head", 100.0), throughput, 89.9);
+    let verdicts = gate_record(&flat_history(), &drop).unwrap();
+    let v = verdicts.iter().find(|v| v.name == throughput).unwrap();
+    assert!(v.verdict.is_regression());
+    // ...but latency falling the same amount is an improvement.
+    let faster = with_metric(
+        uniform_record("head", 100.0),
+        "plb_violation_scan_ring_100",
+        89.9,
+    );
+    let verdicts = gate_record(&flat_history(), &faster).unwrap();
+    assert!(!any_regression(&verdicts));
+}
+
+#[test]
+fn trailing_median_window_is_five() {
+    // Six prior samples: one ancient fast outlier (10) then five at 100.
+    // The window must ignore the ancient sample: baseline 100, so 105
+    // passes. If the whole series were used the median would drag low
+    // enough that 105 still passes — so also check the converse: five
+    // fast samples pushed out of the window by five slow ones.
+    let latency = "plb_place_bc_x4_ring_100";
+    let mut history: Vec<BenchRecord> = vec![uniform_record("old", 10.0)];
+    history.extend(flat_history());
+    let current = with_metric(uniform_record("head", 100.0), latency, 105.0);
+    assert!(!any_regression(&gate_record(&history, &current).unwrap()));
+
+    // Five fast records followed by five slow ones: the window sees
+    // only the slow five (baseline 200), so 210 passes even though it
+    // is 2.1x the all-time median.
+    let mut history: Vec<BenchRecord> = (0..5)
+        .map(|i| uniform_record(&format!("f{i}"), 100.0))
+        .collect();
+    history.extend((0..5).map(|i| uniform_record(&format!("s{i}"), 200.0)));
+    let current = with_metric(uniform_record("head", 200.0), latency, 210.0);
+    assert!(!any_regression(&gate_record(&history, &current).unwrap()));
+}
+
+#[test]
+fn missing_suite_metric_is_a_typed_error() {
+    let mut current = uniform_record("head", 100.0);
+    current
+        .entries
+        .retain(|e| e.name != "hyperscale_smoke/wall_secs");
+    let err = gate_record(&flat_history(), &current).unwrap_err();
+    assert_eq!(
+        err,
+        TrackError::MissingMetric {
+            name: "hyperscale_smoke/wall_secs".to_string()
+        }
+    );
+    assert!(err.to_string().contains("hyperscale_smoke/wall_secs"));
+}
+
+#[test]
+fn non_finite_current_is_a_typed_error() {
+    // A NaN cannot be serialized into the store, but gate_record judges
+    // in-memory records too — the typed error must surface, not a panic.
+    let current = with_metric(
+        uniform_record("head", 100.0),
+        "plb_place_bc_x4_ring_100",
+        f64::NAN,
+    );
+    let err = gate_record(&flat_history(), &current).unwrap_err();
+    let TrackError::Metric { name, source } = err else {
+        panic!("expected a metric error");
+    };
+    assert_eq!(name, "plb_place_bc_x4_ring_100");
+    assert!(matches!(source, GateError::NonFiniteCurrent { .. }));
+}
+
+#[test]
+fn malformed_series_entry_is_a_typed_load_error() {
+    // A benchdata.json whose entry lacks its value: loading reports a
+    // typed InvalidData error naming the missing field — the gate never
+    // sees (and never silently passes) a half-parsed series.
+    let dir = std::env::temp_dir().join(format!("toto-gate-malformed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("benchdata.json"),
+        r#"[
+  {
+    "commit": "deadbee",
+    "entries": [
+      {
+        "name": "plb_place_bc_x4_ring_100",
+        "unit": "ns/iter"
+      }
+    ],
+    "schema_version": 1
+  }
+]
+"#,
+    )
+    .unwrap();
+    let err = RunStore::new(&dir).load_bench_records().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("missing bench value"),
+        "error must name the malformed field, got: {err}"
+    );
+
+    // An entry from a future schema version is likewise rejected, not
+    // reinterpreted.
+    std::fs::write(
+        dir.join("benchdata.json"),
+        r#"[
+  {
+    "commit": "deadbee",
+    "entries": [],
+    "schema_version": 999
+  }
+]
+"#,
+    )
+    .unwrap();
+    let err = RunStore::new(&dir).load_bench_records().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("schema"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,9 +21,9 @@
 //! * **Run-artifact store** ([`store`]): schema-versioned JSON run
 //!   records (fleet manifest, per-job KPI summaries, seeds, wall-clock
 //!   timings) under `results/runs/`, plus an append-only
-//!   `results/benchdata.json` time series in the
-//!   github-action-benchmark style, so performance trajectories survive
-//!   across PRs.
+//!   `results/benchdata.json` series of commit-stamped benchmark
+//!   records (whole-file rewrites through a temp file + atomic rename),
+//!   so performance trajectories survive across PRs.
 //!
 //! [`FleetJob`]: job::FleetJob
 //! [`FleetObserver`]: executor::FleetObserver
@@ -40,6 +40,7 @@ pub use executor::{
 pub use job::{density_fleet, FleetJob, FleetPlan, FleetTask, JobOutput};
 pub use json::Json;
 pub use store::{
-    kpis_from_json, kpis_to_json, revenue_from_json, revenue_to_json, BenchEntry, FleetManifest,
-    ManifestJob, RunRecord, RunStore, RUN_SCHEMA_VERSION,
+    current_commit, kpis_from_json, kpis_to_json, revenue_from_json, revenue_to_json, BenchEntry,
+    BenchRecord, FleetManifest, ManifestJob, RunRecord, RunStore, BENCH_SCHEMA_VERSION,
+    RUN_SCHEMA_VERSION,
 };

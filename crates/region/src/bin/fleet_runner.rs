@@ -290,11 +290,14 @@ fn main() {
         }
     }
     store
-        .append_bench_entries(&[toto_fleet::BenchEntry {
-            name: format!("{}/jobs_per_sec", manifest.fleet),
-            unit: "jobs/s".to_string(),
-            value: report.jobs_per_sec(),
-        }])
+        .append_bench_record(&toto_fleet::BenchRecord::new(
+            toto_fleet::current_commit(),
+            vec![toto_fleet::BenchEntry {
+                name: format!("{}/jobs_per_sec", manifest.fleet),
+                unit: "jobs/s".to_string(),
+                value: report.jobs_per_sec(),
+            }],
+        ))
         .expect("append benchdata.json");
 
     println!(

@@ -138,6 +138,7 @@ impl<S> CalendarQueue<S> {
 pub struct Scheduler<S> {
     now: SimTime,
     seq: u64,
+    dispatched: u64,
     queue: CalendarQueue<S>,
 }
 
@@ -146,6 +147,7 @@ impl<S> Scheduler<S> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
+            dispatched: 0,
             queue: CalendarQueue::new(),
         }
     }
@@ -158,6 +160,14 @@ impl<S> Scheduler<S> {
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of events dispatched so far. `seq` counts *scheduled*
+    /// events; this counts the ones that actually fired — the
+    /// denominator-free numerator of the sim-events/sec headline
+    /// metric. Purely observational: reading it never perturbs the run.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -248,22 +258,36 @@ impl<S> Simulation<S> {
         &mut self.scheduler
     }
 
+    /// Number of events dispatched so far (see [`Scheduler::dispatched`]).
+    pub fn dispatched(&self) -> u64 {
+        self.scheduler.dispatched
+    }
+
+    /// Dispatch one already-popped event: advance the clock, trace,
+    /// run the callback, then the post-dispatch hook. Shared by
+    /// [`Simulation::step`] and the [`Simulation::run_until`] hot loop.
+    #[inline]
+    fn dispatch(&mut self, ev: QueuedEvent<S>) {
+        debug_assert!(ev.at >= self.scheduler.now, "time went backwards");
+        self.scheduler.now = ev.at;
+        self.scheduler.dispatched += 1;
+        if toto_trace::is_active() {
+            toto_trace::set_now_secs(ev.at.as_secs());
+            toto_trace::emit(toto_trace::EventKind::Dispatch, || {
+                toto_trace::EventBody::Dispatch { queue_seq: ev.seq }
+            });
+        }
+        (ev.run)(&mut self.state, &mut self.scheduler);
+        if let Some(hook) = &mut self.post_dispatch {
+            hook(&mut self.state, &self.scheduler);
+        }
+    }
+
     /// Run one event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.scheduler.queue.pop() {
             Some(ev) => {
-                debug_assert!(ev.at >= self.scheduler.now, "time went backwards");
-                self.scheduler.now = ev.at;
-                if toto_trace::is_active() {
-                    toto_trace::set_now_secs(ev.at.as_secs());
-                    toto_trace::emit(toto_trace::EventKind::Dispatch, || {
-                        toto_trace::EventBody::Dispatch { queue_seq: ev.seq }
-                    });
-                }
-                (ev.run)(&mut self.state, &mut self.scheduler);
-                if let Some(hook) = &mut self.post_dispatch {
-                    hook(&mut self.state, &self.scheduler);
-                }
+                self.dispatch(ev);
                 true
             }
             None => false,

@@ -1,0 +1,319 @@
+//! Benchmark regression detection: trailing-median baselines with typed
+//! verdicts.
+//!
+//! *Sampling in Cloud Benchmarking* (PAPERS.md) documents why gating a
+//! benchmark on the single previous run is noise amplification: one
+//! outlier sample poisons every later comparison. The gate here compares
+//! the current sample against the **median of a trailing window** of
+//! prior samples instead, and — like [`crate::describe::Dispersion`] —
+//! makes every degenerate case a typed variant rather than a sentinel
+//! float, so callers match instead of special-casing `NaN`s.
+
+use crate::describe::median;
+
+/// The default trailing-window length: the gate compares against the
+/// median of (up to) the last five recorded samples.
+pub const DEFAULT_WINDOW: usize = 5;
+
+/// The default regression threshold: a metric may drift up to 10%
+/// worse than its trailing median before the gate fails. Exactly 10%
+/// passes; the gate trips strictly beyond it.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// Which direction of change is a regression for a metric.
+///
+/// Latency-like metrics (ns/iter, wall seconds) regress when they grow;
+/// throughput-like metrics (sim-events/sec, jobs/sec) regress when they
+/// shrink. The direction is declared per metric, never inferred from
+/// the unit string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (throughput).
+    LargerIsBetter,
+    /// Smaller values are better (latency, wall-clock).
+    SmallerIsBetter,
+}
+
+impl Direction {
+    /// Stable string tag for reports: `"larger_is_better"` /
+    /// `"smaller_is_better"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::LargerIsBetter => "larger_is_better",
+            Direction::SmallerIsBetter => "smaller_is_better",
+        }
+    }
+}
+
+/// The typed outcome of gating one metric against its history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateVerdict {
+    /// No prior samples exist: nothing to compare against, the gate
+    /// passes vacuously and the sample seeds the history.
+    NoHistory {
+        /// The current sample (recorded, not judged).
+        current: f64,
+    },
+    /// Within the threshold of the trailing median (improvements land
+    /// here too; `worsening` is negative for them).
+    Pass {
+        /// Trailing-median baseline.
+        baseline: f64,
+        /// The current sample.
+        current: f64,
+        /// Fractional worsening vs the baseline, oriented so that
+        /// positive is always worse regardless of [`Direction`].
+        worsening: f64,
+    },
+    /// Worse than the trailing median by strictly more than the
+    /// threshold.
+    Regressed {
+        /// Trailing-median baseline.
+        baseline: f64,
+        /// The current sample.
+        current: f64,
+        /// Fractional worsening vs the baseline (positive).
+        worsening: f64,
+    },
+}
+
+impl GateVerdict {
+    /// Stable string tag for reports: `"no_history"`, `"pass"` or
+    /// `"regressed"`.
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            GateVerdict::NoHistory { .. } => "no_history",
+            GateVerdict::Pass { .. } => "pass",
+            GateVerdict::Regressed { .. } => "regressed",
+        }
+    }
+
+    /// True only for [`GateVerdict::Regressed`].
+    pub fn is_regression(&self) -> bool {
+        matches!(self, GateVerdict::Regressed { .. })
+    }
+
+    /// Fractional worsening vs baseline (`None` without history).
+    pub fn worsening(&self) -> Option<f64> {
+        match self {
+            GateVerdict::NoHistory { .. } => None,
+            GateVerdict::Pass { worsening, .. } | GateVerdict::Regressed { worsening, .. } => {
+                Some(*worsening)
+            }
+        }
+    }
+}
+
+/// Why a metric could not be gated at all. These are *data* errors —
+/// a malformed or meaningless series — distinct from a regression,
+/// which is a valid comparison with a bad outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateError {
+    /// The current sample is NaN or infinite.
+    NonFiniteCurrent {
+        /// The offending value, stringified (NaN/inf are not
+        /// JSON-representable, so reports carry text).
+        value: String,
+    },
+    /// A history sample is NaN or infinite.
+    NonFiniteHistory {
+        /// Index of the offending sample within the history slice.
+        index: usize,
+    },
+    /// The trailing median is zero or negative; relative change is
+    /// meaningless. Benchmarks measure strictly positive quantities,
+    /// so this indicates a malformed series.
+    NonPositiveBaseline {
+        /// The offending baseline.
+        baseline: f64,
+    },
+    /// The window length is zero — a configuration error.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::NonFiniteCurrent { value } => {
+                write!(f, "current sample is not finite: {value}")
+            }
+            GateError::NonFiniteHistory { index } => {
+                write!(f, "history sample {index} is not finite")
+            }
+            GateError::NonPositiveBaseline { baseline } => {
+                write!(f, "trailing-median baseline {baseline} is not positive")
+            }
+            GateError::EmptyWindow => write!(f, "gate window must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The median of the last `window` samples of `history` (all of it if
+/// shorter). `None` when the history is empty or the window is zero.
+pub fn trailing_median(history: &[f64], window: usize) -> Option<f64> {
+    if history.is_empty() || window == 0 {
+        return None;
+    }
+    let start = history.len().saturating_sub(window);
+    Some(median(&history[start..]))
+}
+
+/// Gate `current` against the trailing median of `history`.
+///
+/// `history` is oldest-first; only the last `window` samples form the
+/// baseline. The verdict is [`GateVerdict::Regressed`] when the sample
+/// is worse than the baseline — in the metric's [`Direction`] — by
+/// strictly more than `threshold` (a fraction: `0.10` is 10%). A
+/// worsening of exactly `threshold` passes.
+pub fn gate_metric(
+    history: &[f64],
+    current: f64,
+    direction: Direction,
+    threshold: f64,
+    window: usize,
+) -> Result<GateVerdict, GateError> {
+    if window == 0 {
+        return Err(GateError::EmptyWindow);
+    }
+    if !current.is_finite() {
+        return Err(GateError::NonFiniteCurrent {
+            value: format!("{current}"),
+        });
+    }
+    let start = history.len().saturating_sub(window);
+    let recent = &history[start..];
+    for (offset, sample) in recent.iter().enumerate() {
+        if !sample.is_finite() {
+            return Err(GateError::NonFiniteHistory {
+                index: start + offset,
+            });
+        }
+    }
+    let Some(baseline) = trailing_median(history, window) else {
+        return Ok(GateVerdict::NoHistory { current });
+    };
+    if baseline <= 0.0 {
+        return Err(GateError::NonPositiveBaseline { baseline });
+    }
+    // Orient the relative change so positive is always "worse".
+    let worsening = match direction {
+        Direction::SmallerIsBetter => (current - baseline) / baseline,
+        Direction::LargerIsBetter => (baseline - current) / baseline,
+    };
+    if worsening > threshold {
+        Ok(GateVerdict::Regressed {
+            baseline,
+            current,
+            worsening,
+        })
+    } else {
+        Ok(GateVerdict::Pass {
+            baseline,
+            current,
+            worsening,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_history_passes_vacuously() {
+        let v = gate_metric(&[], 42.0, Direction::SmallerIsBetter, 0.10, 5).unwrap();
+        assert_eq!(v, GateVerdict::NoHistory { current: 42.0 });
+        assert_eq!(v.verdict(), "no_history");
+        assert!(!v.is_regression());
+        assert_eq!(v.worsening(), None);
+    }
+
+    #[test]
+    fn trailing_median_uses_only_the_window() {
+        // Last five of the series are 10..14; their median is 12.
+        let history = [1000.0, 1000.0, 10.0, 11.0, 12.0, 13.0, 14.0];
+        assert_eq!(trailing_median(&history, 5), Some(12.0));
+        assert_eq!(trailing_median(&history, 100), Some(13.0));
+        assert_eq!(trailing_median(&[], 5), None);
+        assert_eq!(trailing_median(&[1.0], 0), None);
+    }
+
+    #[test]
+    fn exactly_threshold_passes_strictly_beyond_fails() {
+        let history = [100.0, 100.0, 100.0];
+        // Smaller-is-better: 110 is exactly +10% — passes.
+        let at = gate_metric(&history, 110.0, Direction::SmallerIsBetter, 0.10, 5).unwrap();
+        assert_eq!(at.verdict(), "pass");
+        // 110.1 is 10.1% — regresses.
+        let over = gate_metric(&history, 110.1, Direction::SmallerIsBetter, 0.10, 5).unwrap();
+        assert!(over.is_regression());
+        let GateVerdict::Regressed {
+            baseline, current, ..
+        } = over
+        else {
+            panic!("expected regression");
+        };
+        assert_eq!(baseline, 100.0);
+        assert_eq!(current, 110.1);
+    }
+
+    #[test]
+    fn direction_orients_worsening() {
+        let history = [100.0];
+        // Throughput dropping 20% regresses...
+        let drop = gate_metric(&history, 80.0, Direction::LargerIsBetter, 0.10, 5).unwrap();
+        assert!(drop.is_regression());
+        assert!((drop.worsening().unwrap() - 0.20).abs() < 1e-12);
+        // ...and throughput rising is an improvement (negative worsening).
+        let rise = gate_metric(&history, 120.0, Direction::LargerIsBetter, 0.10, 5).unwrap();
+        assert_eq!(rise.verdict(), "pass");
+        assert!(rise.worsening().unwrap() < 0.0);
+        // For latency the same 80 is an improvement.
+        let faster = gate_metric(&history, 80.0, Direction::SmallerIsBetter, 0.10, 5).unwrap();
+        assert_eq!(faster.verdict(), "pass");
+    }
+
+    #[test]
+    fn median_window_absorbs_single_outliers() {
+        // One slow outlier in the window must not drag the baseline:
+        // median of [100, 100, 500, 100, 100] is 100, so 105 passes.
+        let history = [100.0, 100.0, 500.0, 100.0, 100.0];
+        let v = gate_metric(&history, 105.0, Direction::SmallerIsBetter, 0.10, 5).unwrap();
+        assert_eq!(v.verdict(), "pass");
+    }
+
+    #[test]
+    fn malformed_series_yield_typed_errors() {
+        assert_eq!(
+            gate_metric(&[], f64::NAN, Direction::SmallerIsBetter, 0.10, 5),
+            Err(GateError::NonFiniteCurrent {
+                value: "NaN".to_string()
+            })
+        );
+        assert_eq!(
+            gate_metric(
+                &[1.0, f64::INFINITY],
+                1.0,
+                Direction::SmallerIsBetter,
+                0.10,
+                5
+            ),
+            Err(GateError::NonFiniteHistory { index: 1 })
+        );
+        // Non-finite history *outside* the window is ignored.
+        let ancient = [f64::NAN, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(gate_metric(&ancient, 1.0, Direction::SmallerIsBetter, 0.10, 5).is_ok());
+        assert_eq!(
+            gate_metric(&[0.0], 1.0, Direction::SmallerIsBetter, 0.10, 5),
+            Err(GateError::NonPositiveBaseline { baseline: 0.0 })
+        );
+        assert_eq!(
+            gate_metric(&[1.0], 1.0, Direction::SmallerIsBetter, 0.10, 0),
+            Err(GateError::EmptyWindow)
+        );
+        let err = GateError::NonPositiveBaseline { baseline: 0.0 };
+        assert!(err.to_string().contains("not positive"));
+    }
+}
