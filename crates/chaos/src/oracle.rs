@@ -27,7 +27,6 @@
 //!    recompute from its load vector (the decision-identity contract of
 //!    the cost cache).
 
-use std::collections::BTreeMap;
 use toto_fabric::cluster::Cluster;
 use toto_fabric::naming::NamingService;
 use toto_rgmanager::MODEL_KEY;
@@ -52,11 +51,21 @@ pub struct InvariantOracle {
     /// Placement headroom the PLB uses, so oracle 2 applies the same
     /// fit rule as the placement code it audits.
     headroom: f64,
-    /// Replica raw id → node raw id at the previous check.
-    prev_placement: BTreeMap<u64, u32>,
+    /// `(replica raw id, node raw id)` at the previous check, sorted by
+    /// replica id ([`Cluster::replicas`] iterates in id order, so the
+    /// scratch fills already sorted — no per-check map rebuild).
+    prev_placement: Vec<(u64, u32)>,
+    /// Scratch for the next placement snapshot; swapped with
+    /// `prev_placement` each check so neither ever reallocates once the
+    /// run reaches steady state.
+    placement_scratch: Vec<(u64, u32)>,
     /// Services that were already in the all-replicas-down state at the
     /// previous check (sorted for deterministic iteration).
     prev_all_down: Vec<u64>,
+    /// Scratch for oracle 2's next all-down set (same swap scheme).
+    all_down_scratch: Vec<u64>,
+    /// Scratch for oracle 3's sorted live-identity set.
+    live_scratch: Vec<u64>,
     /// Total checks performed.
     pub checks: u64,
     /// Total violations detected.
@@ -68,8 +77,11 @@ impl InvariantOracle {
     pub fn new(placement_headroom: f64) -> Self {
         InvariantOracle {
             headroom: placement_headroom,
-            prev_placement: BTreeMap::new(),
+            prev_placement: Vec::new(),
+            placement_scratch: Vec::new(),
             prev_all_down: Vec::new(),
+            all_down_scratch: Vec::new(),
+            live_scratch: Vec::new(),
             checks: 0,
             violations: 0,
         }
@@ -90,11 +102,16 @@ impl InvariantOracle {
         let mut found = Vec::new();
 
         // Oracle 1: replicas that arrived on a down node since last check.
-        let mut placement: BTreeMap<u64, u32> = BTreeMap::new();
+        // Replicas iterate in id order, so the scratch fills sorted and
+        // the previous snapshot can be probed by binary search.
+        self.placement_scratch.clear();
         for rep in cluster.replicas() {
-            placement.insert(rep.id.raw(), rep.node.raw());
+            self.placement_scratch.push((rep.id.raw(), rep.node.raw()));
             if !cluster.node(rep.node).up
-                && self.prev_placement.get(&rep.id.raw()) != Some(&rep.node.raw())
+                && self
+                    .prev_placement
+                    .binary_search(&(rep.id.raw(), rep.node.raw()))
+                    .is_err()
             {
                 found.push(OracleViolation {
                     oracle: "replica_on_down_node",
@@ -107,11 +124,11 @@ impl InvariantOracle {
                 });
             }
         }
-        self.prev_placement = placement;
+        std::mem::swap(&mut self.prev_placement, &mut self.placement_scratch);
 
         // Oracle 2: services newly stranded with every replica on a down
         // node while an up node could host one.
-        let mut all_down: Vec<u64> = Vec::new();
+        self.all_down_scratch.clear();
         for svc in cluster.services() {
             if svc.replicas.is_empty() {
                 continue;
@@ -124,7 +141,7 @@ impl InvariantOracle {
             if !every_replica_down {
                 continue;
             }
-            all_down.push(svc.id.raw());
+            self.all_down_scratch.push(svc.id.raw());
             if self.prev_all_down.binary_search(&svc.id.raw()).is_ok() {
                 continue; // Already stranded before this event: not a transition.
             }
@@ -147,22 +164,27 @@ impl InvariantOracle {
                 });
             }
         }
-        self.prev_all_down = all_down;
+        std::mem::swap(&mut self.prev_all_down, &mut self.all_down_scratch);
 
-        // Oracle 3: Naming Service consistency.
+        // Oracle 3: Naming Service consistency. The live set reuses a
+        // sorted scratch vector and the prefix scan borrows keys from
+        // the store — this runs after every event, so neither may
+        // allocate in steady state.
         if !naming.contains_key(MODEL_KEY) {
             found.push(OracleViolation {
                 oracle: "naming_consistency",
                 detail: format!("model key '{MODEL_KEY}' missing"),
             });
         }
-        let live: std::collections::BTreeSet<u64> = live_identities.collect();
+        self.live_scratch.clear();
+        self.live_scratch.extend(live_identities);
+        self.live_scratch.sort_unstable();
         for key in naming.keys_with_prefix(STATE_PREFIX) {
             let identity = key
                 .rsplit_once("/svc-")
                 .and_then(|(_, raw)| raw.parse::<u64>().ok());
             match identity {
-                Some(id) if live.contains(&id) => {}
+                Some(id) if self.live_scratch.binary_search(&id).is_ok() => {}
                 _ => found.push(OracleViolation {
                     oracle: "naming_consistency",
                     detail: format!("persisted-state key '{key}' has no live database"),
@@ -198,9 +220,14 @@ impl InvariantOracle {
     }
 
     /// Forget a replica's tracked placement (e.g. after a drop, to keep
-    /// the map from growing without bound). Unknown ids are ignored.
+    /// the snapshot from growing without bound). Unknown ids are ignored.
     pub fn forget_replica(&mut self, replica_raw: u64) {
-        self.prev_placement.remove(&replica_raw);
+        if let Ok(i) = self
+            .prev_placement
+            .binary_search_by_key(&replica_raw, |&(id, _)| id)
+        {
+            self.prev_placement.remove(i);
+        }
     }
 }
 

@@ -112,13 +112,17 @@ impl NamingService {
         self.entries.is_empty()
     }
 
-    /// Keys with a given prefix, in lexicographic order.
-    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+    /// Keys with a given prefix, in lexicographic order. Borrows from
+    /// the store — the chaos oracle walks every persisted-state key
+    /// after every dispatched event, so this path must not clone.
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
         self.entries
-            .range(prefix.to_string()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, _)| k.clone())
-            .collect()
+            .range::<str, _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
     }
 
     /// Operation counters.
@@ -174,12 +178,9 @@ mod tests {
         ns.write("toto/models", "z");
         ns.write("other", "w");
         assert_eq!(
-            ns.keys_with_prefix("toto/state/"),
-            vec![
-                "toto/state/rep-1".to_string(),
-                "toto/state/rep-2".to_string()
-            ]
+            ns.keys_with_prefix("toto/state/").collect::<Vec<_>>(),
+            vec!["toto/state/rep-1", "toto/state/rep-2"]
         );
-        assert_eq!(ns.keys_with_prefix("zzz"), Vec::<String>::new());
+        assert_eq!(ns.keys_with_prefix("zzz").count(), 0);
     }
 }

@@ -89,6 +89,7 @@ impl<S> CalendarQueue<S> {
         at.as_secs() >> BUCKET_WIDTH_BITS
     }
 
+    #[inline]
     fn push(&mut self, ev: QueuedEvent<S>) {
         self.len += 1;
         let b = Self::bucket(ev.at);
@@ -101,6 +102,7 @@ impl<S> CalendarQueue<S> {
     /// Refill the current heap from the earliest far bucket once it
     /// drains. Far buckets are strictly later than the current one, so
     /// ascending consumption keeps the ordering invariant.
+    #[inline]
     fn pull(&mut self) {
         if self.current.is_empty() {
             match self.far.pop_first() {
@@ -113,6 +115,7 @@ impl<S> CalendarQueue<S> {
         }
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<QueuedEvent<S>> {
         self.pull();
         let ev = self.current.pop();
@@ -122,11 +125,18 @@ impl<S> CalendarQueue<S> {
         ev
     }
 
-    /// Timestamp of the next event without dispatching it. `&mut`
-    /// because peeking may pull the next bucket into the heap.
-    fn peek_at(&mut self) -> Option<SimTime> {
+    /// Pop the next event only if its timestamp is `<= end`. One `pull`
+    /// and one heap sift per dispatched event — the `run_until` hot loop
+    /// previously peeked (pull + compare) and then popped (pull + sift),
+    /// touching the heap root twice per event.
+    #[inline]
+    fn pop_if_at_most(&mut self, end: SimTime) -> Option<QueuedEvent<S>> {
         self.pull();
-        self.current.peek().map(|ev| ev.at)
+        if self.current.peek()?.at > end {
+            return None;
+        }
+        self.len -= 1;
+        self.current.pop()
     }
 
     fn len(&self) -> usize {
@@ -297,11 +307,8 @@ impl<S> Simulation<S> {
     /// Run all events with timestamps `<= end`, then advance the clock to
     /// exactly `end`. Events scheduled beyond `end` remain queued.
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(at) = self.scheduler.queue.peek_at() {
-            if at > end {
-                break;
-            }
-            self.step();
+        while let Some(ev) = self.scheduler.queue.pop_if_at_most(end) {
+            self.dispatch(ev);
         }
         if self.scheduler.now < end {
             self.scheduler.now = end;
