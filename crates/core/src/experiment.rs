@@ -172,7 +172,25 @@ pub struct ExperimentState {
     balance_during_run: bool,
     /// Fault-injection state; `None` whenever the chaos plan is empty.
     chaos: Option<ChaosRuntime>,
+    /// Scratch for `report_metrics`' per-replica snapshot, reused every
+    /// report period so the hottest periodic event allocates nothing in
+    /// steady state.
+    report_rows: Vec<ReplicaRow>,
 }
+
+/// One row of `report_metrics`' pre-collected snapshot: (id, service,
+/// node, role, edition, created_at, disk_load, mem_load). Collected
+/// before reporting because reporting mutates the cluster.
+type ReplicaRow = (
+    ReplicaId,
+    u64,
+    u32,
+    ReplicaRole,
+    EditionKind,
+    SimTime,
+    f64,
+    f64,
+);
 
 /// Everything an experiment run produces.
 #[derive(Clone, Debug)]
@@ -380,6 +398,7 @@ impl DensityExperiment {
             start,
             end,
             chaos,
+            report_rows: Vec::new(),
         };
 
         let mut sim = Simulation::new(state);
@@ -582,37 +601,45 @@ fn edition_of(tag: u64) -> EditionKind {
 /// disk and memory metrics and reports the modeled loads to the PLB.
 fn report_metrics(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentState>) {
     let now = sched.now();
-    // One row per replica: (id, service, node, role, edition, created_at,
-    // disk_load, mem_load). Collect first: reporting mutates the cluster.
-    type ReplicaRow = (
-        ReplicaId,
-        u64,
-        u32,
-        ReplicaRole,
-        EditionKind,
-        SimTime,
-        f64,
-        f64,
-    );
-    let replicas: Vec<ReplicaRow> = state
-        .cluster
-        .replicas()
-        .map(|r| {
-            let svc = state.cluster.service(r.service).expect("replica's service");
-            (
-                r.id,
-                r.service.raw(),
-                r.node.raw(),
-                r.role,
-                edition_of(svc.tag),
-                svc.created_at,
-                r.load[state.disk],
-                r.load[state.memory],
-            )
-        })
-        .collect();
-    for (rid, service, node, role, edition, created_at, disk_load, mem_load) in replicas {
-        let identity = state.identities.get(&service).copied().unwrap_or(service);
+    // Take/put-back: the rows are collected up front (reporting mutates
+    // the cluster) into a buffer reused across report periods. A
+    // service's replicas have consecutive ids and replicas iterate in id
+    // order, so the service lookup is cached across the run of rows that
+    // share it — one map probe per service instead of per replica.
+    let mut rows = std::mem::take(&mut state.report_rows);
+    rows.clear();
+    let mut last_service: Option<(toto_fabric::ids::ServiceId, EditionKind, SimTime)> = None;
+    for r in state.cluster.replicas() {
+        let (edition, created_at) = match last_service {
+            Some((sid, edition, created_at)) if sid == r.service => (edition, created_at),
+            _ => {
+                let svc = state.cluster.service(r.service).expect("replica's service");
+                let cached = (edition_of(svc.tag), svc.created_at);
+                last_service = Some((r.service, cached.0, cached.1));
+                cached
+            }
+        };
+        rows.push((
+            r.id,
+            r.service.raw(),
+            r.node.raw(),
+            r.role,
+            edition,
+            created_at,
+            r.load[state.disk],
+            r.load[state.memory],
+        ));
+    }
+    let mut last_identity: Option<(u64, u64)> = None;
+    for &(rid, service, node, role, edition, created_at, disk_load, mem_load) in &rows {
+        let identity = match last_identity {
+            Some((s, identity)) if s == service => identity,
+            _ => {
+                let identity = state.identities.get(&service).copied().unwrap_or(service);
+                last_identity = Some((service, identity));
+                identity
+            }
+        };
         let role_kind = match role {
             ReplicaRole::Primary => ReplicaRoleKind::Primary,
             ReplicaRole::Secondary => ReplicaRoleKind::Secondary,
@@ -660,6 +687,7 @@ fn report_metrics(state: &mut ExperimentState, sched: &mut Scheduler<ExperimentS
             }
         }
     }
+    state.report_rows = rows;
     let next = now + state.report_period;
     if next <= state.end {
         sched.schedule_at(next, report_metrics);

@@ -72,6 +72,15 @@ impl NamingService {
         self.entries.get(key).map(|e| e.value.clone())
     }
 
+    /// Read a key's value without cloning it. Counts as a read, exactly
+    /// like [`NamingService::read`] — the RgManager report path calls
+    /// this once per persisted-metric report, which at density 140 is
+    /// tens of thousands of reads per simulated hour.
+    pub fn get(&mut self, key: &str) -> Option<&str> {
+        self.stats.reads += 1;
+        self.entries.get(key).map(|e| e.value.as_str())
+    }
+
     /// Read a key's value together with its version; useful for callers
     /// that only want to re-parse when the blob changed (RgManager's
     /// 15-minute refresh does exactly this).

@@ -39,7 +39,18 @@ pub const MODEL_KEY: &str = "toto/models";
 
 /// Naming Service key for a persisted metric value of one service.
 pub fn persisted_state_key(resource: ResourceKind, service_raw: u64) -> String {
-    format!("toto/state/{resource}/svc-{service_raw}")
+    let mut key = String::new();
+    persisted_state_key_into(&mut key, resource, service_raw);
+    key
+}
+
+/// Render a persisted-state key into a reused buffer. The report path
+/// builds one key per persisted-metric report; routing every call
+/// through one scratch `String` keeps the steady state allocation-free.
+pub fn persisted_state_key_into(buf: &mut String, resource: ResourceKind, service_raw: u64) {
+    use std::fmt::Write;
+    buf.clear();
+    let _ = write!(buf, "toto/state/{resource}/svc-{service_raw}");
 }
 
 /// One metric report request from a SQL replica.
@@ -77,6 +88,8 @@ pub struct RgManager {
     /// runs stay byte-identical (D001).
     mem_state: BTreeMap<(u64, ResourceKind), f64>,
     refresh_count: u64,
+    /// Scratch buffer for persisted-state keys (reused across reports).
+    key_scratch: String,
 }
 
 impl RgManager {
@@ -88,6 +101,7 @@ impl RgManager {
             last_version: None,
             mem_state: BTreeMap::new(),
             refresh_count: 0,
+            key_scratch: String::new(),
         }
     }
 
@@ -175,8 +189,10 @@ impl RgManager {
             return req.actual_load;
         };
         if model.persisted() {
-            let key = persisted_state_key(req.resource, req.service);
-            let prev = naming.read(&key).and_then(|v| v.parse::<f64>().ok());
+            persisted_state_key_into(&mut self.key_scratch, req.resource, req.service);
+            let prev = naming
+                .get(&self.key_scratch)
+                .and_then(|v| v.parse::<f64>().ok());
             let ctx = SampleContext {
                 service: req.service,
                 node: self.node,
@@ -194,12 +210,18 @@ impl RgManager {
             if req.role == ReplicaRoleKind::Primary {
                 // "only the primary replica executes the model and
                 // persists the load" (§3.3.2).
-                naming.write(&key, format_value(value));
+                naming.write(&self.key_scratch, format_value(value));
             }
             value
         } else {
+            // One ordered-map probe per report: the entry holds the slot
+            // for both the `prev` read and the write-back.
             let slot = (req.replica, req.resource);
-            let prev = self.mem_state.get(&slot).copied();
+            let entry = self.mem_state.entry(slot);
+            let prev = match &entry {
+                std::collections::btree_map::Entry::Occupied(e) => Some(*e.get()),
+                std::collections::btree_map::Entry::Vacant(_) => None,
+            };
             let ctx = SampleContext {
                 service: req.service,
                 node: self.node,
@@ -214,7 +236,7 @@ impl RgManager {
                 "model produced non-finite in-memory report for {:?}",
                 req.resource
             );
-            self.mem_state.insert(slot, value);
+            *entry.or_default() = value;
             value
         }
     }
