@@ -46,24 +46,67 @@ impl NamingService {
     }
 
     /// Write (or overwrite) a key. Returns the new version.
+    ///
+    /// Overwrites update the entry in place, reusing the stored key
+    /// allocation — persisted-metric state is rewritten every report
+    /// period, so the overwrite path is far hotter than first insert.
     pub fn write(&mut self, key: &str, value: impl Into<String>) -> u64 {
+        let version = self.bump_write();
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.value = value.into();
+                e.version = version;
+            }
+            None => {
+                self.entries.insert(
+                    key.to_string(),
+                    Entry {
+                        value: value.into(),
+                        version,
+                    },
+                );
+            }
+        }
+        self.emit_write(key, version);
+        version
+    }
+
+    /// Write (or overwrite) a key by formatting straight into the stored
+    /// buffer. On overwrite neither the key nor the value allocates: the
+    /// existing value `String` is cleared and refilled. Counts, versions,
+    /// and trace events are identical to [`NamingService::write`].
+    pub fn write_with(&mut self, key: &str, fill: impl FnOnce(&mut String)) -> u64 {
+        let version = self.bump_write();
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.value.clear();
+                fill(&mut e.value);
+                e.version = version;
+            }
+            None => {
+                let mut value = String::new();
+                fill(&mut value);
+                self.entries
+                    .insert(key.to_string(), Entry { value, version });
+            }
+        }
+        self.emit_write(key, version);
+        version
+    }
+
+    fn bump_write(&mut self) -> u64 {
         self.counter += 1;
         self.stats.writes += 1;
-        let version = self.counter;
-        self.entries.insert(
-            key.to_string(),
-            Entry {
-                value: value.into(),
-                version,
-            },
-        );
+        self.counter
+    }
+
+    fn emit_write(&self, key: &str, version: u64) {
         toto_trace::emit(toto_trace::EventKind::NamingWrite, || {
             toto_trace::EventBody::NamingWrite {
                 key: key.to_string(),
                 version,
             }
         });
-        version
     }
 
     /// Read a key's value.
@@ -87,6 +130,15 @@ impl NamingService {
     pub fn read_versioned(&mut self, key: &str) -> Option<(String, u64)> {
         self.stats.reads += 1;
         self.entries.get(key).map(|e| (e.value.clone(), e.version))
+    }
+
+    /// Borrowing variant of [`NamingService::read_versioned`]: the model
+    /// XML blob runs to kilobytes and every node's RgManager re-reads it
+    /// every simulated 15 minutes, so the refresh path must not clone it
+    /// just to discover the version is unchanged.
+    pub fn get_versioned(&mut self, key: &str) -> Option<(&str, u64)> {
+        self.stats.reads += 1;
+        self.entries.get(key).map(|e| (e.value.as_str(), e.version))
     }
 
     /// Delete a key. Returns true if it existed.

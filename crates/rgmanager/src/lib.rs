@@ -90,6 +90,10 @@ pub struct RgManager {
     refresh_count: u64,
     /// Scratch buffer for persisted-state keys (reused across reports).
     key_scratch: String,
+    /// Naming Service blob version of `MODEL_KEY` seen at the previous
+    /// refresh. An unchanged blob can't produce a different compile
+    /// outcome, so the refresh skips the XML reparse entirely.
+    seen_blob_version: Option<u64>,
 }
 
 impl RgManager {
@@ -102,6 +106,7 @@ impl RgManager {
             mem_state: BTreeMap::new(),
             refresh_count: 0,
             key_scratch: String::new(),
+            seen_blob_version: None,
         }
     }
 
@@ -126,12 +131,20 @@ impl RgManager {
     /// the previously loaded models.
     pub fn refresh_models(&mut self, naming: &mut NamingService) -> bool {
         self.refresh_count += 1;
-        let Some(xml) = naming.read(MODEL_KEY) else {
+        let Some((xml, blob_version)) = naming.get_versioned(MODEL_KEY) else {
             return false;
         };
-        let Ok(spec) = ModelSetSpec::from_xml_str(&xml) else {
+        if self.seen_blob_version == Some(blob_version) {
+            // The blob is byte-identical to the one already processed:
+            // reparsing it cannot change the outcome. A previous compile
+            // (or a previous rejection of this exact blob) stands.
+            return false;
+        }
+        let Ok(spec) = ModelSetSpec::from_xml_str(xml) else {
+            self.seen_blob_version = Some(blob_version);
             return false;
         };
+        self.seen_blob_version = Some(blob_version);
         if self.last_version == Some(spec.version) {
             return false;
         }
@@ -209,8 +222,13 @@ impl RgManager {
             );
             if req.role == ReplicaRoleKind::Primary {
                 // "only the primary replica executes the model and
-                // persists the load" (§3.3.2).
-                naming.write(&self.key_scratch, format_value(value));
+                // persists the load" (§3.3.2). Formats into the stored
+                // buffer: the steady-state overwrite allocates nothing.
+                naming.write_with(&self.key_scratch, |buf| {
+                    use std::fmt::Write;
+                    // `{:?}` preserves round-trip precision for f64.
+                    let _ = write!(buf, "{value:?}");
+                });
             }
             value
         } else {
@@ -254,12 +272,6 @@ impl RgManager {
             "clear_persisted_state left residual keys for svc-{service_raw}"
         );
     }
-}
-
-/// Serialise a metric value for the Naming Service (full precision).
-fn format_value(v: f64) -> String {
-    // `{:?}` preserves round-trip precision for f64.
-    format!("{v:?}")
 }
 
 #[cfg(test)]
@@ -454,8 +466,22 @@ mod tests {
 
     #[test]
     fn value_serialisation_round_trips() {
-        let v = 1_234.567_890_123_456_7;
-        let s = super::format_value(v);
-        assert_eq!(s.parse::<f64>().unwrap(), v);
+        // The persisted write formats with `{:?}`, which must preserve
+        // full f64 round-trip precision through the Naming Service.
+        let mut naming = NamingService::new();
+        naming.write(MODEL_KEY, disk_model_xml(1, 1_234.567_890_123_456_7, true));
+        let mut rg = RgManager::new(0);
+        rg.refresh_models(&mut naming);
+        let v = rg.compute_report(&mut naming, &request(1, 9, ReplicaRoleKind::Primary, 1200));
+        let stored: f64 = naming
+            .read(&persisted_state_key(ResourceKind::Disk, 9))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            stored.to_bits(),
+            v.to_bits(),
+            "persisted text must round-trip bitwise: {stored} vs {v}"
+        );
     }
 }
