@@ -5,6 +5,18 @@ use toto_simcore::event::Simulation;
 use toto_simcore::rng::{DetRng, SeedTree};
 use toto_simcore::time::{DayKind, SimDuration, SimTime};
 
+/// Offsets biased toward the calendar queue's interesting regions: the
+/// 256 s bucket edge, multi-bucket far-future promotions, and delays
+/// large enough that `schedule_in` saturates at `SimTime::MAX`.
+fn queue_offset() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..=600,                      // first buckets, dense ties
+        (0u64..8).prop_map(|k| 252 + k), // straddle the 256 s bucket edge
+        1_000u64..100_000,               // far-bucket promotion
+        Just(u64::MAX / 2 + 1),          // forces saturation when added twice
+    ]
+}
+
 proptest! {
     #[test]
     fn next_below_is_always_in_range(seed: u64, bound in 1u64..1_000_000) {
@@ -56,6 +68,75 @@ proptest! {
             0..=4 => prop_assert_eq!(t.day_kind(), DayKind::Weekday),
             _ => prop_assert_eq!(t.day_kind(), DayKind::Weekend),
         }
+    }
+
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        roots in prop::collection::vec(
+            (queue_offset(), prop::collection::vec(queue_offset(), 0..4)),
+            1..30,
+        )
+    ) {
+        // The calendar queue (256 s buckets, BTreeMap far map feeding a
+        // draining BinaryHeap) promises a pop sequence *bitwise equal* to
+        // a flat binary heap ordered by (time, seq). Pin that against a
+        // reference implementation under workloads that straddle the
+        // bucket edge, promote events out of far buckets mid-drain, and
+        // saturate `schedule_in` at the end of simulated time.
+        use std::cell::RefCell;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        use std::rc::Rc;
+
+        // Reference: replicate scheduler semantics with one flat heap.
+        // Roots take seqs 0..n in scheduling order; each dispatched
+        // event's follow-ups take the next seqs in callback order, at
+        // `now + delay` saturated at the end of time.
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut followups_of: std::collections::BTreeMap<u64, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        let mut seq: u64 = 0;
+        for (at, delays) in &roots {
+            followups_of.insert(seq, delays.clone());
+            heap.push(Reverse((*at, seq)));
+            seq += 1;
+        }
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        while let Some(Reverse((at, s))) = heap.pop() {
+            expected.push((at, s));
+            for &d in followups_of.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                heap.push(Reverse((at.checked_add(d).unwrap_or(u64::MAX), seq)));
+                seq += 1;
+            }
+        }
+
+        // Actual: the calendar queue under the same workload. Each event
+        // records (fire time, its own queue seq) — seqs are assigned by
+        // the same rule, so the recorded streams must match exactly.
+        let fired: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<()> = Simulation::new(());
+        let mut root_seq: u64 = 0;
+        let next_seq = Rc::new(RefCell::new(roots.len() as u64));
+        for (at, delays) in &roots {
+            let my_seq = root_seq;
+            root_seq += 1;
+            let fired = Rc::clone(&fired);
+            let next_seq = Rc::clone(&next_seq);
+            let delays = delays.clone();
+            sim.scheduler().schedule_at(SimTime::from_secs(*at), move |_, sched| {
+                fired.borrow_mut().push((sched.now().as_secs(), my_seq));
+                for &d in &delays {
+                    let child_seq = *next_seq.borrow();
+                    *next_seq.borrow_mut() += 1;
+                    let fired = Rc::clone(&fired);
+                    sched.schedule_in(SimDuration::from_secs(d), move |_, sc: &mut toto_simcore::event::Scheduler<()>| {
+                        fired.borrow_mut().push((sc.now().as_secs(), child_seq));
+                    });
+                }
+            });
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(fired.borrow().clone(), expected);
     }
 
     #[test]

@@ -120,6 +120,54 @@ fn golden_kpis_density_140() {
 }
 
 #[test]
+fn golden_hyperscale_smoke() {
+    // The built-in hyperscale_smoke scenario end-to-end: resolve → run →
+    // pin the whole run record (`density-140.json`) byte-for-byte. The
+    // record carries the full KPI block, revenue, the rendered scenario
+    // XML and the derived seed, but no wall-clock fields, so it is
+    // byte-identical across machines and `--threads` values.
+    let resolved =
+        toto_scenario::cli::resolve("hyperscale_smoke").expect("built-in scenario resolves");
+    let out = std::env::temp_dir().join(format!("toto-golden-hs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let options = toto_scenario::runner::RunOptions {
+        threads: 2,
+        seeds: 1,
+        out: out.to_string_lossy().to_string(),
+    };
+    let summary = toto_scenario::runner::run(
+        &resolved.doc,
+        &resolved.source,
+        &options,
+        &toto_fleet::NullObserver,
+    )
+    .expect("hyperscale_smoke runs clean");
+    assert_eq!(summary.failed, 0, "hyperscale_smoke jobs must complete");
+    let record = out.join("runs/hyperscale-smoke/density-140.json");
+    let actual = std::fs::read_to_string(&record)
+        .unwrap_or_else(|e| panic!("missing run record {} ({e})", record.display()));
+    let _ = std::fs::remove_dir_all(&out);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/hyperscale-smoke.json");
+    if std::env::var_os("TOTO_BLESS").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with \
+             TOTO_BLESS=1 cargo test --test golden_kpis",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "hyperscale_smoke run record drifted; if the change is intentional, \
+         regenerate with TOTO_BLESS=1 cargo test --test golden_kpis"
+    );
+}
+
+#[test]
 fn golden_region_ci2() {
     let spec = toto_region::RegionSpec::named("ci2").expect("built-in region");
     let output = toto_region::RegionRunner::default().run(&spec, "golden-region");
