@@ -105,7 +105,7 @@ proptest! {
         while let Some(Reverse((at, s))) = heap.pop() {
             expected.push((at, s));
             for &d in followups_of.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
-                heap.push(Reverse((at.checked_add(d).unwrap_or(u64::MAX), seq)));
+                heap.push(Reverse((at.saturating_add(d), seq)));
                 seq += 1;
             }
         }
@@ -115,11 +115,8 @@ proptest! {
         // the same rule, so the recorded streams must match exactly.
         let fired: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
         let mut sim: Simulation<()> = Simulation::new(());
-        let mut root_seq: u64 = 0;
         let next_seq = Rc::new(RefCell::new(roots.len() as u64));
-        for (at, delays) in &roots {
-            let my_seq = root_seq;
-            root_seq += 1;
+        for (my_seq, (at, delays)) in (0u64..).zip(roots.iter()) {
             let fired = Rc::clone(&fired);
             let next_seq = Rc::clone(&next_seq);
             let delays = delays.clone();
